@@ -1,0 +1,362 @@
+package repro
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (deliverable d). One benchmark per experiment,
+// using the quick profile so a full -bench=. pass stays in minutes;
+// run `go run ./cmd/tsfigures` for the paper-scale numbers. The
+// Ablation* benchmarks measure the design choices called out in
+// DESIGN.md §6.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/adaptive"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/dist"
+	"repro/internal/figures"
+	"repro/internal/synth"
+	"repro/internal/temporal"
+)
+
+func benchProfile() figures.Profile { return figures.QuickProfile() }
+
+// BenchmarkTable1SaturationScales regenerates Table 1: the saturation
+// scale of each of the four dataset stand-ins.
+func BenchmarkTable1SaturationScales(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Table1(benchProfile()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2ClassicalProperties regenerates Figure 2: density,
+// connectedness and distance curves across aggregation periods.
+func BenchmarkFig2ClassicalProperties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig2(benchProfile()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3OccupancyIrvine regenerates Figure 3: occupancy ICDs and
+// the M-K proximity curve for the Irvine stand-in.
+func BenchmarkFig3OccupancyIrvine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig3(benchProfile()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4OccupancyICDs and BenchmarkFig5MKProximity regenerate
+// Figures 4 and 5 (same computation, different panels).
+func BenchmarkFig4OccupancyICDs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig45(benchProfile())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Discard.Write([]byte(r.RenderICDs())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5MKProximity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig45(benchProfile())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Discard.Write([]byte(r.RenderProximity())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6TimeUniform regenerates Figure 6 left: γ vs mean
+// inter-contact time on time-uniform networks.
+func BenchmarkFig6TimeUniform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig6Left(benchProfile()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6TwoMode regenerates Figure 6 right: γ vs low-activity
+// fraction on two-mode networks.
+func BenchmarkFig6TwoMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig6Right(benchProfile()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7SelectorComparison regenerates Figure 7: the five
+// selection methods on one dataset.
+func BenchmarkFig7SelectorComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig7(benchProfile()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8TransitionsLost and BenchmarkFig8Elongation regenerate
+// the two Figure 8 validation panels (one computation).
+func BenchmarkFig8TransitionsLost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig8(benchProfile())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Loss) == 0 {
+			b.Fatal("no loss points")
+		}
+	}
+}
+
+func BenchmarkFig8Elongation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig8(benchProfile())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Elongation) == 0 {
+			b.Fatal("no elongation points")
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §6) ---
+
+func irvineStream(b *testing.B) *Stream {
+	b.Helper()
+	s, err := datasets.Irvine().Stream()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkAblationSweepSequential vs BenchmarkAblationSweepParallel:
+// the per-destination worker pool of the temporal engine.
+func BenchmarkAblationSweepSequential(b *testing.B) {
+	s := irvineStream(b)
+	grid := core.LogGrid(3600, s.Duration(), 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Sweep(s, grid, core.Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSweepParallel(b *testing.B) {
+	s := irvineStream(b)
+	grid := core.LogGrid(3600, s.Duration(), 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Sweep(s, grid, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMKExact vs BenchmarkAblationMKHistogram: exact
+// piecewise M-K integration over the sorted sample vs the fixed-bin
+// streaming approximation.
+func BenchmarkAblationMKExact(b *testing.B) {
+	s := irvineStream(b)
+	grid := core.LogGrid(3600, s.Duration(), 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Sweep(s, grid, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMKHistogram(b *testing.B) {
+	s := irvineStream(b)
+	grid := core.LogGrid(3600, s.Duration(), 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Sweep(s, grid, core.Options{HistogramBins: 2048}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGridRefinement: coarse grid plus refinement vs a
+// dense grid of equivalent resolution.
+func BenchmarkAblationGridCoarseRefined(b *testing.B) {
+	s := irvineStream(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := core.SaturationScale(s, core.Options{
+			Grid: core.LogGrid(3600, s.Duration(), 8), Refine: 6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGridDense(b *testing.B) {
+	s := irvineStream(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := core.SaturationScale(s, core.Options{
+			Grid: core.LogGrid(3600, s.Duration(), 14),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Microbenchmarks of the hot paths ---
+
+// BenchmarkEngineMinimalTrips measures the backward DP sweep alone.
+func BenchmarkEngineMinimalTrips(b *testing.B) {
+	s := irvineStream(b)
+	g, err := Aggregate(s, 6*3600, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layers := temporal.SeriesLayers(g)
+	cfg := temporal.Config{N: g.N}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		occ := temporal.Occupancies(cfg, layers)
+		if len(occ) == 0 {
+			b.Fatal("no trips")
+		}
+	}
+}
+
+// BenchmarkEngineDistances measures the Figure 2 distance sweep alone.
+func BenchmarkEngineDistances(b *testing.B) {
+	s := irvineStream(b)
+	g, err := Aggregate(s, 6*3600, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layers := temporal.SeriesLayers(g)
+	cfg := temporal.Config{N: g.N}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := temporal.Distances(cfg, layers, 0, 1)
+		if d.Count == 0 {
+			b.Fatal("no distances")
+		}
+	}
+}
+
+// BenchmarkMKDistance measures the exact M-K integration.
+func BenchmarkMKDistance(b *testing.B) {
+	s := irvineStream(b)
+	sample, err := OccupancyDistribution(s, 6*3600, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := sample.MKDistance(); d < 0 {
+			b.Fatal("negative distance")
+		}
+	}
+}
+
+// BenchmarkAggregate measures window building and per-window dedup.
+func BenchmarkAggregate(b *testing.B) {
+	s := irvineStream(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Aggregate(s, 3600, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerators measures the synthetic workload generators.
+func BenchmarkGeneratorTimeUniform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.TimeUniform(synth.TimeUniformConfig{
+			Nodes: 50, LinksPerPair: 10, T: 100_000, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGeneratorMessageNetwork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.MessageNetwork(synth.MessageConfig{
+			Nodes: 100, Days: 30, MsgsPerPersonDay: 1, Seed: int64(i),
+			ActivityExponent: 0.8, Reciprocity: 0.3, PartnerAffinity: 0.6,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectorScores measures the five Section 7 metrics on one
+// occupancy sample.
+func BenchmarkSelectorScores(b *testing.B) {
+	s := irvineStream(b)
+	sample, err := OccupancyDistribution(s, 6*3600, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sels := dist.AllSelectors()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sel := range sels {
+			_ = sel.Score(sample)
+		}
+	}
+}
+
+// BenchmarkAdaptiveAnalysis measures the future-work extension: activity
+// segmentation plus per-segment saturation scales on a two-mode network.
+func BenchmarkAdaptiveAnalysis(b *testing.B) {
+	s, err := synth.TwoMode(synth.TwoModeConfig{
+		Nodes: 16, N1: 12, N2: 1, T1: 10_000, T2: 10_000, Alternations: 4, Seed: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adaptive.Analyze(s, adaptive.Config{GridPoints: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForwardEarliestArrivals measures the single-source forward
+// query on the Irvine stand-in aggregated at six hours.
+func BenchmarkForwardEarliestArrivals(b *testing.B) {
+	s := irvineStream(b)
+	g, err := Aggregate(s, 6*3600, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layers := temporal.SeriesLayers(g)
+	cfg := temporal.Config{N: g.N}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arr, _ := temporal.EarliestArrivals(cfg, layers, int32(i%g.N), 0)
+		if len(arr) != g.N {
+			b.Fatal("bad arrival array")
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command tsfigures regenerates every figure and table of the paper's
+// evaluation (see DESIGN.md for the experiment index) on the calibrated
+// dataset stand-ins and synthetic workloads.
+//
+// Usage:
+//
+//	tsfigures                 # run everything, full profile
+//	tsfigures -profile quick  # seconds-scale run
+//	tsfigures -fig fig3       # one experiment
+//	tsfigures -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tsfigures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tsfigures", flag.ContinueOnError)
+	fig := fs.String("fig", "", "experiment to run (table1, fig2..fig8b); empty = all")
+	profile := fs.String("profile", "full", "profile: full | quick")
+	out := fs.String("out", "", "write output to this file instead of stdout")
+	workers := fs.Int("workers", 0, "engine parallelism (0 = all CPUs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var p figures.Profile
+	switch *profile {
+	case "full":
+		p = figures.FullProfile()
+	case "quick":
+		p = figures.QuickProfile()
+	default:
+		return fmt.Errorf("unknown profile %q", *profile)
+	}
+	p.Workers = *workers
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *fig == "" {
+		return figures.RunAll(p, w)
+	}
+	return figures.Run(*fig, p, w)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "fig6a", "-profile", "quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 6 left") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := run([]string{"-fig", "fig6a", "-profile", "quick", "-out", path}, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "saturation scale") {
+		t.Fatalf("file content:\n%s", data)
+	}
+}
+
+func TestRunBadProfile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-profile", "nope"}, &out); err == nil {
+		t.Fatal("bad profile should error")
+	}
+}
+
+func TestRunBadFigure(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "fig99", "-profile", "quick"}, &out); err == nil {
+		t.Fatal("bad figure should error")
+	}
+}
+
+func TestRunBadOutPath(t *testing.T) {
+	if err := run([]string{"-fig", "fig6a", "-profile", "quick", "-out", "/nonexistent/dir/out.txt"}, nil); err == nil {
+		t.Fatal("unwritable output path should error")
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/linkstream"
+)
+
+func generate(t *testing.T, args ...string) *linkstream.Stream {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := linkstream.New()
+	if _, err := s.ReadEvents(strings.NewReader(out.String())); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGenUniform(t *testing.T) {
+	s := generate(t, "-kind", "uniform", "-nodes", "8", "-per-pair", "3", "-t", "1000", "-seed", "2")
+	if s.NumEvents() != 28*3 {
+		t.Fatalf("events = %d, want %d", s.NumEvents(), 28*3)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenTwoMode(t *testing.T) {
+	s := generate(t, "-kind", "twomode", "-nodes", "6", "-n1", "2", "-n2", "1",
+		"-rho", "0.5", "-t", "1000", "-alternations", "5")
+	if s.NumEvents() != 5*15*3 {
+		t.Fatalf("events = %d, want %d", s.NumEvents(), 5*15*3)
+	}
+}
+
+func TestGenTwoModeBadRho(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-kind", "twomode", "-rho", "1.5"}, &out); err == nil {
+		t.Fatal("rho > 1 should error")
+	}
+}
+
+func TestGenMessage(t *testing.T) {
+	s := generate(t, "-kind", "message", "-nodes", "20", "-days", "5", "-rate", "2")
+	if s.NumEvents() != 200 {
+		t.Fatalf("events = %d, want 200", s.NumEvents())
+	}
+}
+
+func TestGenDataset(t *testing.T) {
+	s := generate(t, "-kind", "dataset", "-name", "enron")
+	if s.NumNodes() != 150 {
+		t.Fatalf("enron nodes = %d, want 150", s.NumNodes())
+	}
+}
+
+func TestGenDatasetUnknown(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-kind", "dataset", "-name", "nope"}, &out); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestGenUnknownKind(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-kind", "nope"}, &out); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}
+
+func TestGenDeterministicBySeed(t *testing.T) {
+	a := generate(t, "-kind", "uniform", "-nodes", "5", "-per-pair", "2", "-t", "500", "-seed", "9")
+	b := generate(t, "-kind", "uniform", "-nodes", "5", "-per-pair", "2", "-t", "500", "-seed", "9")
+	if a.NumEvents() != b.NumEvents() {
+		t.Fatal("same seed, different event counts")
+	}
+	for i, e := range a.Events() {
+		if e != b.Events()[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Command tsscale computes the saturation scale γ of a link stream: the
+// largest aggregation period that does not alter the propagation
+// properties of the dynamic network (the occupancy method of Léo,
+// Crespelle, Fleury — CoNEXT 2015).
+//
+// Usage:
+//
+//	tsscale [flags] < stream.txt
+//	tsscale [flags] -in stream.txt
+//
+// The stream format is one "<u> <v> <t>" event per line ('#'/'%'
+// comments allowed). The tool prints γ and, with -curve, the full M-K
+// proximity curve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/adaptive"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/linkstream"
+	"repro/internal/textplot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tsscale:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tsscale", flag.ContinueOnError)
+	in := fs.String("in", "", "input stream file (default: stdin)")
+	directed := fs.Bool("directed", false, "respect link orientation")
+	points := fs.Int("points", core.DefaultGridPoints, "number of candidate periods to sweep")
+	minDelta := fs.Int64("min", 0, "smallest candidate period (default: stream resolution)")
+	refine := fs.Int("refine", 4, "extra refinement points around the best period (0 = off)")
+	curve := fs.Bool("curve", false, "print the full proximity curve")
+	allSel := fs.Bool("all-selectors", false, "score with all five Section 7 metrics")
+	adaptiveMode := fs.Bool("adaptive", false, "also segment activity modes and report per-segment scales")
+	workers := fs.Int("workers", 0, "engine parallelism (0 = all CPUs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader = stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	s := linkstream.New()
+	n, err := s.ReadEvents(r)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("no events read")
+	}
+
+	opt := core.Options{Directed: *directed, Workers: *workers, Refine: *refine}
+	if *allSel {
+		opt.Selectors = dist.AllSelectors()
+	}
+	lo := *minDelta
+	if lo <= 0 {
+		lo = s.Resolution()
+	}
+	opt.Grid = core.LogGrid(lo, s.Duration(), *points)
+
+	res, err := core.SaturationScale(s, opt)
+	if err != nil {
+		return err
+	}
+	st := s.ComputeStats()
+	fmt.Fprintf(stdout, "events: %d  nodes: %d  span: %ds  activity: %.3f msgs/person/day\n",
+		st.Events, st.Nodes, st.Span, st.EventsPerNodePerDay)
+	fmt.Fprintf(stdout, "saturation scale gamma = %d s (%.2f h) [selector %s, score %.4f]\n",
+		res.Gamma, float64(res.Gamma)/3600, res.Selector, res.Score)
+
+	if *allSel {
+		sels := dist.AllSelectors()
+		rows := make([][]string, 0, len(sels))
+		for i, sel := range sels {
+			best := core.Best(res.Points, i)
+			rows = append(rows, []string{
+				sel.Name(),
+				fmt.Sprintf("%d", res.Points[best].Delta),
+				fmt.Sprintf("%.2f", float64(res.Points[best].Delta)/3600),
+			})
+		}
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, textplot.Table([]string{"selector", "period (s)", "period (h)"}, rows))
+	}
+	if *adaptiveMode {
+		a, err := adaptive.Analyze(s, adaptive.Config{
+			Directed: *directed, Workers: *workers, GridPoints: *points,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nadaptive analysis: two-mode = %v, min per-segment gamma = %d s\n",
+			a.TwoMode, a.MinGamma)
+		rows := make([][]string, 0, len(a.Segments))
+		for _, seg := range a.Segments {
+			mode := "low"
+			if seg.HighActivity {
+				mode = "high"
+			}
+			gamma := "-"
+			if seg.Gamma > 0 {
+				gamma = fmt.Sprintf("%.2fh", float64(seg.Gamma)/3600)
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("[%d, %d)", seg.Start, seg.End),
+				mode,
+				fmt.Sprintf("%d", seg.Events),
+				gamma,
+			})
+		}
+		fmt.Fprint(stdout, textplot.Table([]string{"segment", "mode", "events", "gamma"}, rows))
+	}
+	if *curve {
+		pts := make([]textplot.XY, 0, len(res.Points))
+		for _, p := range res.Points {
+			pts = append(pts, textplot.XY{X: float64(p.Delta) / 3600, Y: p.Scores[0]})
+		}
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, textplot.Plot(textplot.PlotConfig{
+			Title:  "M-K proximity vs aggregation period",
+			XLabel: "period (h)", YLabel: "proximity", LogX: true, Height: 14,
+		}, textplot.Series{Name: "proximity", Marker: '+', Points: pts}))
+	}
+	return nil
+}

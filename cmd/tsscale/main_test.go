@@ -1,0 +1,122 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func streamText(t *testing.T) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	var sb strings.Builder
+	sb.WriteString("# test stream\n")
+	nodes := []string{"a", "b", "c", "d", "e", "f"}
+	for i, u := range nodes {
+		for _, v := range nodes[i+1:] {
+			for k := 0; k < 4; k++ {
+				sb.WriteString(u + " " + v + " ")
+				sb.WriteString(itoa(rng.Intn(5000)))
+				sb.WriteString("\n")
+			}
+		}
+	}
+	return sb.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func TestRunStdin(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-points", "10", "-refine", "0"}, strings.NewReader(streamText(t)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "saturation scale gamma =") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunFileCurveAllSelectors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stream.txt")
+	if err := os.WriteFile(path, []byte(streamText(t)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{"-in", path, "-points", "10", "-curve", "-all-selectors"}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"saturation scale", "mk-proximity", "cre", "M-K proximity vs aggregation period"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in output:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader("# only comments\n"), &out); err == nil {
+		t.Fatal("empty stream should error")
+	}
+}
+
+func TestRunBadFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-in", "/nonexistent/stream.txt"}, nil, &out); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-points", "zebra"}, nil, &out); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}
+
+func TestRunMalformedStream(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader("a b notatime\n"), &out); err == nil {
+		t.Fatal("malformed stream should error")
+	}
+}
+
+func TestRunMinDeltaOverride(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-points", "8", "-min", "50", "-refine", "0"},
+		strings.NewReader(streamText(t)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "gamma") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunAdaptive(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-points", "8", "-refine", "0", "-adaptive"},
+		strings.NewReader(streamText(t)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "adaptive analysis:") || !strings.Contains(s, "segment") {
+		t.Fatalf("missing adaptive output:\n%s", s)
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func sampleStream(t *testing.T) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	var sb strings.Builder
+	nodes := []string{"a", "b", "c", "d", "e"}
+	for i, u := range nodes {
+		for _, v := range nodes[i+1:] {
+			for k := 0; k < 5; k++ {
+				sb.WriteString(u + " " + v + " " + strconv.Itoa(rng.Intn(4000)) + "\n")
+			}
+		}
+	}
+	return sb.String()
+}
+
+func TestValidateRun(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-points", "8"}, strings.NewReader(sampleStream(t)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"saturation scale gamma", "transitions lost", "mean elongation", "<- gamma", "shortest transitions in the stream:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(""), &out); err == nil {
+		t.Fatal("empty stream should error")
+	}
+	if err := run([]string{"-in", "/nonexistent"}, nil, &out); err == nil {
+		t.Fatal("missing file should error")
+	}
+	if err := run([]string{"-points", "x"}, nil, &out); err == nil {
+		t.Fatal("bad flag should error")
+	}
+	if err := run(nil, strings.NewReader("a a 4\n"), &out); err == nil {
+		t.Fatal("self loop should error")
+	}
+}
+
+func TestValidateMinOverride(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-points", "6", "-min", "100"}, strings.NewReader(sampleStream(t)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "100") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}

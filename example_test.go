@@ -1,0 +1,93 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// The Figure 1 stream of the paper: nodes a..e, nine events over
+// eleven time units.
+func figure1() *repro.Stream {
+	s := repro.NewStream()
+	events := []struct {
+		u, v string
+		t    int64
+	}{
+		{"e", "d", 1}, {"a", "b", 2}, {"d", "c", 4},
+		{"c", "b", 5}, {"e", "a", 6}, {"a", "b", 8},
+		{"d", "e", 9}, {"c", "b", 10}, {"b", "a", 11},
+	}
+	for _, e := range events {
+		if err := s.Add(e.u, e.v, e.t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return s
+}
+
+// Aggregating the paper's Figure 1 stream with ∆ = 4 yields the three
+// snapshots of the figure.
+func ExampleAggregate() {
+	g, err := repro.Aggregate(figure1(), 4, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("windows:", g.NumWindows)
+	fmt.Println("edges per window:",
+		len(g.Windows[0].Edges), len(g.Windows[1].Edges), len(g.Windows[2].Edges))
+	// Output:
+	// windows: 3
+	// edges per window: 3 3 3
+}
+
+// Minimal trips capture the propagation structure; their occupancy
+// rates are the core quantity of the occupancy method.
+func ExampleMinimalTrips() {
+	g, err := repro.Aggregate(figure1(), 4, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trips := repro.MinimalTrips(g)
+	multiWindow := 0
+	for _, tr := range trips {
+		if tr.Arr > tr.Dep {
+			multiWindow++
+		}
+	}
+	fmt.Println("minimal trips:", len(trips))
+	fmt.Println("spanning several windows:", multiWindow)
+	// Output:
+	// minimal trips: 28
+	// spanning several windows: 10
+}
+
+// The occupancy distribution collapses onto 1 when the whole stream is
+// aggregated into a single graph — the limit in which all temporal
+// information is lost.
+func ExampleOccupancyDistribution() {
+	sample, err := repro.OccupancyDistribution(figure1(), 1000, repro.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trips: %d, mean occupancy: %.1f\n", sample.N(), sample.Mean())
+	// Output:
+	// trips: 10, mean occupancy: 1.0
+}
+
+// EarliestArrivals answers spreading queries on the aggregated series:
+// when does information leaving a node reach everyone else?
+func ExampleEarliestArrivals() {
+	s := figure1()
+	g, err := repro.Aggregate(s, 4, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, _ := s.NodeID("e")
+	b, _ := s.NodeID("b")
+	arr, hops := repro.EarliestArrivals(g, e, 0)
+	fmt.Printf("e reaches b in window %d after %d hops\n", arr[b], hops[b])
+	// Output:
+	// e reaches b in window 2 after 2 hops
+}

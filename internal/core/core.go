@@ -1,0 +1,291 @@
+// Package core implements the paper's primary contribution: the
+// occupancy method (Section 4), a fully automatic, parameter-free
+// procedure that determines the saturation scale γ of a link stream —
+// the largest aggregation period ∆ for which the aggregated graph series
+// still faithfully describes the propagation properties of the stream.
+//
+// For every candidate ∆ the method aggregates the stream, enumerates the
+// minimal trips of the series, computes the distribution of their
+// occupancy rates and scores how uniformly the distribution spreads over
+// [0,1] (by default via the Monge-Kantorovich proximity with the uniform
+// density). γ is the ∆ maximising the score: below γ the distribution
+// is still stretching (windows fill up without losing link-order
+// information); beyond γ it contracts onto occupancy 1 (the loss of
+// information dominates).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/linkstream"
+	"repro/internal/series"
+	"repro/internal/temporal"
+)
+
+// ErrNoEvents is returned when the stream has no event to analyse.
+var ErrNoEvents = errors.New("core: stream has no events")
+
+// Options configures the occupancy method. The zero value selects the
+// paper's defaults: undirected analysis, M-K proximity selection, an
+// automatically built logarithmic ∆ grid and all available CPUs.
+type Options struct {
+	// Directed preserves link orientation in snapshots and paths.
+	Directed bool
+	// Workers bounds engine parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// Selectors are the uniformity measures to score each ∆ with. The
+	// first selector decides γ. Default: M-K proximity only.
+	Selectors []dist.Selector
+	// Grid is the list of candidate aggregation periods. Empty means
+	// DefaultGrid(stream, DefaultGridPoints).
+	Grid []int64
+	// Refine, when positive, adds that many extra grid points between
+	// the neighbours of the best ∆ of each pass and re-sweeps once,
+	// sharpening γ beyond the grid resolution.
+	Refine int
+	// HistogramBins, when positive, scores with a fixed-bin histogram
+	// instead of the exact sample. Only the M-K selectors support this
+	// backend; it is intended for very large trip populations and the
+	// ablation benchmarks.
+	HistogramBins int
+}
+
+func (o Options) selectors() []dist.Selector {
+	if len(o.Selectors) == 0 {
+		return []dist.Selector{dist.MKProximitySelector{}}
+	}
+	return o.Selectors
+}
+
+// DefaultGridPoints is the number of candidate periods DefaultGrid
+// produces.
+const DefaultGridPoints = 48
+
+// DefaultGrid builds a logarithmically spaced ∆ grid from the stream's
+// timestamp resolution to its whole period of study, the range the
+// paper sweeps.
+func DefaultGrid(s *linkstream.Stream, points int) []int64 {
+	lo := s.Resolution()
+	hi := s.Duration()
+	return LogGrid(lo, hi, points)
+}
+
+// LogGrid returns up to points geometrically spaced integers covering
+// [lo, hi], deduplicated and always containing both endpoints.
+func LogGrid(lo, hi int64, points int) []int64 {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	if lo == hi {
+		return []int64{lo}
+	}
+	if points < 2 {
+		return []int64{lo, hi}
+	}
+	out := make([]int64, 0, points)
+	ratio := math.Log(float64(hi) / float64(lo))
+	var prev int64
+	for i := 0; i < points; i++ {
+		v := int64(math.Round(float64(lo) * math.Exp(ratio*float64(i)/float64(points-1))))
+		if v < lo {
+			v = lo
+		}
+		if v > hi {
+			v = hi
+		}
+		if v != prev {
+			out = append(out, v)
+			prev = v
+		}
+	}
+	if out[len(out)-1] != hi {
+		out = append(out, hi)
+	}
+	return out
+}
+
+// LinearGrid returns points evenly spaced integers covering [lo, hi].
+func LinearGrid(lo, hi int64, points int) []int64 {
+	if hi < lo {
+		hi = lo
+	}
+	if lo == hi {
+		return []int64{lo}
+	}
+	if points < 2 {
+		return []int64{lo, hi}
+	}
+	out := make([]int64, 0, points)
+	var prev int64 = math.MinInt64
+	for i := 0; i < points; i++ {
+		v := lo + int64(math.Round(float64(hi-lo)*float64(i)/float64(points-1)))
+		if v != prev {
+			out = append(out, v)
+			prev = v
+		}
+	}
+	return out
+}
+
+// SweepPoint is the outcome of analysing one candidate period.
+type SweepPoint struct {
+	Delta  int64
+	Trips  int       // number of minimal trips in G∆
+	Scores []float64 // parallel to Options.Selectors
+}
+
+// Result is the outcome of the occupancy method.
+type Result struct {
+	// Gamma is the saturation scale: the ∆ maximising the primary
+	// selector's score.
+	Gamma int64
+	// Score is the primary selector's score at Gamma.
+	Score float64
+	// Selector is the name of the primary selector.
+	Selector string
+	// Points holds the full sweep curve (sorted by Delta), e.g. the
+	// M-K proximity curve of Figure 3 (right).
+	Points []SweepPoint
+}
+
+// OccupancySample aggregates the stream at period delta and returns the
+// distribution of occupancy rates of the minimal trips of G∆ (the
+// curves of Figure 3 left and Figure 4).
+func OccupancySample(s *linkstream.Stream, delta int64, opt Options) (*dist.Sample, error) {
+	if s.NumEvents() == 0 {
+		return nil, ErrNoEvents
+	}
+	g, err := series.Aggregate(s, delta, opt.Directed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := temporal.Config{N: g.N, Directed: opt.Directed, Workers: opt.Workers}
+	occ := temporal.Occupancies(cfg, temporal.SeriesLayers(g))
+	return dist.NewSample(occ)
+}
+
+// Sweep scores every candidate period in grid with every selector in
+// opt.Selectors. Points are returned in grid order.
+func Sweep(s *linkstream.Stream, grid []int64, opt Options) ([]SweepPoint, error) {
+	if s.NumEvents() == 0 {
+		return nil, ErrNoEvents
+	}
+	if len(grid) == 0 {
+		return nil, errors.New("core: empty candidate grid")
+	}
+	sels := opt.selectors()
+	if opt.HistogramBins > 0 {
+		for _, sel := range sels {
+			if _, ok := sel.(dist.MKProximitySelector); !ok {
+				return nil, fmt.Errorf("core: selector %s does not support the histogram backend", sel.Name())
+			}
+		}
+	}
+	points := make([]SweepPoint, 0, len(grid))
+	for _, delta := range grid {
+		p := SweepPoint{Delta: delta, Scores: make([]float64, len(sels))}
+		if opt.HistogramBins > 0 {
+			g, err := series.Aggregate(s, delta, opt.Directed)
+			if err != nil {
+				return nil, err
+			}
+			cfg := temporal.Config{N: g.N, Directed: opt.Directed, Workers: opt.Workers}
+			h := dist.NewHistogram(opt.HistogramBins)
+			h.AddAll(temporal.Occupancies(cfg, temporal.SeriesLayers(g)))
+			p.Trips = int(h.N())
+			for i := range sels {
+				p.Scores[i] = h.MKProximity()
+			}
+		} else {
+			sample, err := OccupancySample(s, delta, opt)
+			if err != nil {
+				return nil, err
+			}
+			p.Trips = sample.N()
+			for i, sel := range sels {
+				p.Scores[i] = sel.Score(sample)
+			}
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// Best returns the index of the point maximising selector selIdx.
+// Ties are broken towards the smaller ∆ (the paper treats γ as an upper
+// bound, so the conservative choice is the finer scale).
+func Best(points []SweepPoint, selIdx int) int {
+	best := -1
+	for i, p := range points {
+		if best < 0 || p.Scores[selIdx] > points[best].Scores[selIdx] {
+			best = i
+		}
+	}
+	return best
+}
+
+// SaturationScale runs the occupancy method end to end: sweep the ∆
+// grid, optionally refine around the maximum, and return γ together
+// with the full score curve.
+func SaturationScale(s *linkstream.Stream, opt Options) (Result, error) {
+	grid := opt.Grid
+	if len(grid) == 0 {
+		grid = DefaultGrid(s, DefaultGridPoints)
+	}
+	points, err := Sweep(s, grid, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	sels := opt.selectors()
+	best := Best(points, 0)
+
+	if opt.Refine > 0 && len(points) > 1 {
+		lo := points[max(0, best-1)].Delta
+		hi := points[min(len(points)-1, best+1)].Delta
+		if hi > lo+1 {
+			refined := LogGrid(lo, hi, opt.Refine+2)
+			extra, err := Sweep(s, refined, opt)
+			if err != nil {
+				return Result{}, err
+			}
+			points = mergePoints(points, extra)
+			best = Best(points, 0)
+		}
+	}
+
+	return Result{
+		Gamma:    points[best].Delta,
+		Score:    points[best].Scores[0],
+		Selector: sels[0].Name(),
+		Points:   points,
+	}, nil
+}
+
+// mergePoints merges two sweeps, dropping duplicate deltas and keeping
+// the result sorted by Delta.
+func mergePoints(a, b []SweepPoint) []SweepPoint {
+	out := make([]SweepPoint, 0, len(a)+len(b))
+	seen := make(map[int64]bool, len(a)+len(b))
+	add := func(ps []SweepPoint) {
+		for _, p := range ps {
+			if !seen[p.Delta] {
+				seen[p.Delta] = true
+				out = append(out, p)
+			}
+		}
+	}
+	add(a)
+	add(b)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Delta < out[j-1].Delta; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

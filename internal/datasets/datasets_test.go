@@ -1,0 +1,92 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/linkstream"
+)
+
+func TestAllDatasetsGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation in -short mode")
+	}
+	for _, d := range All() {
+		d := d
+		t.Run(d.Meta.Name, func(t *testing.T) {
+			s, err := d.Stream()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if s.NumNodes() != d.Meta.Nodes {
+				t.Fatalf("nodes = %d, want %d", s.NumNodes(), d.Meta.Nodes)
+			}
+			st := s.ComputeStats()
+			// The stand-in must land near the paper's activity level —
+			// that is the calibration contract.
+			lo, hi := d.Meta.PaperActivity*0.7, d.Meta.PaperActivity*1.4
+			if st.EventsPerNodePerDay < lo || st.EventsPerNodePerDay > hi {
+				t.Fatalf("activity = %v, want in [%v, %v]", st.EventsPerNodePerDay, lo, hi)
+			}
+			wantSpan := int64(d.Meta.Days) * linkstream.Day
+			if st.Span > wantSpan {
+				t.Fatalf("span = %d, want <= %d", st.Span, wantSpan)
+			}
+			if st.Span < wantSpan*8/10 {
+				t.Fatalf("span = %d suspiciously short vs %d", st.Span, wantSpan)
+			}
+		})
+	}
+}
+
+func TestStreamCached(t *testing.T) {
+	d := Irvine()
+	a, err := d.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Stream should return the cached instance")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"irvine", "facebook", "enron", "manufacturing"} {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Meta.Name != name {
+			t.Fatalf("ByName(%q).Name = %q", name, d.Meta.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestMetaMatchesPaperTable(t *testing.T) {
+	cases := map[string]float64{
+		"irvine": 18, "facebook": 46, "enron": 78, "manufacturing": 12,
+	}
+	for name, gamma := range cases {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Meta.PaperGammaHours != gamma {
+			t.Fatalf("%s paper gamma = %v, want %v", name, d.Meta.PaperGammaHours, gamma)
+		}
+	}
+	// Paper's activity ordering: facebook < enron < irvine < manufacturing.
+	fb, en, ir, mf := Facebook().Meta, Enron().Meta, Irvine().Meta, Manufacturing().Meta
+	if !(fb.PaperActivity < en.PaperActivity && en.PaperActivity < ir.PaperActivity && ir.PaperActivity < mf.PaperActivity) {
+		t.Fatal("paper activity ordering violated in Meta")
+	}
+}

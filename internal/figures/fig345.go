@@ -1,0 +1,173 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/dist"
+	"repro/internal/textplot"
+)
+
+// ICDCurve is the inverse cumulative distribution of occupancy rates at
+// one aggregation period, sampled on a uniform λ grid for plotting.
+type ICDCurve struct {
+	Delta  int64
+	Points []textplot.XY // (occupancy rate λ, P(X > λ))
+	Trips  int
+}
+
+// icdOf samples the ICD of a sample at 101 grid points.
+func icdOf(delta int64, s *dist.Sample) ICDCurve {
+	c := ICDCurve{Delta: delta, Trips: s.N()}
+	for i := 0; i <= 100; i++ {
+		l := float64(i) / 100
+		c.Points = append(c.Points, textplot.XY{X: l, Y: s.ICD(l)})
+	}
+	return c
+}
+
+// OccupancyResult holds, for one dataset, the ICDs at several periods
+// (Figure 3 left / Figure 4) and the full M-K proximity curve with the
+// selected γ (Figure 3 right / Figure 5).
+type OccupancyResult struct {
+	Dataset string
+	ICDs    []ICDCurve
+	Curve   []core.SweepPoint // Scores[0] = M-K proximity
+	Gamma   int64
+	Score   float64
+}
+
+// occupancyFor runs the occupancy method on one dataset stand-in and
+// retains the ICDs of icdCount log-spaced periods.
+func occupancyFor(d *datasets.Dataset, p Profile, icdCount int) (*OccupancyResult, error) {
+	s, err := d.Stream()
+	if err != nil {
+		return nil, err
+	}
+	s = p.prepare(s)
+	opt := core.Options{Workers: p.Workers, Grid: core.LogGrid(MinDelta, s.Duration(), p.GridPoints)}
+	sc, err := core.SaturationScale(s, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &OccupancyResult{Dataset: d.Meta.Name, Curve: sc.Points, Gamma: sc.Gamma, Score: sc.Score}
+	for _, delta := range core.LogGrid(MinDelta, s.Duration(), icdCount) {
+		sample, err := core.OccupancySample(s, delta, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.ICDs = append(res.ICDs, icdOf(delta, sample))
+	}
+	return res, nil
+}
+
+// StretchThenContract reports whether the ICD family shows the paper's
+// signature evolution: the mean occupancy increases monotonically in ∆
+// from near 0 to 1 (stretch towards 1, then contraction onto 1).
+func (r *OccupancyResult) StretchThenContract() bool {
+	if len(r.ICDs) < 3 {
+		return false
+	}
+	// Mean occupancy = ∫ ICD; approximate from the sampled curve.
+	mean := func(c ICDCurve) float64 {
+		sum := 0.0
+		for _, p := range c.Points {
+			sum += p.Y
+		}
+		return sum / float64(len(c.Points))
+	}
+	first := mean(r.ICDs[0])
+	last := mean(r.ICDs[len(r.ICDs)-1])
+	return first < 0.35 && last > 0.9
+}
+
+// ProximityPeaked reports whether the M-K proximity curve rises to an
+// interior maximum and falls after it (Figures 3 right and 5).
+func (r *OccupancyResult) ProximityPeaked() bool {
+	if len(r.Curve) < 3 {
+		return false
+	}
+	best := core.Best(r.Curve, 0)
+	return r.Curve[0].Scores[0] < r.Score && r.Curve[len(r.Curve)-1].Scores[0] < r.Score &&
+		best > 0 && best < len(r.Curve)-1
+}
+
+// RenderICDs draws the Figure 3 (left) / Figure 4 panel.
+func (r *OccupancyResult) RenderICDs() string {
+	markers := []rune{'1', '2', '3', '4', '5', '6', '7', '8', '9'}
+	series := make([]textplot.Series, 0, len(r.ICDs))
+	for i, c := range r.ICDs {
+		m := markers[i%len(markers)]
+		series = append(series, textplot.Series{
+			Name:   fmt.Sprintf("∆=%.2gh", Hours(c.Delta)),
+			Marker: m,
+			Points: c.Points,
+		})
+	}
+	return textplot.Plot(textplot.PlotConfig{
+		Title:  fmt.Sprintf("ICDs of occupancy rates — %s (∆ increasing 1..%d)", r.Dataset, len(r.ICDs)),
+		XLabel: "occupancy rate", YLabel: "proportion of minimal trips", Height: 16,
+	}, series...)
+}
+
+// RenderProximity draws the Figure 3 (right) / Figure 5 panel.
+func (r *OccupancyResult) RenderProximity() string {
+	pts := make([]textplot.XY, 0, len(r.Curve))
+	for _, p := range r.Curve {
+		pts = append(pts, textplot.XY{X: Hours(p.Delta), Y: p.Scores[0]})
+	}
+	var b strings.Builder
+	b.WriteString(textplot.Plot(textplot.PlotConfig{
+		Title:  fmt.Sprintf("M-K proximity — %s (gamma = %s)", r.Dataset, formatGamma(r.Gamma)),
+		XLabel: "aggregation period (h)", YLabel: "M-K proximity", Height: 14, LogX: true,
+	}, textplot.Series{Name: "proximity", Marker: '+', Points: pts}))
+	return b.String()
+}
+
+// Fig3 reproduces Figure 3: ICDs and M-K proximity for Irvine.
+func Fig3(p Profile) (*OccupancyResult, error) {
+	return occupancyFor(datasets.Irvine(), p, 7)
+}
+
+// Fig45Result bundles the three non-Irvine datasets for Figures 4 and 5.
+type Fig45Result struct {
+	Results []*OccupancyResult
+}
+
+// Fig45 reproduces Figures 4 (ICDs) and 5 (M-K proximity curves) for
+// Facebook, Enron and Manufacturing.
+func Fig45(p Profile) (*Fig45Result, error) {
+	var out Fig45Result
+	for _, d := range []*datasets.Dataset{datasets.Facebook(), datasets.Enron(), datasets.Manufacturing()} {
+		r, err := occupancyFor(d, p, 7)
+		if err != nil {
+			return nil, err
+		}
+		out.Results = append(out.Results, r)
+	}
+	return &out, nil
+}
+
+// RenderICDs renders the Figure 4 panels.
+func (r *Fig45Result) RenderICDs() string {
+	var b strings.Builder
+	b.WriteString("Figure 4 — occupancy-rate ICDs (Facebook, Enron, Manufacturing stand-ins)\n\n")
+	for _, res := range r.Results {
+		b.WriteString(res.RenderICDs())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderProximity renders the Figure 5 panels.
+func (r *Fig45Result) RenderProximity() string {
+	var b strings.Builder
+	b.WriteString("Figure 5 — M-K proximity vs aggregation period\n\n")
+	for _, res := range r.Results {
+		b.WriteString(res.RenderProximity())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

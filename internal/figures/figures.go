@@ -1,0 +1,75 @@
+// Package figures regenerates every figure and table of the paper's
+// evaluation as structured data plus an ASCII rendering. Each experiment
+// is a pure function of a Profile so the same code serves the tsfigures
+// CLI, the integration tests and the benchmark harness.
+//
+// Experiment inventory (see DESIGN.md for the full index):
+//
+//	Table 1  — saturation scales of the four datasets (Section 5)
+//	Figure 2 — classical properties vs ∆ (Section 3)
+//	Figure 3 — occupancy ICDs + M-K proximity, Irvine (Section 4)
+//	Figure 4 — occupancy ICDs, other datasets (Section 5)
+//	Figure 5 — M-K proximity curves, other datasets (Section 5)
+//	Figure 6 — synthetic networks: time-uniform and two-mode (Section 6)
+//	Figure 7 — selection-method comparison (Section 7)
+//	Figure 8 — transition loss and elongation validation (Section 8)
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/linkstream"
+)
+
+// Profile scales the experiments. Full reproduces the paper's setup (on
+// the calibrated stand-ins); Quick shrinks workloads and grids so every
+// experiment finishes in at most a few seconds, for tests and benches.
+type Profile struct {
+	Name       string
+	GridPoints int // ∆-sweep resolution
+	Workers    int // engine parallelism; 0 = GOMAXPROCS
+	Quick      bool
+}
+
+// FullProfile is the paper-scale configuration.
+func FullProfile() Profile { return Profile{Name: "full", GridPoints: 32} }
+
+// QuickProfile is the seconds-scale configuration used by tests and
+// benchmarks.
+func QuickProfile() Profile { return Profile{Name: "quick", GridPoints: 10, Quick: true} }
+
+// MinDelta is the smallest aggregation period swept for the dataset
+// experiments: 60 s rather than the 1 s resolution, because periods
+// below a minute produce astronomically many near-empty windows without
+// moving any curve (the paper's plots likewise start around minutes).
+const MinDelta int64 = 60
+
+// Hours converts a period in seconds to hours.
+func Hours(delta int64) float64 { return float64(delta) / 3600 }
+
+// datasetGamma formats one γ for reports.
+func formatGamma(delta int64) string {
+	return fmt.Sprintf("%.1f h", Hours(delta))
+}
+
+// subsampleStream keeps one in k events, preserving activity shape
+// while shrinking quick-profile workloads.
+func subsampleStream(s *linkstream.Stream, k int) *linkstream.Stream {
+	if k <= 1 {
+		return s
+	}
+	s.Sort()
+	return s.Filter(func(i int, _ linkstream.Event) bool { return i%k == 0 })
+}
+
+// prepare shrinks a dataset stream under the quick profile. Only
+// clearly oversized streams are halved: subsampling a sparse stream
+// (like the Facebook stand-in) degrades reachability enough to distort
+// gamma, and comparing subsampled with whole streams breaks the
+// activity ordering of Table 1.
+func (p Profile) prepare(s *linkstream.Stream) *linkstream.Stream {
+	if p.Quick && s.NumEvents() > 15000 {
+		return subsampleStream(s, 2)
+	}
+	return s
+}

@@ -1,0 +1,159 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Experiment names accepted by Run.
+var Names = []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig7", "fig8a", "fig8b"}
+
+// Run executes one named experiment and writes its rendering to w.
+func Run(name string, p Profile, w io.Writer) error {
+	start := time.Now()
+	var text string
+	switch name {
+	case "table1":
+		r, err := Table1(p)
+		if err != nil {
+			return err
+		}
+		text = r.Render()
+	case "fig2":
+		r, err := Fig2(p)
+		if err != nil {
+			return err
+		}
+		text = r.Render()
+	case "fig3":
+		r, err := Fig3(p)
+		if err != nil {
+			return err
+		}
+		text = "Figure 3 — occupancy method on the Irvine stand-in\n\n" +
+			r.RenderICDs() + "\n" + r.RenderProximity()
+	case "fig4":
+		r, err := Fig45(p)
+		if err != nil {
+			return err
+		}
+		text = r.RenderICDs()
+	case "fig5":
+		r, err := Fig45(p)
+		if err != nil {
+			return err
+		}
+		text = r.RenderProximity()
+	case "fig6a":
+		r, err := Fig6Left(p)
+		if err != nil {
+			return err
+		}
+		text = r.Render()
+	case "fig6b":
+		r, err := Fig6Right(p)
+		if err != nil {
+			return err
+		}
+		text = r.Render()
+	case "fig7":
+		r, err := Fig7(p)
+		if err != nil {
+			return err
+		}
+		text = r.Render()
+	case "fig8a", "fig8b":
+		r, err := Fig8(p)
+		if err != nil {
+			return err
+		}
+		text = r.Render()
+	default:
+		return fmt.Errorf("figures: unknown experiment %q (have %v)", name, Names)
+	}
+	if _, err := fmt.Fprintf(w, "=== %s (profile %s, %.1fs) ===\n%s\n", name, p.Name, time.Since(start).Seconds(), text); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RunAll executes every experiment, deduplicating fig4/fig5 and
+// fig8a/fig8b pairs would be wasteful — Run recomputes them, so RunAll
+// calls the underlying computations once each instead.
+func RunAll(p Profile, w io.Writer) error {
+	type step struct {
+		name string
+		fn   func() (string, error)
+	}
+	steps := []step{
+		{"table1", func() (string, error) {
+			r, err := Table1(p)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig2", func() (string, error) {
+			r, err := Fig2(p)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig3", func() (string, error) {
+			r, err := Fig3(p)
+			if err != nil {
+				return "", err
+			}
+			return "Figure 3 — occupancy method on the Irvine stand-in\n\n" +
+				r.RenderICDs() + "\n" + r.RenderProximity(), nil
+		}},
+		{"fig4+fig5", func() (string, error) {
+			r, err := Fig45(p)
+			if err != nil {
+				return "", err
+			}
+			return r.RenderICDs() + "\n" + r.RenderProximity(), nil
+		}},
+		{"fig6a", func() (string, error) {
+			r, err := Fig6Left(p)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig6b", func() (string, error) {
+			r, err := Fig6Right(p)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig7", func() (string, error) {
+			r, err := Fig7(p)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig8", func() (string, error) {
+			r, err := Fig8(p)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+	}
+	for _, st := range steps {
+		start := time.Now()
+		text, err := st.fn()
+		if err != nil {
+			return fmt.Errorf("figures: %s: %w", st.name, err)
+		}
+		if _, err := fmt.Fprintf(w, "=== %s (profile %s, %.1fs) ===\n%s\n", st.name, p.Name, time.Since(start).Seconds(), text); err != nil {
+			return err
+		}
+	}
+	return nil
+}

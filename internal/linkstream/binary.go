@@ -1,0 +1,143 @@
+package linkstream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary stream format, for traces too large for the text edge-list:
+//
+//	magic "LSB1"
+//	uvarint nodeCount, then nodeCount length-prefixed UTF-8 names
+//	uvarint eventCount, then per event:
+//	    uvarint u, uvarint v, svarint delta(t)  (t delta-encoded
+//	    against the previous event's timestamp; events are written in
+//	    the stream's current order)
+//
+// Varint timestamps make sorted second-resolution traces a few bytes
+// per event.
+
+var binaryMagic = [4]byte{'L', 'S', 'B', '1'}
+
+// ErrBadMagic is returned when decoding a stream without the LSB1
+// header.
+var ErrBadMagic = errors.New("linkstream: not a binary link stream (bad magic)")
+
+// WriteBinary encodes the stream in the compact binary format.
+func (s *Stream) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(x uint64) error {
+		n := binary.PutUvarint(buf[:], x)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(x int64) error {
+		n := binary.PutVarint(buf[:], x)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(s.names))); err != nil {
+		return err
+	}
+	for _, name := range s.names {
+		if err := putUvarint(uint64(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+	}
+	if err := putUvarint(uint64(len(s.events))); err != nil {
+		return err
+	}
+	prevT := int64(0)
+	for _, e := range s.events {
+		if err := putUvarint(uint64(e.U)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(e.V)); err != nil {
+			return err
+		}
+		if err := putVarint(e.T - prevT); err != nil {
+			return err
+		}
+		prevT = e.T
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a stream previously written by WriteBinary,
+// replacing the receiver's contents.
+func (s *Stream) ReadBinary(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("linkstream: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return ErrBadMagic
+	}
+	nodeCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("linkstream: node count: %w", err)
+	}
+	if nodeCount > math.MaxInt32 {
+		return fmt.Errorf("linkstream: implausible node count %d", nodeCount)
+	}
+	*s = Stream{}
+	nameBuf := make([]byte, 0, 64)
+	for i := uint64(0); i < nodeCount; i++ {
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("linkstream: name length: %w", err)
+		}
+		if l > 1<<20 {
+			return fmt.Errorf("linkstream: implausible name length %d", l)
+		}
+		if uint64(cap(nameBuf)) < l {
+			nameBuf = make([]byte, l)
+		}
+		nameBuf = nameBuf[:l]
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return fmt.Errorf("linkstream: name bytes: %w", err)
+		}
+		s.AddNode(string(nameBuf))
+	}
+	eventCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("linkstream: event count: %w", err)
+	}
+	if eventCount > 1<<40 {
+		return fmt.Errorf("linkstream: implausible event count %d", eventCount)
+	}
+	s.events = make([]Event, 0, eventCount)
+	prevT := int64(0)
+	for i := uint64(0); i < eventCount; i++ {
+		u, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("linkstream: event %d u: %w", i, err)
+		}
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("linkstream: event %d v: %w", i, err)
+		}
+		dt, err := binary.ReadVarint(br)
+		if err != nil {
+			return fmt.Errorf("linkstream: event %d t: %w", i, err)
+		}
+		t := prevT + dt
+		prevT = t
+		if err := s.AddID(int32(u), int32(v), t); err != nil {
+			return fmt.Errorf("linkstream: event %d: %w", i, err)
+		}
+	}
+	return nil
+}

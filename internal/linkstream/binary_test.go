@@ -1,0 +1,166 @@
+package linkstream
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	s := New()
+	if err := s.Add("alice", "bob", -50); err != nil { // negative times allowed
+		t.Fatal(err)
+	}
+	if err := s.Add("bob", "carol", 1_700_000_000); err != nil {
+		t.Fatal(err)
+	}
+	s.AddNode("isolated") // node without events must survive
+	var buf bytes.Buffer
+	if err := s.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back := New()
+	if err := back.ReadBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 4 || back.NumEvents() != 2 {
+		t.Fatalf("round trip: %d nodes, %d events", back.NumNodes(), back.NumEvents())
+	}
+	if _, ok := back.NodeID("isolated"); !ok {
+		t.Fatal("isolated node lost")
+	}
+	for i, e := range s.Events() {
+		b := back.Events()[i]
+		if e != b {
+			t.Fatalf("event %d: %+v vs %+v", i, e, b)
+		}
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	s := New()
+	err := s.ReadBinary(strings.NewReader("NOPE additional garbage"))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	s := New()
+	if err := s.Add("a", "b", 5); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 2, 4, len(full) / 2, len(full) - 1} {
+		back := New()
+		if err := back.ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d should error", cut)
+		}
+	}
+}
+
+func TestBinaryCorruptEvent(t *testing.T) {
+	// Hand-craft a header claiming a self loop event (u == v).
+	var buf bytes.Buffer
+	buf.WriteString("LSB1")
+	buf.WriteByte(1)   // 1 node
+	buf.WriteByte(1)   // name length 1
+	buf.WriteByte('x') // name
+	buf.WriteByte(1)   // 1 event
+	buf.WriteByte(0)   // u = 0
+	buf.WriteByte(0)   // v = 0 -> self loop
+	buf.WriteByte(2)   // t delta = +1 (zigzag)
+	s := New()
+	if err := s.ReadBinary(&buf); !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("err = %v, want ErrSelfLoop", err)
+	}
+}
+
+func TestBinarySizeCompact(t *testing.T) {
+	// A sorted second-resolution trace should cost only a few bytes per
+	// event in binary form and far more as text.
+	s := New()
+	s.EnsureNodes(50)
+	rng := rand.New(rand.NewSource(1))
+	tcur := int64(1_600_000_000)
+	for i := 0; i < 5000; i++ {
+		tcur += rng.Int63n(60)
+		u := int32(rng.Intn(50))
+		v := int32(rng.Intn(50))
+		if u == v {
+			continue
+		}
+		if err := s.AddID(u, v, tcur); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var bin, txt bytes.Buffer
+	if err := s.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteTo(&txt); err != nil {
+		t.Fatal(err)
+	}
+	perEvent := float64(bin.Len()) / float64(s.NumEvents())
+	if perEvent > 6 {
+		t.Fatalf("binary costs %.1f bytes/event, want <= 6", perEvent)
+	}
+	if bin.Len()*2 > txt.Len() {
+		t.Fatalf("binary (%d) not much smaller than text (%d)", bin.Len(), txt.Len())
+	}
+}
+
+// Property: binary round trip preserves arbitrary streams exactly,
+// including unsorted events and weird node names.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64, raw []uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		names := []string{"a", "βeta", "node with spaces", "", "x/y#z"}
+		for _, n := range names {
+			s.AddNode(n)
+		}
+		for _, r := range raw {
+			u := int32(r % 5)
+			v := int32((r / 5) % 5)
+			if u == v {
+				continue
+			}
+			if err := s.AddID(u, v, rng.Int63n(1<<40)-(1<<39)); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if err := s.WriteBinary(&buf); err != nil {
+			return false
+		}
+		back := New()
+		if err := back.ReadBinary(&buf); err != nil {
+			return false
+		}
+		if back.NumNodes() != s.NumNodes() || back.NumEvents() != s.NumEvents() {
+			return false
+		}
+		for i := range s.names {
+			if s.names[i] != back.names[i] {
+				return false
+			}
+		}
+		for i, e := range s.events {
+			if back.events[i] != e {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

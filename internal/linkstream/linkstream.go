@@ -1,0 +1,273 @@
+// Package linkstream implements the link-stream substrate of the
+// reproduction: a dynamic network given as a finite collection of triplets
+// (u, v, t) meaning that nodes u and v have a link between them at time t.
+//
+// Timestamps are integers (the paper's sample datasets use a 1-second
+// resolution; any integer resolution works). Node identities are interned:
+// the public API accepts string names while the analysis layers work on
+// dense int32 identifiers, which keeps the temporal-path engine compact.
+//
+// The zero value of Stream is an empty, ready-to-use stream.
+package linkstream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Event is a single link occurrence (u, v, t). For directed streams the
+// link is from U to V; for undirected analyses the orientation is ignored
+// (see Normalize).
+type Event struct {
+	U, V int32
+	T    int64
+}
+
+// Stream is a finite collection of events over an interned node set.
+// Events are kept in insertion order until Sort is called.
+type Stream struct {
+	events []Event
+	names  []string
+	index  map[string]int32
+	sorted bool
+}
+
+// Common errors returned by Stream operations.
+var (
+	ErrSelfLoop  = errors.New("linkstream: self loop (u == v)")
+	ErrBadNodeID = errors.New("linkstream: node id out of range")
+	ErrEmpty     = errors.New("linkstream: empty stream")
+)
+
+// New returns an empty stream. Equivalent to new(Stream); provided for
+// symmetry with the rest of the API.
+func New() *Stream { return &Stream{} }
+
+// NumNodes returns the number of interned nodes.
+func (s *Stream) NumNodes() int { return len(s.names) }
+
+// NumEvents returns the number of events in the stream.
+func (s *Stream) NumEvents() int { return len(s.events) }
+
+// Events returns the underlying event slice. The slice is owned by the
+// stream and must not be modified by the caller.
+func (s *Stream) Events() []Event { return s.events }
+
+// NodeName returns the interned name of node id. It panics if id is out of
+// range, mirroring slice indexing semantics.
+func (s *Stream) NodeName(id int32) string { return s.names[id] }
+
+// NodeID returns the id of the named node and whether it exists.
+func (s *Stream) NodeID(name string) (int32, bool) {
+	id, ok := s.index[name]
+	return id, ok
+}
+
+// AddNode interns name and returns its id. Adding an existing name returns
+// the existing id. Nodes may exist without any event (isolated nodes).
+func (s *Stream) AddNode(name string) int32 {
+	if id, ok := s.index[name]; ok {
+		return id
+	}
+	if s.index == nil {
+		s.index = make(map[string]int32)
+	}
+	id := int32(len(s.names))
+	s.names = append(s.names, name)
+	s.index[name] = id
+	return id
+}
+
+// Add interns both node names and appends the event (u, v, t).
+// Self loops are rejected: a link needs two distinct endpoints.
+func (s *Stream) Add(u, v string, t int64) error {
+	if u == v {
+		return fmt.Errorf("%w: %q at t=%d", ErrSelfLoop, u, t)
+	}
+	return s.AddID(s.AddNode(u), s.AddNode(v), t)
+}
+
+// AddID appends an event between two already-interned node ids.
+func (s *Stream) AddID(u, v int32, t int64) error {
+	if u == v {
+		return fmt.Errorf("%w: id %d at t=%d", ErrSelfLoop, u, t)
+	}
+	if u < 0 || int(u) >= len(s.names) || v < 0 || int(v) >= len(s.names) {
+		return fmt.Errorf("%w: (%d,%d) with %d nodes", ErrBadNodeID, u, v, len(s.names))
+	}
+	s.events = append(s.events, Event{U: u, V: v, T: t})
+	s.sorted = false
+	return nil
+}
+
+// EnsureNodes interns n anonymous nodes named "0".."n-1" if the stream has
+// fewer than n nodes. It is the standard way generators size a stream.
+func (s *Stream) EnsureNodes(n int) {
+	for len(s.names) < n {
+		s.AddNode(fmt.Sprintf("%d", len(s.names)))
+	}
+}
+
+// Sort orders events by time, breaking ties by (U, V) so that sorting is
+// deterministic. It is idempotent and marks the stream as sorted.
+func (s *Stream) Sort() {
+	if s.sorted {
+		return
+	}
+	sort.SliceStable(s.events, func(i, j int) bool {
+		a, b := s.events[i], s.events[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	s.sorted = true
+}
+
+// Sorted reports whether the events are known to be in time order.
+func (s *Stream) Sorted() bool { return s.sorted }
+
+// Normalize rewrites every event so that U < V, making the stream
+// canonical for undirected analyses. Directed information is lost.
+func (s *Stream) Normalize() {
+	for i := range s.events {
+		if s.events[i].U > s.events[i].V {
+			s.events[i].U, s.events[i].V = s.events[i].V, s.events[i].U
+		}
+	}
+	s.sorted = false
+}
+
+// Dedup removes exactly repeated events (same U, V and T). The stream is
+// sorted as a side effect. Events (u,v,t) and (v,u,t) are distinct unless
+// Normalize was called first.
+func (s *Stream) Dedup() {
+	s.Sort()
+	out := s.events[:0]
+	var prev Event
+	for i, e := range s.events {
+		if i > 0 && e == prev {
+			continue
+		}
+		out = append(out, e)
+		prev = e
+	}
+	s.events = out
+}
+
+// Span returns the first and last timestamps. ok is false for an empty
+// stream. The stream is sorted as a side effect.
+func (s *Stream) Span() (t0, t1 int64, ok bool) {
+	if len(s.events) == 0 {
+		return 0, 0, false
+	}
+	s.Sort()
+	return s.events[0].T, s.events[len(s.events)-1].T, true
+}
+
+// Duration returns t1 - t0 + 1, the number of time units covered by the
+// stream (0 for an empty stream).
+func (s *Stream) Duration() int64 {
+	t0, t1, ok := s.Span()
+	if !ok {
+		return 0
+	}
+	return t1 - t0 + 1
+}
+
+// Resolution returns the smallest positive gap between two consecutive
+// distinct timestamps, which is the natural minimal aggregation period of
+// the stream. It returns 1 for streams with fewer than two distinct
+// timestamps. The stream is sorted as a side effect.
+func (s *Stream) Resolution() int64 {
+	s.Sort()
+	res := int64(math.MaxInt64)
+	for i := 1; i < len(s.events); i++ {
+		if d := s.events[i].T - s.events[i-1].T; d > 0 && d < res {
+			res = d
+		}
+	}
+	if res == math.MaxInt64 {
+		return 1
+	}
+	return res
+}
+
+// Clone returns a deep copy of the stream.
+func (s *Stream) Clone() *Stream {
+	c := &Stream{
+		events: append([]Event(nil), s.events...),
+		names:  append([]string(nil), s.names...),
+		sorted: s.sorted,
+	}
+	if s.index != nil {
+		c.index = make(map[string]int32, len(s.index))
+		for k, v := range s.index {
+			c.index[k] = v
+		}
+	}
+	return c
+}
+
+// SliceTime returns a new stream containing the events with t0 <= T < t1.
+// The node set (interning) is shared structure-wise: the clone keeps all
+// node names so ids remain stable.
+func (s *Stream) SliceTime(t0, t1 int64) *Stream {
+	s.Sort()
+	c := &Stream{names: append([]string(nil), s.names...), sorted: true}
+	if s.index != nil {
+		c.index = make(map[string]int32, len(s.index))
+		for k, v := range s.index {
+			c.index[k] = v
+		}
+	}
+	lo := sort.Search(len(s.events), func(i int) bool { return s.events[i].T >= t0 })
+	hi := sort.Search(len(s.events), func(i int) bool { return s.events[i].T >= t1 })
+	c.events = append([]Event(nil), s.events[lo:hi]...)
+	return c
+}
+
+// Filter returns a new stream (sharing a copy of the node table, so ids
+// stay stable) containing the events for which keep returns true.
+func (s *Stream) Filter(keep func(i int, e Event) bool) *Stream {
+	c := &Stream{names: append([]string(nil), s.names...), sorted: s.sorted}
+	if s.index != nil {
+		c.index = make(map[string]int32, len(s.index))
+		for k, v := range s.index {
+			c.index[k] = v
+		}
+	}
+	for i, e := range s.events {
+		if keep(i, e) {
+			c.events = append(c.events, e)
+		}
+	}
+	return c
+}
+
+// ShiftTime adds offset to every timestamp.
+func (s *Stream) ShiftTime(offset int64) {
+	for i := range s.events {
+		s.events[i].T += offset
+	}
+}
+
+// Validate checks internal invariants: node ids in range and no self
+// loops. It returns the first violation found, or nil.
+func (s *Stream) Validate() error {
+	n := int32(len(s.names))
+	for i, e := range s.events {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return fmt.Errorf("%w: event %d = (%d,%d,%d)", ErrBadNodeID, i, e.U, e.V, e.T)
+		}
+		if e.U == e.V {
+			return fmt.Errorf("%w: event %d at t=%d", ErrSelfLoop, i, e.T)
+		}
+	}
+	return nil
+}

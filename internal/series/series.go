@@ -1,0 +1,170 @@
+// Package series implements the aggregation of a link stream into a
+// series of graphs (Definition 1 of the paper): given a period ∆, the
+// stream's study period [t0, t1] is cut into K disjoint windows of length
+// ∆ and the k-th snapshot contains edge uv iff some event (u, v, t) has
+// (k)∆ <= t - t0 < (k+1)∆ (windows are 0-indexed here).
+//
+// Only non-empty windows are materialised: the number of windows K can be
+// in the millions for second-scale ∆, but the number of non-empty windows
+// is bounded by the number of events, and the temporal-path engine only
+// needs those.
+package series
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/linkstream"
+	"repro/internal/snapshot"
+)
+
+// Window is one non-empty snapshot: its index K in 0..NumWindows-1 and
+// its deduplicated edge set.
+type Window struct {
+	K     int64
+	Edges []snapshot.Edge
+}
+
+// Series is a link stream aggregated at period Delta. The zero value is
+// not useful; build one with Aggregate.
+type Series struct {
+	N          int      // number of nodes (shared by all snapshots)
+	Delta      int64    // aggregation period
+	Origin     int64    // t0: start of the period of study
+	NumWindows int64    // K: total number of windows, including empty ones
+	Windows    []Window // non-empty windows in increasing K
+	Directed   bool
+	TotalEdges int // M: sum over windows of the deduplicated edge counts
+}
+
+// Aggregate builds the series G∆ for the given stream. The stream is
+// sorted as a side effect. Delta must be positive; directed selects
+// whether edge orientation is preserved inside the snapshots.
+func Aggregate(s *linkstream.Stream, delta int64, directed bool) (*Series, error) {
+	if delta <= 0 {
+		return nil, fmt.Errorf("series: non-positive aggregation period %d", delta)
+	}
+	t0, t1, ok := s.Span()
+	if !ok {
+		return &Series{N: s.NumNodes(), Delta: delta, NumWindows: 0, Directed: directed}, nil
+	}
+	g := &Series{
+		N:          s.NumNodes(),
+		Delta:      delta,
+		Origin:     t0,
+		NumWindows: (t1-t0)/delta + 1,
+		Directed:   directed,
+	}
+	events := s.Events()
+	i := 0
+	for i < len(events) {
+		k := (events[i].T - t0) / delta
+		end := i
+		for end < len(events) && (events[end].T-t0)/delta == k {
+			end++
+		}
+		edges := make([]snapshot.Edge, 0, end-i)
+		for _, e := range events[i:end] {
+			ed := snapshot.Edge{U: e.U, V: e.V}
+			if !directed {
+				ed = ed.Canon()
+			}
+			edges = append(edges, ed)
+		}
+		sort.Slice(edges, func(a, b int) bool {
+			if edges[a].U != edges[b].U {
+				return edges[a].U < edges[b].U
+			}
+			return edges[a].V < edges[b].V
+		})
+		w := 0
+		for j, ed := range edges {
+			if j > 0 && ed == edges[j-1] {
+				continue
+			}
+			edges[w] = ed
+			w++
+		}
+		edges = edges[:w]
+		g.Windows = append(g.Windows, Window{K: k, Edges: edges})
+		g.TotalEdges += len(edges)
+		i = end
+	}
+	return g, nil
+}
+
+// WindowOf returns the window index of raw timestamp t.
+func (g *Series) WindowOf(t int64) int64 { return (t - g.Origin) / g.Delta }
+
+// WindowStart returns the raw start time of window k (inclusive).
+func (g *Series) WindowStart(k int64) int64 { return g.Origin + k*g.Delta }
+
+// WindowEnd returns the raw end time of window k (exclusive).
+func (g *Series) WindowEnd(k int64) int64 { return g.Origin + (k+1)*g.Delta }
+
+// Snapshot materialises window k (by index into Windows, not by K) as a
+// snapshot.Graph. Empty windows are not materialised by Aggregate, so
+// this accepts an index into the Windows slice.
+func (g *Series) Snapshot(i int) (*snapshot.Graph, error) {
+	return snapshot.NewGraph(g.N, g.Windows[i].Edges, g.Directed)
+}
+
+// Stats summarises the per-snapshot quantities tracked by Figure 2 of the
+// paper. Means are taken over all K windows, empty ones included (an
+// empty snapshot has density 0, no non-isolated vertex and a largest
+// connected component of size 1 when N > 0, matching the convention that
+// the node set is fixed across the series).
+type Stats struct {
+	Delta             int64
+	NumWindows        int64
+	NonEmptyWindows   int
+	TotalEdges        int
+	MeanDensity       float64
+	MeanDegree        float64 // mean over windows of 2M_k/N (out-degree M_k/N if directed)
+	MeanNonIsolated   float64
+	MeanLargestComp   float64
+	MaxSnapshotEdges  int
+	MeanSnapshotEdges float64
+}
+
+// ComputeStats materialises every non-empty window once and aggregates
+// the classical properties.
+func (g *Series) ComputeStats() (Stats, error) {
+	st := Stats{Delta: g.Delta, NumWindows: g.NumWindows, NonEmptyWindows: len(g.Windows), TotalEdges: g.TotalEdges}
+	if g.NumWindows == 0 {
+		return st, nil
+	}
+	var sumDensity, sumDegree, sumNonIso, sumLCC float64
+	for i := range g.Windows {
+		gr, err := g.Snapshot(i)
+		if err != nil {
+			return st, err
+		}
+		sumDensity += gr.Density()
+		if g.N > 0 {
+			if g.Directed {
+				sumDegree += float64(gr.M()) / float64(g.N)
+			} else {
+				sumDegree += 2 * float64(gr.M()) / float64(g.N)
+			}
+		}
+		sumNonIso += float64(gr.NonIsolated())
+		sumLCC += float64(gr.LargestComponent())
+		if len(g.Windows[i].Edges) > st.MaxSnapshotEdges {
+			st.MaxSnapshotEdges = len(g.Windows[i].Edges)
+		}
+	}
+	// Empty windows contribute 0 to everything except the largest
+	// component, which is 1 (a single isolated node) when N > 0.
+	empty := float64(g.NumWindows) - float64(len(g.Windows))
+	if g.N > 0 {
+		sumLCC += empty
+	}
+	k := float64(g.NumWindows)
+	st.MeanDensity = sumDensity / k
+	st.MeanDegree = sumDegree / k
+	st.MeanNonIsolated = sumNonIso / k
+	st.MeanLargestComp = sumLCC / k
+	st.MeanSnapshotEdges = float64(g.TotalEdges) / k
+	return st, nil
+}

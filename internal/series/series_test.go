@@ -1,0 +1,286 @@
+package series
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linkstream"
+)
+
+// figure1 is the paper's Figure 1 stream: events on nodes a..e over
+// [1, 11], aggregated with ∆ = 4 into three windows.
+func figure1(t *testing.T) *linkstream.Stream {
+	t.Helper()
+	s := linkstream.New()
+	adds := []struct {
+		u, v string
+		t    int64
+	}{
+		{"a", "b", 2}, {"e", "d", 1}, {"d", "c", 4},
+		{"c", "b", 5}, {"e", "a", 6}, {"a", "b", 8},
+		{"d", "e", 9}, {"c", "b", 10}, {"b", "a", 11},
+	}
+	for _, a := range adds {
+		if err := s.Add(a.u, a.v, a.t); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestAggregateFigure1(t *testing.T) {
+	s := figure1(t)
+	g, err := Aggregate(s, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumWindows != 3 {
+		t.Fatalf("NumWindows = %d, want 3", g.NumWindows)
+	}
+	if len(g.Windows) != 3 {
+		t.Fatalf("non-empty windows = %d, want 3", len(g.Windows))
+	}
+	// Window 0 covers t in [1,5): events (a,b,2),(e,d,1),(d,c,4) -> 3 edges.
+	// Window 1 covers t in [5,9): (c,b,5),(e,a,6),(a,b,8) -> 3 edges.
+	// Window 2 covers t in [9,13): (d,e,9),(c,b,10),(b,a,11) -> 3 edges
+	// with (b,a) canonicalised to (a,b).
+	for i, want := range []int{3, 3, 3} {
+		if got := len(g.Windows[i].Edges); got != want {
+			t.Fatalf("window %d edges = %d, want %d", i, got, want)
+		}
+	}
+	if g.TotalEdges != 9 {
+		t.Fatalf("TotalEdges = %d, want 9", g.TotalEdges)
+	}
+}
+
+func TestAggregateDedupInsideWindow(t *testing.T) {
+	s := linkstream.New()
+	for _, tt := range []int64{0, 1, 2, 3} {
+		if err := s.Add("a", "b", tt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Add("b", "a", 4); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Aggregate(s, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalEdges != 1 {
+		t.Fatalf("TotalEdges = %d, want 1 (all events collapse to one edge)", g.TotalEdges)
+	}
+	dir, err := Aggregate(s, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir.TotalEdges != 2 {
+		t.Fatalf("directed TotalEdges = %d, want 2", dir.TotalEdges)
+	}
+}
+
+func TestAggregateEmptyWindowsSkipped(t *testing.T) {
+	s := linkstream.New()
+	if err := s.Add("a", "b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("a", "b", 1000); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Aggregate(s, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumWindows != 101 {
+		t.Fatalf("NumWindows = %d, want 101", g.NumWindows)
+	}
+	if len(g.Windows) != 2 {
+		t.Fatalf("materialised windows = %d, want 2", len(g.Windows))
+	}
+	if g.Windows[0].K != 0 || g.Windows[1].K != 100 {
+		t.Fatalf("window indices = %d,%d want 0,100", g.Windows[0].K, g.Windows[1].K)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	s := figure1(t)
+	if _, err := Aggregate(s, 0, false); err == nil {
+		t.Fatal("delta 0 should be rejected")
+	}
+	if _, err := Aggregate(s, -5, false); err == nil {
+		t.Fatal("negative delta should be rejected")
+	}
+}
+
+func TestAggregateEmptyStream(t *testing.T) {
+	s := linkstream.New()
+	g, err := Aggregate(s, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumWindows != 0 || len(g.Windows) != 0 {
+		t.Fatalf("empty stream series = %+v", g)
+	}
+	st, err := g.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MeanDensity != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestWindowArithmetic(t *testing.T) {
+	s := figure1(t)
+	g, err := Aggregate(s, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Origin != 1 {
+		t.Fatalf("Origin = %d, want 1", g.Origin)
+	}
+	if k := g.WindowOf(5); k != 1 {
+		t.Fatalf("WindowOf(5) = %d, want 1", k)
+	}
+	if st := g.WindowStart(1); st != 5 {
+		t.Fatalf("WindowStart(1) = %d, want 5", st)
+	}
+	if en := g.WindowEnd(1); en != 9 {
+		t.Fatalf("WindowEnd(1) = %d, want 9", en)
+	}
+}
+
+func TestDeltaLargerThanSpan(t *testing.T) {
+	s := figure1(t)
+	g, err := Aggregate(s, 1_000_000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumWindows != 1 {
+		t.Fatalf("NumWindows = %d, want 1", g.NumWindows)
+	}
+	// Totally aggregated graph: 5 distinct undirected edges in Figure 1.
+	if g.TotalEdges != 5 {
+		t.Fatalf("TotalEdges = %d, want 5", g.TotalEdges)
+	}
+}
+
+func TestComputeStatsFigure1(t *testing.T) {
+	s := figure1(t)
+	g, err := Aggregate(s, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := g.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each window has 3 edges on 5 nodes: density 2*3/(5*4) = 0.3.
+	if st.MeanDensity < 0.299 || st.MeanDensity > 0.301 {
+		t.Fatalf("MeanDensity = %v, want 0.3", st.MeanDensity)
+	}
+	if st.MeanSnapshotEdges != 3 {
+		t.Fatalf("MeanSnapshotEdges = %v, want 3", st.MeanSnapshotEdges)
+	}
+	if st.MaxSnapshotEdges != 3 {
+		t.Fatalf("MaxSnapshotEdges = %v, want 3", st.MaxSnapshotEdges)
+	}
+	if st.MeanDegree != 2*3.0/5.0 {
+		t.Fatalf("MeanDegree = %v, want 1.2", st.MeanDegree)
+	}
+}
+
+func TestStatsCountEmptyWindows(t *testing.T) {
+	s := linkstream.New()
+	if err := s.Add("a", "b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("a", "b", 99); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Aggregate(s, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := g.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 windows, 2 non-empty with density 2*1/(2*1) = 1 each.
+	if st.NumWindows != 10 {
+		t.Fatalf("NumWindows = %d, want 10", st.NumWindows)
+	}
+	if st.MeanDensity != 0.2 {
+		t.Fatalf("MeanDensity = %v, want 0.2", st.MeanDensity)
+	}
+	// LCC: 2 windows of size 2, 8 empty windows of size 1 -> (2*2+8)/10.
+	if st.MeanLargestComp != 1.2 {
+		t.Fatalf("MeanLargestComp = %v, want 1.2", st.MeanLargestComp)
+	}
+}
+
+// Property: aggregation partitions events — the sum over windows of
+// per-window event counts equals the stream's event count, every event's
+// timestamp falls inside its window, and window indices are strictly
+// increasing. Also TotalEdges <= events and TotalEdges monotonically
+// non-increasing as delta grows (coarser windows merge more duplicates).
+func TestQuickAggregationInvariants(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8, d1Raw, d2Raw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%10) + 2
+		m := int(mRaw%60) + 1
+		s := linkstream.New()
+		s.EnsureNodes(n)
+		for i := 0; i < m; i++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if err := s.AddID(u, v, int64(rng.Intn(500))); err != nil {
+				return false
+			}
+		}
+		if s.NumEvents() == 0 {
+			return true
+		}
+		d1 := int64(d1Raw%100) + 1
+		d2 := d1 + int64(d2Raw%100)
+		g1, err := Aggregate(s, d1, false)
+		if err != nil {
+			return false
+		}
+		prevK := int64(-1)
+		for _, w := range g1.Windows {
+			if w.K <= prevK || w.K < 0 || w.K >= g1.NumWindows {
+				return false
+			}
+			prevK = w.K
+			if len(w.Edges) == 0 {
+				return false // non-empty windows only
+			}
+		}
+		// Every event lands in a materialised window that contains an
+		// edge with its endpoints.
+		for _, e := range s.Events() {
+			k := g1.WindowOf(e.T)
+			if e.T < g1.WindowStart(k) || e.T >= g1.WindowEnd(k) {
+				return false
+			}
+		}
+		g2, err := Aggregate(s, d2, false)
+		if err != nil {
+			return false
+		}
+		if g1.TotalEdges > s.NumEvents() || g2.TotalEdges > g1.TotalEdges && d2 > d1 && d2%d1 == 0 {
+			// TotalEdges can only shrink when windows merge exactly.
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

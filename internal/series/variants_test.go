@@ -1,0 +1,158 @@
+package series
+
+import (
+	"testing"
+
+	"repro/internal/linkstream"
+	"repro/internal/snapshot"
+)
+
+func variantStream(t *testing.T) *linkstream.Stream {
+	t.Helper()
+	s := linkstream.New()
+	for _, e := range []struct {
+		u, v string
+		t    int64
+	}{
+		{"a", "b", 0}, {"b", "c", 5}, {"c", "d", 10}, {"a", "b", 15}, {"d", "e", 25},
+	} {
+		if err := s.Add(e.u, e.v, e.t); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestAggregateSlidingOverlap(t *testing.T) {
+	s := variantStream(t)
+	wins, err := AggregateSliding(s, 10, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window starts: 0,5,10,15,20,25 — all contain at least one event.
+	if len(wins) != 6 {
+		t.Fatalf("windows = %d, want 6", len(wins))
+	}
+	// [0,10) holds {a,b},{b,c}; [5,15) holds {b,c},{c,d} — overlap.
+	if len(wins[0].Edges) != 2 || len(wins[1].Edges) != 2 {
+		t.Fatalf("windows: %+v", wins[:2])
+	}
+	shared := false
+	for _, e0 := range wins[0].Edges {
+		for _, e1 := range wins[1].Edges {
+			if e0 == e1 {
+				shared = true
+			}
+		}
+	}
+	if !shared {
+		t.Fatal("overlapping windows should share the t=5 edge")
+	}
+}
+
+func TestAggregateSlidingEqualsDisjointWhenStrideDelta(t *testing.T) {
+	s := variantStream(t)
+	wins, err := AggregateSliding(s, 10, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Aggregate(s, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != len(g.Windows) {
+		t.Fatalf("sliding %d vs disjoint %d windows", len(wins), len(g.Windows))
+	}
+	for i := range wins {
+		if wins[i].Start != g.WindowStart(g.Windows[i].K) {
+			t.Fatalf("window %d start %d vs %d", i, wins[i].Start, g.WindowStart(g.Windows[i].K))
+		}
+		if len(wins[i].Edges) != len(g.Windows[i].Edges) {
+			t.Fatalf("window %d edges differ", i)
+		}
+	}
+}
+
+func TestAggregateSlidingErrors(t *testing.T) {
+	s := variantStream(t)
+	if _, err := AggregateSliding(s, 0, 1, false); err == nil {
+		t.Fatal("delta 0 should error")
+	}
+	if _, err := AggregateSliding(s, 10, 0, false); err == nil {
+		t.Fatal("stride 0 should error")
+	}
+	empty := linkstream.New()
+	wins, err := AggregateSliding(empty, 10, 5, false)
+	if err != nil || wins != nil {
+		t.Fatalf("empty stream: %v, %v", wins, err)
+	}
+}
+
+func TestAggregateCumulative(t *testing.T) {
+	s := variantStream(t)
+	wins, err := AggregateCumulative(s, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Span [0,25]: 3 growing windows ending at 10, 20, 30.
+	if len(wins) != 3 {
+		t.Fatalf("windows = %d, want 3", len(wins))
+	}
+	// Monotone growth and every window starting at t0.
+	prev := 0
+	for i, w := range wins {
+		if w.Start != 0 {
+			t.Fatalf("window %d start = %d, want 0", i, w.Start)
+		}
+		if len(w.Edges) < prev {
+			t.Fatalf("cumulative windows must grow: %d then %d", prev, len(w.Edges))
+		}
+		prev = len(w.Edges)
+	}
+	// Final window holds all 4 distinct undirected edges.
+	if len(wins[2].Edges) != 4 {
+		t.Fatalf("final window edges = %d, want 4", len(wins[2].Edges))
+	}
+	// Mutating an earlier window must not leak into later ones
+	// (defensive copies).
+	wins[0].Edges[0] = snapshot.Edge{U: 99, V: 100}
+	if wins[2].Edges[0] == (snapshot.Edge{U: 99, V: 100}) {
+		t.Fatal("cumulative windows share backing arrays")
+	}
+}
+
+func TestAggregateCumulativeErrors(t *testing.T) {
+	s := variantStream(t)
+	if _, err := AggregateCumulative(s, 0, false); err == nil {
+		t.Fatal("delta 0 should error")
+	}
+	empty := linkstream.New()
+	wins, err := AggregateCumulative(empty, 10, false)
+	if err != nil || wins != nil {
+		t.Fatalf("empty stream: %v, %v", wins, err)
+	}
+}
+
+func TestAggregateCumulativeDirected(t *testing.T) {
+	s := linkstream.New()
+	if err := s.Add("a", "b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("b", "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	und, err := AggregateCumulative(s, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(und[0].Edges) != 1 {
+		t.Fatalf("undirected edges = %d, want 1", len(und[0].Edges))
+	}
+	dir, err := AggregateCumulative(s, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dir[0].Edges) != 2 {
+		t.Fatalf("directed edges = %d, want 2", len(dir[0].Edges))
+	}
+}

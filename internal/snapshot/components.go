@@ -1,0 +1,119 @@
+package snapshot
+
+// UnionFind is a classic disjoint-set forest with union by rank and path
+// halving, used to compute connected components of snapshots.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+	sets   int
+}
+
+// NewUnionFind returns a union-find over n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]int32, n), rank: make([]int8, n), sets: n}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int32) int32 {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b, returning true if they were distinct.
+func (uf *UnionFind) Union(a, b int32) bool {
+	ra, rb := uf.Find(a), uf.Find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+	uf.sets--
+	return true
+}
+
+// Sets returns the current number of disjoint sets.
+func (uf *UnionFind) Sets() int { return uf.sets }
+
+// Components labels every node with a component id in 0..k-1 and returns
+// the labels plus the number k of components. Edge direction is ignored
+// (weak connectivity for directed graphs).
+func (g *Graph) Components() (labels []int32, k int) {
+	uf := NewUnionFind(g.n)
+	for u := int32(0); int(u) < g.n; u++ {
+		for _, v := range g.Neighbors(u) {
+			uf.Union(u, v)
+		}
+	}
+	labels = make([]int32, g.n)
+	next := int32(0)
+	remap := make(map[int32]int32, 16)
+	for i := int32(0); int(i) < g.n; i++ {
+		r := uf.Find(i)
+		id, ok := remap[r]
+		if !ok {
+			id = next
+			remap[r] = id
+			next++
+		}
+		labels[i] = id
+	}
+	return labels, int(next)
+}
+
+// LargestComponent returns the node count of the largest (weakly)
+// connected component. Isolated nodes count as singleton components, so
+// the result is at least 1 for non-empty graphs and 0 for empty ones.
+func (g *Graph) LargestComponent() int {
+	if g.n == 0 {
+		return 0
+	}
+	labels, k := g.Components()
+	size := make([]int, k)
+	for _, l := range labels {
+		size[l]++
+	}
+	best := 0
+	for _, s := range size {
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// BFS runs a breadth-first search from src, ignoring edge direction is
+// NOT done here: it follows out-edges only (which equals undirected
+// traversal for undirected graphs). It returns hop distances with -1 for
+// unreachable nodes.
+func (g *Graph) BFS(src int32) []int32 {
+	dist := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, 16)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,206 @@
+package snapshot
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustGraph(t *testing.T, n int, edges []Edge, directed bool) *Graph {
+	t.Helper()
+	g, err := NewGraph(n, edges, directed)
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	return g
+}
+
+func TestNewGraphDedup(t *testing.T) {
+	g := mustGraph(t, 4, []Edge{{0, 1}, {1, 0}, {0, 1}, {2, 3}}, false)
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2 after dedup", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("undirected edge should be visible from both endpoints")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("HasEdge(0,2) should be false")
+	}
+}
+
+func TestNewGraphDirected(t *testing.T) {
+	g := mustGraph(t, 3, []Edge{{0, 1}, {1, 0}, {1, 2}}, true)
+	if g.M() != 3 {
+		t.Fatalf("M = %d, want 3 (directed keeps both orientations)", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("both directed edges should exist")
+	}
+	if g.HasEdge(2, 1) {
+		t.Fatal("reverse of (1,2) should not exist in directed graph")
+	}
+	if g.Degree(1) != 2 {
+		t.Fatalf("out-degree(1) = %d, want 2", g.Degree(1))
+	}
+}
+
+func TestNewGraphErrors(t *testing.T) {
+	if _, err := NewGraph(3, []Edge{{1, 1}}, false); err == nil {
+		t.Fatal("self loop should be rejected")
+	}
+	if _, err := NewGraph(2, []Edge{{0, 5}}, false); err == nil {
+		t.Fatal("out-of-range edge should be rejected")
+	}
+}
+
+func TestDensity(t *testing.T) {
+	// Complete undirected graph on 4 nodes: density 1.
+	edges := []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	g := mustGraph(t, 4, edges, false)
+	if d := g.Density(); d != 1 {
+		t.Fatalf("K4 density = %v, want 1", d)
+	}
+	d := mustGraph(t, 4, edges[:3], false)
+	if got := d.Density(); got != 0.5 {
+		t.Fatalf("density = %v, want 0.5", got)
+	}
+	dir := mustGraph(t, 3, []Edge{{0, 1}}, true)
+	if got := dir.Density(); got != 1.0/6.0 {
+		t.Fatalf("directed density = %v, want 1/6", got)
+	}
+	tiny := mustGraph(t, 1, nil, false)
+	if tiny.Density() != 0 {
+		t.Fatal("single-node density should be 0")
+	}
+}
+
+func TestNonIsolated(t *testing.T) {
+	g := mustGraph(t, 5, []Edge{{0, 1}, {2, 3}}, false)
+	if got := g.NonIsolated(); got != 4 {
+		t.Fatalf("NonIsolated = %d, want 4", got)
+	}
+	dir := mustGraph(t, 5, []Edge{{0, 1}}, true)
+	if got := dir.NonIsolated(); got != 2 {
+		t.Fatalf("directed NonIsolated = %d, want 2 (target counts too)", got)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := mustGraph(t, 6, []Edge{{0, 1}, {1, 2}, {3, 4}}, false)
+	labels, k := g.Components()
+	if k != 3 { // {0,1,2}, {3,4}, {5}
+		t.Fatalf("components = %d, want 3", k)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("0,1,2 should share a component")
+	}
+	if labels[3] != labels[4] || labels[3] == labels[0] {
+		t.Fatal("3,4 should form their own component")
+	}
+	if labels[5] == labels[0] || labels[5] == labels[3] {
+		t.Fatal("5 should be isolated")
+	}
+	if got := g.LargestComponent(); got != 3 {
+		t.Fatalf("LargestComponent = %d, want 3", got)
+	}
+}
+
+func TestLargestComponentEmpty(t *testing.T) {
+	g := mustGraph(t, 0, nil, false)
+	if got := g.LargestComponent(); got != 0 {
+		t.Fatalf("LargestComponent of empty graph = %d, want 0", got)
+	}
+	one := mustGraph(t, 3, nil, false)
+	if got := one.LargestComponent(); got != 1 {
+		t.Fatalf("LargestComponent of edgeless graph = %d, want 1", got)
+	}
+}
+
+func TestBFS(t *testing.T) {
+	// Path 0-1-2-3 plus isolated 4.
+	g := mustGraph(t, 5, []Edge{{0, 1}, {1, 2}, {2, 3}}, false)
+	dist := g.BFS(0)
+	want := []int32{0, 1, 2, 3, -1}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("BFS dist = %v, want %v", dist, want)
+		}
+	}
+}
+
+func TestBFSDirected(t *testing.T) {
+	g := mustGraph(t, 3, []Edge{{0, 1}, {1, 2}}, true)
+	if d := g.BFS(2); d[0] != -1 || d[1] != -1 || d[2] != 0 {
+		t.Fatalf("directed BFS from sink = %v", d)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Sets() != 5 {
+		t.Fatalf("Sets = %d, want 5", uf.Sets())
+	}
+	if !uf.Union(0, 1) {
+		t.Fatal("first union should merge")
+	}
+	if uf.Union(1, 0) {
+		t.Fatal("repeated union should not merge")
+	}
+	uf.Union(2, 3)
+	uf.Union(0, 3)
+	if uf.Sets() != 2 {
+		t.Fatalf("Sets = %d, want 2", uf.Sets())
+	}
+	if uf.Find(2) != uf.Find(1) {
+		t.Fatal("1 and 2 should share a root")
+	}
+	if uf.Find(4) == uf.Find(0) {
+		t.Fatal("4 should be alone")
+	}
+}
+
+// Property: for random undirected graphs, component labels agree with BFS
+// reachability, and degree sums equal 2M.
+func TestQuickComponentsMatchBFS(t *testing.T) {
+	f := func(seed int64, nRaw uint8, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%20) + 2
+		m := int(mRaw % 40)
+		edges := make([]Edge, 0, m)
+		for i := 0; i < m; i++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			edges = append(edges, Edge{u, v})
+		}
+		g, err := NewGraph(n, edges, false)
+		if err != nil {
+			return false
+		}
+		degSum := 0
+		for u := int32(0); int(u) < n; u++ {
+			degSum += g.Degree(u)
+		}
+		if degSum != 2*g.M() {
+			return false
+		}
+		labels, _ := g.Components()
+		for trial := 0; trial < 3; trial++ {
+			src := int32(rng.Intn(n))
+			dist := g.BFS(src)
+			for v := 0; v < n; v++ {
+				reachable := dist[v] >= 0
+				sameComp := labels[v] == labels[src]
+				if reachable != sameComp {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/linkstream"
+)
+
+// MessageConfig parameterises the message-network generator that builds
+// stand-ins for the paper's email and social-message datasets. The
+// generator preserves the features the paper identifies as driving the
+// saturation scale: the per-person daily activity level (Section 5) and
+// the temporal heterogeneity of that activity (Section 6) — circadian
+// and weekly rhythms — plus the heavy-tailed node activity typical of
+// human communication networks.
+type MessageConfig struct {
+	Nodes            int
+	Days             int
+	MsgsPerPersonDay float64 // the paper's "messages sent per person per day"
+	Seed             int64
+
+	// Circadian holds 24 relative hourly weights; nil means a default
+	// office-hours profile, and a slice of equal values means none.
+	Circadian []float64
+	// Weekly holds 7 relative day-of-week weights (index 0 = Monday);
+	// nil means a default working-week profile.
+	Weekly []float64
+	// ActivityExponent shapes per-node sending rates ~ rank^-exponent
+	// (Zipf-like). 0 means uniform activity.
+	ActivityExponent float64
+	// Reciprocity is the probability that a message is addressed to the
+	// last person who wrote to the sender, producing conversations.
+	Reciprocity float64
+	// PartnerAffinity is the probability that a non-reply message goes
+	// to an already-contacted partner (chosen proportionally to past
+	// traffic) rather than to a uniformly random new node.
+	PartnerAffinity float64
+}
+
+// DefaultCircadian is a coarse office-hours profile: quiet nights, a
+// morning and an afternoon bump.
+func DefaultCircadian() []float64 {
+	return []float64{
+		0.2, 0.1, 0.1, 0.1, 0.1, 0.2, // 00-05
+		0.5, 1.0, 2.0, 3.0, 3.5, 3.0, // 06-11
+		2.0, 2.5, 3.0, 3.0, 2.5, 2.0, // 12-17
+		1.5, 1.0, 0.8, 0.6, 0.4, 0.3, // 18-23
+	}
+}
+
+// DefaultWeekly is a working-week profile, Monday through Sunday.
+func DefaultWeekly() []float64 {
+	return []float64{1.0, 1.1, 1.1, 1.0, 0.9, 0.25, 0.2}
+}
+
+// cumSampler draws indices proportionally to fixed weights using a
+// cumulative table and binary search.
+type cumSampler struct {
+	cum []float64
+}
+
+func newCumSampler(weights []float64) (*cumSampler, error) {
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("synth: negative or NaN weight %v at %d", w, i)
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("synth: all %d weights are zero", len(weights))
+	}
+	return &cumSampler{cum: cum}, nil
+}
+
+func (c *cumSampler) sample(rng *rand.Rand) int {
+	x := rng.Float64() * c.cum[len(c.cum)-1]
+	return sort.SearchFloat64s(c.cum, x)
+}
+
+// MessageNetwork generates a directed message stream (sender, recipient,
+// second-resolution timestamp) according to cfg.
+func MessageNetwork(cfg MessageConfig) (*linkstream.Stream, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("synth: message network needs >= 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.Days < 1 {
+		return nil, fmt.Errorf("synth: message network needs >= 1 day, got %d", cfg.Days)
+	}
+	if cfg.MsgsPerPersonDay <= 0 {
+		return nil, fmt.Errorf("synth: non-positive activity %v", cfg.MsgsPerPersonDay)
+	}
+	circadian := cfg.Circadian
+	if circadian == nil {
+		circadian = DefaultCircadian()
+	}
+	if len(circadian) != 24 {
+		return nil, fmt.Errorf("synth: circadian profile has %d entries, want 24", len(circadian))
+	}
+	weekly := cfg.Weekly
+	if weekly == nil {
+		weekly = DefaultWeekly()
+	}
+	if len(weekly) != 7 {
+		return nil, fmt.Errorf("synth: weekly profile has %d entries, want 7", len(weekly))
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hourS, err := newCumSampler(circadian)
+	if err != nil {
+		return nil, err
+	}
+	// Day weights combine the day-of-week profile over the whole span.
+	dayW := make([]float64, cfg.Days)
+	for d := range dayW {
+		dayW[d] = weekly[d%7]
+	}
+	dayS, err := newCumSampler(dayW)
+	if err != nil {
+		return nil, err
+	}
+	nodeW := make([]float64, cfg.Nodes)
+	for i := range nodeW {
+		if cfg.ActivityExponent <= 0 {
+			nodeW[i] = 1
+		} else {
+			nodeW[i] = math.Pow(float64(i+1), -cfg.ActivityExponent)
+		}
+	}
+	// Shuffle the rank-to-node assignment so that node ids carry no
+	// structure.
+	rng.Shuffle(cfg.Nodes, func(i, j int) { nodeW[i], nodeW[j] = nodeW[j], nodeW[i] })
+	nodeS, err := newCumSampler(nodeW)
+	if err != nil {
+		return nil, err
+	}
+
+	total := int(math.Round(cfg.MsgsPerPersonDay * float64(cfg.Nodes) * float64(cfg.Days)))
+	s := linkstream.New()
+	s.EnsureNodes(cfg.Nodes)
+
+	type partner struct {
+		id     int32
+		weight float64
+	}
+	partners := make([][]partner, cfg.Nodes) // outgoing contact pools
+	lastFrom := make([]int32, cfg.Nodes)     // last sender writing to each node
+	for i := range lastFrom {
+		lastFrom[i] = -1
+	}
+
+	pickPartner := func(u int32) int32 {
+		pool := partners[u]
+		if len(pool) > 0 && rng.Float64() < cfg.PartnerAffinity {
+			tot := 0.0
+			for _, p := range pool {
+				tot += p.weight
+			}
+			x := rng.Float64() * tot
+			for _, p := range pool {
+				x -= p.weight
+				if x <= 0 {
+					return p.id
+				}
+			}
+			return pool[len(pool)-1].id
+		}
+		for {
+			v := int32(rng.Intn(cfg.Nodes))
+			if v != u {
+				return v
+			}
+		}
+	}
+
+	for m := 0; m < total; m++ {
+		u := int32(nodeS.sample(rng))
+		var v int32
+		if lastFrom[u] >= 0 && rng.Float64() < cfg.Reciprocity {
+			v = lastFrom[u]
+		} else {
+			v = pickPartner(u)
+		}
+		day := int64(dayS.sample(rng))
+		hour := int64(hourS.sample(rng))
+		t := day*linkstream.Day + hour*3600 + rng.Int63n(3600)
+		if err := s.AddID(u, v, t); err != nil {
+			return nil, err
+		}
+		lastFrom[v] = u
+		found := false
+		for i := range partners[u] {
+			if partners[u][i].id == v {
+				partners[u][i].weight++
+				found = true
+				break
+			}
+		}
+		if !found {
+			partners[u] = append(partners[u], partner{id: v, weight: 1})
+		}
+	}
+	s.Sort()
+	return s, nil
+}

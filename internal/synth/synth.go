@@ -1,0 +1,129 @@
+// Package synth generates the synthetic dynamic networks of the paper's
+// Section 6 — time-uniform networks and two-mode (high/low activity)
+// networks — plus a calibrated message-network generator with circadian
+// and weekly rhythms and heavy-tailed node activity, used to build
+// offline stand-ins for the paper's four real-world datasets.
+//
+// All generators are deterministic given their Seed.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/linkstream"
+)
+
+// TimeUniformConfig parameterises the paper's time-uniform networks:
+// every pair of the Nodes nodes receives LinksPerPair links whose
+// timestamps are chosen uniformly at random in [0, T). The paper uses
+// Nodes = 100, T = 100 000 s, LinksPerPair in 10..100 (Figure 6 left).
+type TimeUniformConfig struct {
+	Nodes        int
+	LinksPerPair int
+	T            int64
+	Seed         int64
+}
+
+// MeanInterContact returns the theoretical mean inter-contact time of a
+// node, T/(N(n-1)) — the x-axis of Figure 6 (left).
+func (c TimeUniformConfig) MeanInterContact() float64 {
+	if c.LinksPerPair <= 0 || c.Nodes <= 1 {
+		return 0
+	}
+	return float64(c.T) / (float64(c.LinksPerPair) * float64(c.Nodes-1))
+}
+
+// TimeUniform generates a time-uniform network.
+func TimeUniform(cfg TimeUniformConfig) (*linkstream.Stream, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("synth: time-uniform needs >= 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.T < 1 {
+		return nil, fmt.Errorf("synth: non-positive period T = %d", cfg.T)
+	}
+	if cfg.LinksPerPair < 0 {
+		return nil, fmt.Errorf("synth: negative links per pair %d", cfg.LinksPerPair)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := linkstream.New()
+	s.EnsureNodes(cfg.Nodes)
+	for u := 0; u < cfg.Nodes; u++ {
+		for v := u + 1; v < cfg.Nodes; v++ {
+			for k := 0; k < cfg.LinksPerPair; k++ {
+				if err := s.AddID(int32(u), int32(v), rng.Int63n(cfg.T)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	s.Sort()
+	return s, nil
+}
+
+// TwoModeConfig parameterises the paper's two-mode networks: Alternations
+// repetitions of one high-activity period (length T1, N1 links per pair,
+// uniform inside the period) followed by one low-activity period (length
+// T2, N2 links per pair). Figure 6 (right) fixes N1, N2 and the whole
+// length T = Alternations*(T1+T2) and varies the ratio T2/(T1+T2).
+type TwoModeConfig struct {
+	Nodes        int
+	N1, N2       int   // links per pair per high / low period
+	T1, T2       int64 // lengths of one high / low period
+	Alternations int
+	Seed         int64
+}
+
+// LowActivityFraction returns ρ = T2/(T1+T2), the x-axis of Figure 6
+// (right).
+func (c TwoModeConfig) LowActivityFraction() float64 {
+	total := c.T1 + c.T2
+	if total == 0 {
+		return 0
+	}
+	return float64(c.T2) / float64(total)
+}
+
+// TwoMode generates a two-mode network.
+func TwoMode(cfg TwoModeConfig) (*linkstream.Stream, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("synth: two-mode needs >= 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.Alternations < 1 {
+		return nil, fmt.Errorf("synth: need >= 1 alternation, got %d", cfg.Alternations)
+	}
+	if cfg.T1 < 0 || cfg.T2 < 0 || cfg.T1+cfg.T2 == 0 {
+		return nil, fmt.Errorf("synth: bad period lengths T1=%d T2=%d", cfg.T1, cfg.T2)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := linkstream.New()
+	s.EnsureNodes(cfg.Nodes)
+	fill := func(start, length int64, perPair int) error {
+		if length == 0 || perPair == 0 {
+			return nil
+		}
+		for u := 0; u < cfg.Nodes; u++ {
+			for v := u + 1; v < cfg.Nodes; v++ {
+				for k := 0; k < perPair; k++ {
+					if err := s.AddID(int32(u), int32(v), start+rng.Int63n(length)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	offset := int64(0)
+	for a := 0; a < cfg.Alternations; a++ {
+		if err := fill(offset, cfg.T1, cfg.N1); err != nil {
+			return nil, err
+		}
+		offset += cfg.T1
+		if err := fill(offset, cfg.T2, cfg.N2); err != nil {
+			return nil, err
+		}
+		offset += cfg.T2
+	}
+	s.Sort()
+	return s, nil
+}

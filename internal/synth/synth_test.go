@@ -1,0 +1,282 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linkstream"
+)
+
+func TestTimeUniformBasics(t *testing.T) {
+	cfg := TimeUniformConfig{Nodes: 10, LinksPerPair: 4, T: 1000, Seed: 1}
+	s, err := TimeUniform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEvents := 45 * 4 // C(10,2) pairs * 4
+	if s.NumEvents() != wantEvents {
+		t.Fatalf("events = %d, want %d", s.NumEvents(), wantEvents)
+	}
+	if s.NumNodes() != 10 {
+		t.Fatalf("nodes = %d, want 10", s.NumNodes())
+	}
+	t0, t1, _ := s.Span()
+	if t0 < 0 || t1 >= 1000 {
+		t.Fatalf("span [%d,%d] outside [0,1000)", t0, t1)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeUniformDeterministic(t *testing.T) {
+	cfg := TimeUniformConfig{Nodes: 6, LinksPerPair: 3, T: 500, Seed: 42}
+	a, err := TimeUniform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TimeUniform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Events(), b.Events()
+	if len(ea) != len(eb) {
+		t.Fatal("different event counts for same seed")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	cfg.Seed = 43
+	c, err := TimeUniform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range ea {
+		if ea[i] != c.Events()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestTimeUniformErrors(t *testing.T) {
+	if _, err := TimeUniform(TimeUniformConfig{Nodes: 1, LinksPerPair: 1, T: 10}); err == nil {
+		t.Fatal("1 node should be rejected")
+	}
+	if _, err := TimeUniform(TimeUniformConfig{Nodes: 3, LinksPerPair: 1, T: 0}); err == nil {
+		t.Fatal("T = 0 should be rejected")
+	}
+	if _, err := TimeUniform(TimeUniformConfig{Nodes: 3, LinksPerPair: -1, T: 10}); err == nil {
+		t.Fatal("negative links should be rejected")
+	}
+}
+
+func TestMeanInterContact(t *testing.T) {
+	cfg := TimeUniformConfig{Nodes: 100, LinksPerPair: 10, T: 100_000}
+	// T/(N(n-1)) = 100000/(10*99) ~ 101.
+	want := 100000.0 / (10 * 99)
+	if got := cfg.MeanInterContact(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MeanInterContact = %v, want %v", got, want)
+	}
+	if (TimeUniformConfig{Nodes: 1}).MeanInterContact() != 0 {
+		t.Fatal("degenerate config should report 0")
+	}
+}
+
+func TestTwoModeStructure(t *testing.T) {
+	cfg := TwoModeConfig{Nodes: 6, N1: 4, N2: 1, T1: 100, T2: 100, Alternations: 3, Seed: 7}
+	s, err := TwoMode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := 15
+	want := 3 * pairs * (4 + 1)
+	if s.NumEvents() != want {
+		t.Fatalf("events = %d, want %d", s.NumEvents(), want)
+	}
+	// High periods ([0,100), [200,300), [400,500)) must hold 4/5 of the
+	// events exactly by construction.
+	high := 0
+	for _, e := range s.Events() {
+		phase := (e.T / 100) % 2
+		if e.T >= 600 {
+			t.Fatalf("event beyond total length: %+v", e)
+		}
+		if phase == 0 {
+			high++
+		}
+	}
+	if high != 3*pairs*4 {
+		t.Fatalf("high-period events = %d, want %d", high, 3*pairs*4)
+	}
+}
+
+func TestTwoModeEdgeFractions(t *testing.T) {
+	if f := (TwoModeConfig{T1: 100, T2: 0}).LowActivityFraction(); f != 0 {
+		t.Fatalf("rho = %v, want 0", f)
+	}
+	if f := (TwoModeConfig{T1: 0, T2: 100}).LowActivityFraction(); f != 1 {
+		t.Fatalf("rho = %v, want 1", f)
+	}
+	if f := (TwoModeConfig{T1: 50, T2: 150}).LowActivityFraction(); f != 0.75 {
+		t.Fatalf("rho = %v, want 0.75", f)
+	}
+	if f := (TwoModeConfig{}).LowActivityFraction(); f != 0 {
+		t.Fatalf("zero config rho = %v", f)
+	}
+}
+
+func TestTwoModePureModes(t *testing.T) {
+	// T2 = 0 degenerates to a time-uniform network of the high mode.
+	s, err := TwoMode(TwoModeConfig{Nodes: 4, N1: 2, N2: 5, T1: 100, T2: 0, Alternations: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumEvents() != 2*6*2 {
+		t.Fatalf("events = %d, want 24", s.NumEvents())
+	}
+	if _, err := TwoMode(TwoModeConfig{Nodes: 4, N1: 1, N2: 1, T1: 0, T2: 0, Alternations: 1}); err == nil {
+		t.Fatal("T1 = T2 = 0 should be rejected")
+	}
+	if _, err := TwoMode(TwoModeConfig{Nodes: 4, N1: 1, N2: 1, T1: 10, T2: 10, Alternations: 0}); err == nil {
+		t.Fatal("0 alternations should be rejected")
+	}
+}
+
+func TestMessageNetworkBasics(t *testing.T) {
+	cfg := MessageConfig{
+		Nodes: 30, Days: 14, MsgsPerPersonDay: 1.5, Seed: 11,
+		ActivityExponent: 0.8, Reciprocity: 0.3, PartnerAffinity: 0.7,
+	}
+	s, err := MessageNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(1.5 * 30 * 14)
+	if s.NumEvents() != want {
+		t.Fatalf("events = %d, want %d", s.NumEvents(), want)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	t0, t1, _ := s.Span()
+	if t0 < 0 || t1 >= int64(14)*linkstream.Day {
+		t.Fatalf("span [%d,%d] outside the 14-day window", t0, t1)
+	}
+	st := s.ComputeStats()
+	if st.EventsPerNodePerDay < 1.0 || st.EventsPerNodePerDay > 2.2 {
+		t.Fatalf("activity = %v, want about 1.5", st.EventsPerNodePerDay)
+	}
+}
+
+func TestMessageNetworkCircadianShape(t *testing.T) {
+	cfg := MessageConfig{Nodes: 40, Days: 30, MsgsPerPersonDay: 4, Seed: 5}
+	s, err := MessageNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	night, work := 0, 0
+	for _, e := range s.Events() {
+		h := (e.T % linkstream.Day) / 3600
+		switch {
+		case h >= 0 && h < 6:
+			night++
+		case h >= 8 && h < 18:
+			work++
+		}
+	}
+	if night*4 > work {
+		t.Fatalf("circadian profile too flat: night=%d work=%d", night, work)
+	}
+}
+
+func TestMessageNetworkErrors(t *testing.T) {
+	base := MessageConfig{Nodes: 10, Days: 5, MsgsPerPersonDay: 1}
+	bad := base
+	bad.Nodes = 1
+	if _, err := MessageNetwork(bad); err == nil {
+		t.Fatal("1 node should be rejected")
+	}
+	bad = base
+	bad.Days = 0
+	if _, err := MessageNetwork(bad); err == nil {
+		t.Fatal("0 days should be rejected")
+	}
+	bad = base
+	bad.MsgsPerPersonDay = 0
+	if _, err := MessageNetwork(bad); err == nil {
+		t.Fatal("0 activity should be rejected")
+	}
+	bad = base
+	bad.Circadian = []float64{1, 2, 3}
+	if _, err := MessageNetwork(bad); err == nil {
+		t.Fatal("short circadian profile should be rejected")
+	}
+	bad = base
+	bad.Weekly = make([]float64, 7) // all zero
+	if _, err := MessageNetwork(bad); err == nil {
+		t.Fatal("all-zero weekly profile should be rejected")
+	}
+	bad = base
+	bad.Circadian = append(make([]float64, 23), -1)
+	if _, err := MessageNetwork(bad); err == nil {
+		t.Fatal("negative weight should be rejected")
+	}
+}
+
+func TestCumSampler(t *testing.T) {
+	cs, err := newCumSampler([]float64{0, 1, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	rng := newTestRNG(9)
+	for i := 0; i < 4000; i++ {
+		counts[cs.sample(rng)]++
+	}
+	if counts[0] != 0 || counts[2] != 0 {
+		t.Fatalf("zero-weight indices sampled: %v", counts)
+	}
+	// index 3 should get about 3x index 1.
+	if counts[3] < 2*counts[1] {
+		t.Fatalf("weights not respected: %v", counts)
+	}
+	if _, err := newCumSampler([]float64{0, 0}); err == nil {
+		t.Fatal("all-zero weights should be rejected")
+	}
+	if _, err := newCumSampler([]float64{-1, 2}); err == nil {
+		t.Fatal("negative weight should be rejected")
+	}
+}
+
+// Property: generated streams always validate, are sorted, and respect
+// their configured bounds.
+func TestQuickGeneratorsValid(t *testing.T) {
+	f := func(seed int64, nRaw, lRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		l := int(lRaw % 5)
+		s, err := TimeUniform(TimeUniformConfig{Nodes: n, LinksPerPair: l, T: 200, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if s.Validate() != nil || !s.Sorted() {
+			return false
+		}
+		pairs := n * (n - 1) / 2
+		return s.NumEvents() == pairs*l
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newTestRNG returns a deterministic rand.Rand for sampler tests.
+func newTestRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

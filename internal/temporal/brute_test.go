@@ -1,0 +1,136 @@
+package temporal
+
+import (
+	"math"
+	"sort"
+)
+
+// This file contains an exhaustive reference implementation of the
+// temporal-path definitions, used to validate the backward DP engine on
+// small instances. It is deliberately simple and slow: O(L * n * M) per
+// (source, start) pair.
+
+// bruteReach computes, for source u departing at layer index si or
+// later, the earliest arrival key ea[v] (Unreachable if none) and the
+// minimum number of hops among temporal paths arriving exactly at ea[v].
+func bruteReach(n int, layers []Layer, directed bool, u int32, si int) (ea []int64, hopsAtEA []int32) {
+	const inf = math.MaxInt32
+	hopBy := make([]int32, n) // min hops to reach node using layers si..j
+	ea = make([]int64, n)
+	hopsAtEA = make([]int32, n)
+	for i := range hopBy {
+		hopBy[i] = inf
+		ea[i] = Unreachable
+	}
+	hopBy[u] = 0
+	old := make([]int32, n)
+	for j := si; j < len(layers); j++ {
+		copy(old, hopBy)
+		relax := func(a, b int32) {
+			if old[a] == inf {
+				return
+			}
+			if c := old[a] + 1; c < hopBy[b] {
+				hopBy[b] = c
+			}
+		}
+		for _, e := range layers[j].Edges {
+			relax(e.U, e.V)
+			if !directed {
+				relax(e.V, e.U)
+			}
+		}
+		for v := 0; v < n; v++ {
+			if ea[v] == Unreachable && hopBy[v] != inf && int32(v) != u {
+				ea[v] = layers[j].Key
+				hopsAtEA[v] = hopBy[v]
+			}
+		}
+	}
+	return ea, hopsAtEA
+}
+
+// bruteTrips enumerates all minimal trips by comparing earliest arrivals
+// across consecutive start layers: a trip departs at layer si iff the
+// earliest arrival strictly degrades when departing at layer si+1.
+func bruteTrips(n int, layers []Layer, directed bool) []Trip {
+	var out []Trip
+	L := len(layers)
+	for u := int32(0); int(u) < n; u++ {
+		// eaBy[si][v] for all start indices.
+		eaBy := make([][]int64, L+1)
+		hopBy := make([][]int32, L+1)
+		for si := 0; si <= L; si++ {
+			if si == L {
+				eaBy[si] = make([]int64, n)
+				for v := range eaBy[si] {
+					eaBy[si][v] = Unreachable
+				}
+				hopBy[si] = make([]int32, n)
+				continue
+			}
+			eaBy[si], hopBy[si] = bruteReach(n, layers, directed, u, si)
+		}
+		for v := int32(0); int(v) < n; v++ {
+			if v == u {
+				continue
+			}
+			for si := 0; si < L; si++ {
+				if eaBy[si][v] != Unreachable && eaBy[si][v] < eaBy[si+1][v] {
+					out = append(out, Trip{U: u, V: v, Dep: layers[si].Key, Arr: eaBy[si][v], Hops: hopBy[si][v]})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// bruteDistances reproduces Distances by direct summation over every
+// integer start time in [kMin, maxKey].
+func bruteDistances(n int, layers []Layer, directed bool, kMin, durPlus int64) DistanceStats {
+	if len(layers) == 0 {
+		return DistanceStats{}
+	}
+	maxKey := layers[len(layers)-1].Key
+	var sumT, sumH float64
+	var count int64
+	for u := int32(0); int(u) < n; u++ {
+		for k := kMin; k <= maxKey; k++ {
+			// start index: first layer with key >= k
+			si := sort.Search(len(layers), func(i int) bool { return layers[i].Key >= k })
+			if si == len(layers) {
+				continue
+			}
+			ea, hops := bruteReach(n, layers, directed, u, si)
+			for v := 0; v < n; v++ {
+				if int32(v) == u || ea[v] == Unreachable {
+					continue
+				}
+				sumT += float64(ea[v] - k + durPlus)
+				sumH += float64(hops[v])
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return DistanceStats{}
+	}
+	return DistanceStats{MeanTime: sumT / float64(count), MeanHops: sumH / float64(count), Count: count}
+}
+
+// sortTrips orders trips canonically for comparison.
+func sortTrips(ts []Trip) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		if a.V != b.V {
+			return a.V < b.V
+		}
+		if a.Dep != b.Dep {
+			return a.Dep < b.Dep
+		}
+		return a.Arr < b.Arr
+	})
+}

@@ -1,0 +1,109 @@
+package temporal
+
+// This file adds the forward, single-source counterpart of the backward
+// sweep: answering "departing from src at or after a given time, when
+// does each node receive the information?" — the query shape used by
+// spreading analyses once the aggregation scale has been chosen — plus
+// whole-graph reachability counting.
+
+// EarliestArrivals computes, for temporal paths departing from src at a
+// layer with key >= startKey, the earliest arrival key at every node
+// (Unreachable if none) together with the minimum number of hops among
+// paths arriving exactly at that key. arr[src] is Unreachable by
+// convention (a node does not travel to itself).
+func EarliestArrivals(cfg Config, layers []Layer, src int32, startKey int64) (arr []int64, hops []int32) {
+	arr = make([]int64, cfg.N)
+	hops = make([]int32, cfg.N)
+	for i := range arr {
+		arr[i] = Unreachable
+	}
+	if int(src) >= cfg.N || src < 0 {
+		return arr, hops
+	}
+	const infHops = int32(1 << 30)
+	// minHops[w] = fewest hops needed to reach w at any time so far;
+	// needed because a relay may be reachable later with fewer hops,
+	// and downstream hop counts must use "fewest hops by a deadline",
+	// not "fewest hops at the relay's own earliest arrival".
+	minHops := make([]int32, cfg.N)
+	for i := range minHops {
+		minHops[i] = infHops
+	}
+	// Per-layer candidate scratch with the same epoch trick as the
+	// backward engine, so paths cannot chain two hops inside one layer.
+	candHop := make([]int32, cfg.N)
+	mark := make([]int64, cfg.N)
+	touched := make([]int32, 0, 64)
+	epoch := int64(0)
+
+	for _, layer := range layers {
+		if layer.Key < startKey {
+			continue
+		}
+		key := layer.Key
+		epoch++
+		touched = touched[:0]
+		relax := func(from, to int32) {
+			if to == src {
+				return
+			}
+			var h int32
+			switch {
+			case from == src:
+				h = 1
+			case minHops[from] != infHops: // reached strictly before this layer
+				h = minHops[from] + 1
+			default:
+				return
+			}
+			if mark[to] != epoch {
+				mark[to] = epoch
+				candHop[to] = h
+				touched = append(touched, to)
+				return
+			}
+			if h < candHop[to] {
+				candHop[to] = h
+			}
+		}
+		for _, e := range layer.Edges {
+			relax(e.U, e.V)
+			if !cfg.Directed {
+				relax(e.V, e.U)
+			}
+		}
+		for _, x := range touched {
+			if arr[x] == Unreachable {
+				arr[x] = key
+				hops[x] = candHop[x]
+			}
+			if candHop[x] < minHops[x] {
+				minHops[x] = candHop[x]
+			}
+		}
+	}
+	return arr, hops
+}
+
+// CountReachablePairs returns the number of ordered pairs (u, v) with
+// u != v such that a temporal path from u to v exists anywhere in the
+// layered graph. It runs the backward sweep once per destination,
+// parallel over destinations.
+func CountReachablePairs(cfg Config, layers []Layer) int64 {
+	counts := make([]int64, cfg.N)
+	forEachDest(cfg, func(dest int32, st *destState) {
+		st.run(dest, layers, cfg.Directed, nil, nil, 0)
+		var c int64
+		for u := 0; u < cfg.N; u++ {
+			if int32(u) != dest && st.arr[u] != Unreachable {
+				c++
+			}
+		}
+		counts[dest] = c
+	})
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}

@@ -1,0 +1,145 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linkstream"
+)
+
+func TestEarliestArrivalsChain(t *testing.T) {
+	s := linkstream.New()
+	for _, e := range []struct {
+		u, v string
+		t    int64
+	}{{"a", "b", 1}, {"b", "c", 3}, {"c", "d", 7}, {"a", "d", 9}} {
+		if err := s.Add(e.u, e.v, e.t); err != nil {
+			t.Fatal(err)
+		}
+	}
+	layers := StreamLayers(s, false)
+	cfg := Config{N: s.NumNodes()}
+	a, _ := s.NodeID("a")
+	d, _ := s.NodeID("d")
+	c, _ := s.NodeID("c")
+
+	arr, hops := EarliestArrivals(cfg, layers, a, 0)
+	if arr[d] != 7 || hops[d] != 3 { // a-b-c-d beats the direct link at 9
+		t.Fatalf("arr[d]=%d hops=%d, want 7,3", arr[d], hops[d])
+	}
+	if arr[c] != 3 || hops[c] != 2 {
+		t.Fatalf("arr[c]=%d hops=%d, want 3,2", arr[c], hops[c])
+	}
+	if arr[a] != Unreachable {
+		t.Fatal("source should be marked unreachable from itself")
+	}
+
+	// Departing after t=1 the chain is broken; only the direct link at
+	// 9 remains.
+	arr2, hops2 := EarliestArrivals(cfg, layers, a, 2)
+	if arr2[d] != 9 || hops2[d] != 1 {
+		t.Fatalf("late departure: arr[d]=%d hops=%d, want 9,1", arr2[d], hops2[d])
+	}
+	if arr2[c] != Unreachable {
+		t.Fatalf("c should be unreachable departing at 2: %d", arr2[c])
+	}
+}
+
+func TestEarliestArrivalsHopsByDeadline(t *testing.T) {
+	// Relay m is reachable at t=1 via 2 hops and at t=3 via 1 hop; the
+	// edge (m, z) fires at t=5, so the min-hop path to z is 2, not 3.
+	s := linkstream.New()
+	for _, e := range []struct {
+		u, v string
+		t    int64
+	}{{"s", "x", 1}, {"x", "m", 2}, {"s", "m", 3}, {"m", "z", 5}} {
+		if err := s.Add(e.u, e.v, e.t); err != nil {
+			t.Fatal(err)
+		}
+	}
+	layers := StreamLayers(s, false)
+	cfg := Config{N: s.NumNodes()}
+	src, _ := s.NodeID("s")
+	z, _ := s.NodeID("z")
+	m, _ := s.NodeID("m")
+	arr, hops := EarliestArrivals(cfg, layers, src, 0)
+	if arr[m] != 2 || hops[m] != 2 {
+		t.Fatalf("arr[m]=%d hops=%d, want 2,2", arr[m], hops[m])
+	}
+	if arr[z] != 5 || hops[z] != 2 { // s-m at 3, m-z at 5
+		t.Fatalf("arr[z]=%d hops=%d, want 5,2", arr[z], hops[z])
+	}
+}
+
+func TestEarliestArrivalsBadSource(t *testing.T) {
+	arr, _ := EarliestArrivals(Config{N: 3}, nil, 99, 0)
+	for _, a := range arr {
+		if a != Unreachable {
+			t.Fatal("out-of-range source should reach nothing")
+		}
+	}
+}
+
+// Property: the forward sweep agrees with the exhaustive reference for
+// every start layer, directed and undirected.
+func TestQuickForwardMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, dir bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 2
+		layers := randomLayers(rng, n, 6, 5)
+		cfg := Config{N: n, Directed: dir}
+		for src := int32(0); int(src) < n; src++ {
+			for si := 0; si <= len(layers); si++ {
+				var startKey int64
+				if si < len(layers) {
+					startKey = layers[si].Key
+				} else if len(layers) > 0 {
+					startKey = layers[len(layers)-1].Key + 1
+				}
+				arr, hops := EarliestArrivals(cfg, layers, src, startKey)
+				wantArr, wantHops := bruteReach(n, layers, dir, src, si)
+				for v := 0; v < n; v++ {
+					if int32(v) == src {
+						continue
+					}
+					if arr[v] != wantArr[v] {
+						return false
+					}
+					if arr[v] != Unreachable && hops[v] != wantHops[v] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: forward and backward sweeps agree on reachability, and
+// CountReachablePairs matches a forward enumeration.
+func TestQuickReachabilityConsistent(t *testing.T) {
+	f := func(seed int64, dir bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 2
+		layers := randomLayers(rng, n, 8, 6)
+		cfg := Config{N: n, Directed: dir, Workers: 2}
+		got := CountReachablePairs(cfg, layers)
+		var want int64
+		for src := int32(0); int(src) < n; src++ {
+			arr, _ := EarliestArrivals(cfg, layers, src, -1<<62)
+			for v := 0; v < n; v++ {
+				if int32(v) != src && arr[v] != Unreachable {
+					want++
+				}
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

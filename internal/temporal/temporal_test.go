@@ -1,0 +1,401 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linkstream"
+	"repro/internal/series"
+	"repro/internal/snapshot"
+)
+
+// figure1Series aggregates the paper's Figure 1 stream at ∆ = 4 into
+// three windows (indices 0, 1, 2).
+func figure1Series(t *testing.T) (*linkstream.Stream, *series.Series) {
+	t.Helper()
+	s := linkstream.New()
+	adds := []struct {
+		u, v string
+		t    int64
+	}{
+		{"a", "b", 2}, {"e", "d", 1}, {"d", "c", 4},
+		{"c", "b", 5}, {"e", "a", 6}, {"a", "b", 8},
+		{"d", "e", 9}, {"c", "b", 10}, {"b", "a", 11},
+	}
+	for _, a := range adds {
+		if err := s.Add(a.u, a.v, a.t); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := series.Aggregate(s, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, g
+}
+
+func nodeID(t *testing.T, s *linkstream.Stream, name string) int32 {
+	t.Helper()
+	id, ok := s.NodeID(name)
+	if !ok {
+		t.Fatalf("node %q not interned", name)
+	}
+	return id
+}
+
+func findTrip(trips []Trip, u, v int32, dep, arr int64) *Trip {
+	for i := range trips {
+		t := &trips[i]
+		if t.U == u && t.V == v && t.Dep == dep && t.Arr == arr {
+			return t
+		}
+	}
+	return nil
+}
+
+func TestFigure1SeriesTrips(t *testing.T) {
+	s, g := figure1Series(t)
+	cfg := Config{N: g.N, Workers: 1}
+	trips := CollectTrips(cfg, SeriesLayers(g))
+
+	c, a, b := nodeID(t, s, "c"), nodeID(t, s, "a"), nodeID(t, s, "b")
+	e := nodeID(t, s, "e")
+
+	// c -> b at window 1 then b -> a at window 2: minimal trip (c,a,1,2)
+	// with 2 hops, occupancy 2/2 = 1.
+	tr := findTrip(trips, c, a, 1, 2)
+	if tr == nil {
+		t.Fatalf("missing minimal trip c->a over windows [1,2]; trips: %v", trips)
+	}
+	if tr.Hops != 2 {
+		t.Fatalf("trip c->a hops = %d, want 2", tr.Hops)
+	}
+	if occ := tr.Occupancy(); occ != 1 {
+		t.Fatalf("trip c->a occupancy = %v, want 1", occ)
+	}
+
+	// The paper's dark-blue path: e reaches b (e-a in window 1, a-b in
+	// window 2).
+	if tr := findTrip(trips, e, b, 1, 2); tr == nil {
+		t.Fatalf("missing minimal trip e->b over windows [1,2]")
+	}
+
+	// Direct link trips have occupancy 1 and a single hop, e.g. a-b in
+	// window 0 departing at window 0.
+	if tr := findTrip(trips, a, b, 0, 0); tr == nil || tr.Hops != 1 {
+		t.Fatalf("missing 1-hop trip a->b at window 0: %+v", tr)
+	}
+}
+
+func TestSameWindowRestriction(t *testing.T) {
+	// Two links that only ever occur inside one window: no temporal path
+	// in the series (Remark 1), although the stream has one.
+	s := linkstream.New()
+	if err := s.Add("d", "x", 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("x", "b", 10); err != nil {
+		t.Fatal(err)
+	}
+	g, err := series.Aggregate(s, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{N: g.N, Workers: 1}
+	trips := CollectTrips(cfg, SeriesLayers(g))
+	d, b := nodeID(t, s, "d"), nodeID(t, s, "b")
+	for _, tr := range trips {
+		if tr.U == d && tr.V == b {
+			t.Fatalf("series should not contain d->b trip, got %+v", tr)
+		}
+	}
+	// The raw stream does have the transition.
+	streamTrips := CollectTrips(cfg, StreamLayers(s, false))
+	if tr := findTrip(streamTrips, d, b, 9, 10); tr == nil || tr.Hops != 2 {
+		t.Fatalf("stream should contain d->b transition: %+v", tr)
+	}
+}
+
+func TestDirectedRespectsOrientation(t *testing.T) {
+	s := linkstream.New()
+	if err := s.Add("a", "b", 1); err != nil { // a -> b
+		t.Fatal(err)
+	}
+	if err := s.Add("b", "c", 2); err != nil { // b -> c
+		t.Fatal(err)
+	}
+	layers := StreamLayers(s, true)
+	cfg := Config{N: s.NumNodes(), Directed: true, Workers: 1}
+	trips := CollectTrips(cfg, layers)
+	aID, cID := nodeID(t, s, "a"), nodeID(t, s, "c")
+	if tr := findTrip(trips, aID, cID, 1, 2); tr == nil {
+		t.Fatal("directed a->c trip missing")
+	}
+	if tr := findTrip(trips, cID, aID, 1, 2); tr != nil {
+		t.Fatalf("c->a should be unreachable in directed stream: %+v", tr)
+	}
+	// In the undirected reading the edge a->b is usable from b, so the
+	// 1-hop trip b->a exists; in the directed reading it does not.
+	bID := nodeID(t, s, "b")
+	und := CollectTrips(Config{N: s.NumNodes(), Workers: 1}, StreamLayers(s, false))
+	if tr := findTrip(und, bID, aID, 1, 1); tr == nil {
+		t.Fatal("undirected b->a trip missing")
+	}
+	if tr := findTrip(trips, bID, aID, 1, 1); tr != nil {
+		t.Fatalf("directed stream should not allow b->a: %+v", tr)
+	}
+}
+
+func TestOccupancyBounds(t *testing.T) {
+	_, g := figure1Series(t)
+	occ := Occupancies(Config{N: g.N, Workers: 1}, SeriesLayers(g))
+	if len(occ) == 0 {
+		t.Fatal("no occupancies")
+	}
+	for _, o := range occ {
+		if o <= 0 || o > 1 {
+			t.Fatalf("occupancy %v outside (0,1]", o)
+		}
+	}
+}
+
+func TestFullyAggregatedOccupancyIsOne(t *testing.T) {
+	// With a single window every minimal trip is a single link with
+	// occupancy exactly 1 (the paper's ∆ = T limit).
+	s, _ := figure1Series(t)
+	g, err := series.Aggregate(s, 1_000_000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := Occupancies(Config{N: g.N, Workers: 1}, SeriesLayers(g))
+	if len(occ) == 0 {
+		t.Fatal("no occupancies")
+	}
+	for _, o := range occ {
+		if o != 1 {
+			t.Fatalf("occupancy %v, want 1 in totally aggregated series", o)
+		}
+	}
+}
+
+func TestEmptyAndTrivialInputs(t *testing.T) {
+	if trips := CollectTrips(Config{N: 0}, nil); len(trips) != 0 {
+		t.Fatalf("no-node graph has trips: %v", trips)
+	}
+	if trips := CollectTrips(Config{N: 3}, nil); len(trips) != 0 {
+		t.Fatalf("no-layer graph has trips: %v", trips)
+	}
+	d := Distances(Config{N: 3}, nil, 0, 1)
+	if d.Count != 0 {
+		t.Fatalf("no-layer distances = %+v", d)
+	}
+}
+
+func TestStreamLayersDedup(t *testing.T) {
+	s := linkstream.New()
+	for i := 0; i < 3; i++ {
+		if err := s.Add("a", "b", 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Add("b", "a", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("a", "b", 9); err != nil {
+		t.Fatal(err)
+	}
+	layers := StreamLayers(s, false)
+	if len(layers) != 2 {
+		t.Fatalf("layers = %d, want 2", len(layers))
+	}
+	if layers[0].Key != 7 || len(layers[0].Edges) != 1 {
+		t.Fatalf("layer 0 = %+v, want single edge at t=7", layers[0])
+	}
+	dirLayers := StreamLayers(s, true)
+	if len(dirLayers[0].Edges) != 2 {
+		t.Fatalf("directed layer 0 has %d edges, want 2", len(dirLayers[0].Edges))
+	}
+}
+
+func TestSeriesLayersKeys(t *testing.T) {
+	_, g := figure1Series(t)
+	layers := SeriesLayers(g)
+	if len(layers) != 3 {
+		t.Fatalf("layers = %d, want 3", len(layers))
+	}
+	for i, l := range layers {
+		if l.Key != int64(i) {
+			t.Fatalf("layer %d key = %d", i, l.Key)
+		}
+	}
+}
+
+func TestShortestTransitions(t *testing.T) {
+	s, _ := figure1Series(t)
+	cfg := Config{N: s.NumNodes(), Workers: 1}
+	trans := ShortestTransitions(cfg, StreamLayers(s, false))
+	if len(trans) == 0 {
+		t.Fatal("figure 1 stream should have shortest transitions")
+	}
+	for _, tr := range trans {
+		if tr.Hops != 2 {
+			t.Fatalf("transition with hops %d: %+v", tr.Hops, tr)
+		}
+		if tr.Dep >= tr.Arr {
+			t.Fatalf("transition with non-increasing times: %+v", tr)
+		}
+	}
+	// c -> b at 5, b -> a at 8 gives the shortest transition (c,a,5,8)?
+	// No: (c,b,10),(b,a,11) is strictly inside no... (c,a,10,11) is a
+	// 2-hop minimal trip.
+	c, a := nodeID(t, s, "c"), nodeID(t, s, "a")
+	if tr := findTrip(trans, c, a, 10, 11); tr == nil {
+		t.Fatalf("missing shortest transition (c,a,10,11): %v", trans)
+	}
+}
+
+// randomLayers builds a random small layered graph for property tests.
+func randomLayers(rng *rand.Rand, n, maxLayers, maxEdges int) []Layer {
+	L := rng.Intn(maxLayers) + 1
+	var layers []Layer
+	key := int64(0)
+	for i := 0; i < L; i++ {
+		key += int64(rng.Intn(3) + 1)
+		m := rng.Intn(maxEdges + 1)
+		var edges []snapshot.Edge
+		seen := map[snapshot.Edge]bool{}
+		for j := 0; j < m; j++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			e := snapshot.Edge{U: u, V: v}.Canon()
+			if !seen[e] {
+				seen[e] = true
+				edges = append(edges, e)
+			}
+		}
+		if len(edges) == 0 {
+			continue
+		}
+		layers = append(layers, Layer{Key: key, Edges: edges})
+	}
+	return layers
+}
+
+// Property: the engine's minimal trips match the exhaustive reference on
+// random instances, both undirected and directed.
+func TestQuickTripsMatchBruteForce(t *testing.T) {
+	f := func(seed int64, dirRaw bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 2
+		layers := randomLayers(rng, n, 6, 5)
+		cfg := Config{N: n, Directed: dirRaw, Workers: 1}
+		got := CollectTrips(cfg, layers)
+		want := bruteTrips(n, layers, dirRaw)
+		sortTrips(got)
+		sortTrips(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parallel and sequential sweeps agree.
+func TestQuickParallelMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 2
+		layers := randomLayers(rng, n, 8, 6)
+		seq := CollectTrips(Config{N: n, Workers: 1}, layers)
+		par := CollectTrips(Config{N: n, Workers: 4}, layers)
+		sortTrips(seq)
+		sortTrips(par)
+		if len(seq) != len(par) {
+			return false
+		}
+		for i := range seq {
+			if seq[i] != par[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Distances matches direct summation over all start times.
+func TestQuickDistancesMatchBruteForce(t *testing.T) {
+	f := func(seed int64, dirRaw bool, plusRaw bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(5) + 2
+		layers := randomLayers(rng, n, 5, 4)
+		durPlus := int64(0)
+		if plusRaw {
+			durPlus = 1
+		}
+		cfg := Config{N: n, Directed: dirRaw, Workers: 1}
+		got := Distances(cfg, layers, 0, durPlus)
+		want := bruteDistances(n, layers, dirRaw, 0, durPlus)
+		if got.Count != want.Count {
+			return false
+		}
+		const eps = 1e-9
+		return abs(got.MeanTime-want.MeanTime) < eps && abs(got.MeanHops-want.MeanHops) < eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: minimal trips are non-nested per ordered pair — both
+// departures and arrivals are strictly increasing when sorted.
+func TestQuickTripsNonNested(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 2
+		layers := randomLayers(rng, n, 10, 6)
+		trips := CollectTrips(Config{N: n, Workers: 1}, layers)
+		sortTrips(trips)
+		for i := 1; i < len(trips); i++ {
+			a, b := trips[i-1], trips[i]
+			if a.U == b.U && a.V == b.V {
+				if !(a.Dep < b.Dep && a.Arr < b.Arr) {
+					return false
+				}
+			}
+		}
+		for _, tr := range trips {
+			if tr.Hops < 1 || tr.Dep > tr.Arr {
+				return false
+			}
+			if o := tr.Occupancy(); o <= 0 || o > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

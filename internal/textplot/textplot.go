@@ -1,0 +1,208 @@
+// Package textplot renders simple ASCII line plots and aligned tables so
+// that every figure of the reproduction can be inspected in a terminal
+// and archived as plain text in EXPERIMENTS.md.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// XY is one data point.
+type XY struct {
+	X, Y float64
+}
+
+// Series is a named sequence of points drawn with a single marker rune.
+type Series struct {
+	Name   string
+	Marker rune
+	Points []XY
+}
+
+// PlotConfig controls the canvas.
+type PlotConfig struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int  // canvas columns (default 72)
+	Height int  // canvas rows (default 20)
+	LogX   bool // logarithmic x axis (requires x > 0)
+	LogY   bool // logarithmic y axis (requires y > 0)
+}
+
+func (c PlotConfig) dims() (int, int) {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	return w, h
+}
+
+// Plot renders the series onto one canvas. Points with non-finite (or,
+// on log axes, non-positive) coordinates are skipped.
+func Plot(cfg PlotConfig, series ...Series) string {
+	w, h := cfg.dims()
+	tx := func(x float64) float64 { return x }
+	ty := func(y float64) float64 { return y }
+	if cfg.LogX {
+		tx = math.Log10
+	}
+	if cfg.LogY {
+		ty = math.Log10
+	}
+	usable := func(p XY) bool {
+		if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+			return false
+		}
+		if cfg.LogX && p.X <= 0 {
+			return false
+		}
+		if cfg.LogY && p.Y <= 0 {
+			return false
+		}
+		return true
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !usable(p) {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, tx(p.X)), math.Max(maxX, tx(p.X))
+			minY, maxY = math.Min(minY, ty(p.Y)), math.Max(maxY, ty(p.Y))
+		}
+	}
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	if !any {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	canvas := make([][]rune, h)
+	for i := range canvas {
+		canvas[i] = make([]rune, w)
+		for j := range canvas[i] {
+			canvas[i][j] = ' '
+		}
+	}
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		for _, p := range s.Points {
+			if !usable(p) {
+				continue
+			}
+			cx := int(math.Round((tx(p.X) - minX) / (maxX - minX) * float64(w-1)))
+			cy := int(math.Round((ty(p.Y) - minY) / (maxY - minY) * float64(h-1)))
+			row := h - 1 - cy
+			if row >= 0 && row < h && cx >= 0 && cx < w {
+				canvas[row][cx] = marker
+			}
+		}
+	}
+
+	yTop, yBot := invAxis(maxY, cfg.LogY), invAxis(minY, cfg.LogY)
+	for i, row := range canvas {
+		label := "          "
+		if i == 0 {
+			label = fmt.Sprintf("%10.3g", yTop)
+		} else if i == h-1 {
+			label = fmt.Sprintf("%10.3g", yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	xLeft, xRight := invAxis(minX, cfg.LogX), invAxis(maxX, cfg.LogX)
+	fmt.Fprintf(&b, "%10s  %-12.6g%s%12.6g\n", "",
+		xLeft, strings.Repeat(" ", maxInt(0, w-24)), xRight)
+	if cfg.XLabel != "" || cfg.YLabel != "" {
+		fmt.Fprintf(&b, "%10s  x: %s   y: %s\n", "", cfg.XLabel, cfg.YLabel)
+	}
+	legend := make([]string, 0, len(series))
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", marker, s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%10s  %s\n", "", strings.Join(legend, "    "))
+	}
+	return b.String()
+}
+
+func invAxis(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Table renders rows with left-aligned, width-padded columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[minInt(i, len(widths)-1)], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

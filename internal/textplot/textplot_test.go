@@ -1,0 +1,101 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasics(t *testing.T) {
+	s := Series{Name: "line", Marker: 'o', Points: []XY{{0, 0}, {1, 1}, {2, 4}}}
+	out := Plot(PlotConfig{Title: "demo", XLabel: "x", YLabel: "y"}, s)
+	if !strings.Contains(out, "demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "o line") {
+		t.Fatal("missing legend")
+	}
+	if !strings.Contains(out, "o") {
+		t.Fatal("missing markers")
+	}
+	if !strings.Contains(out, "x: x") {
+		t.Fatal("missing axis labels")
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	out := Plot(PlotConfig{Title: "empty"})
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty plot output: %q", out)
+	}
+}
+
+func TestPlotSkipsBadPoints(t *testing.T) {
+	s := Series{Points: []XY{{1, 1}, {math.NaN(), 2}, {2, math.Inf(1)}, {3, 3}}}
+	out := Plot(PlotConfig{}, s)
+	if strings.Contains(out, "(no data)") {
+		t.Fatal("valid points should render")
+	}
+}
+
+func TestPlotLogAxes(t *testing.T) {
+	s := Series{Name: "pow", Points: []XY{{1, 10}, {10, 100}, {100, 1000}, {-5, 2}, {0, 7}}}
+	out := Plot(PlotConfig{LogX: true, LogY: true}, s)
+	if strings.Contains(out, "(no data)") {
+		t.Fatal("log plot should render positive points")
+	}
+	// Log-log of a power law is a straight line: the three markers
+	// should appear on distinct rows (monotone).
+	lines := strings.Split(out, "\n")
+	var cols []int
+	for _, l := range lines {
+		if !strings.Contains(l, "|") {
+			continue // skip legend and axis lines
+		}
+		if i := strings.IndexRune(l, '*'); i >= 0 {
+			cols = append(cols, i)
+		}
+	}
+	if len(cols) < 3 {
+		t.Fatalf("expected 3 marker rows, got %d in:\n%s", len(cols), out)
+	}
+	for i := 1; i < len(cols); i++ {
+		if cols[i] >= cols[i-1] {
+			t.Fatalf("markers not monotone (cols %v) in:\n%s", cols, out)
+		}
+	}
+}
+
+func TestPlotSingularRanges(t *testing.T) {
+	// All points identical: ranges are degenerate but must not panic.
+	s := Series{Points: []XY{{5, 5}, {5, 5}}}
+	out := Plot(PlotConfig{Width: 10, Height: 4}, s)
+	if strings.Contains(out, "(no data)") {
+		t.Fatal("degenerate plot should still render")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"betagamma", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header row: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("separator row: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "betagamma") {
+		t.Fatalf("data row: %q", lines[3])
+	}
+	// Columns aligned: "value" column starts at the same offset in all rows.
+	off := strings.Index(lines[0], "value")
+	if got := strings.Index(lines[3], "22"); got != off {
+		t.Fatalf("column misaligned: %d vs %d\n%s", got, off, out)
+	}
+}

@@ -1,0 +1,186 @@
+// Package repro is a Go implementation of the occupancy method from
+// "Non-Altering Time Scales for Aggregation of Dynamic Networks into
+// Series of Graphs" (Léo, Crespelle, Fleury — CoNEXT 2015).
+//
+// A dynamic network given as a link stream — triplets (u, v, t) — is
+// usually studied after aggregation into a series of graphs over
+// disjoint windows of length ∆. This package determines the saturation
+// scale γ of a stream: the largest ∆ for which the aggregated series
+// still faithfully describes the propagation properties (temporal
+// paths) of the original stream. Aggregating beyond γ alters them.
+//
+// Quick start:
+//
+//	s := repro.NewStream()
+//	s.Add("alice", "bob", 1630000000)
+//	// ... add events ...
+//	res, err := repro.SaturationScale(s, repro.Options{})
+//	fmt.Println("gamma:", res.Gamma, "seconds")
+//
+// The subpackages under internal/ expose the full machinery: aggregation
+// (internal/series), the temporal-path engine (internal/temporal), the
+// uniformity metrics (internal/dist), synthetic workloads
+// (internal/synth) and the figure harness (internal/figures). This root
+// package re-exports the surface most applications need.
+package repro
+
+import (
+	"repro/internal/adaptive"
+	"repro/internal/classic"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/linkstream"
+	"repro/internal/series"
+	"repro/internal/temporal"
+	"repro/internal/validate"
+)
+
+// Stream is a link stream: a finite collection of (u, v, t) events over
+// an interned node set. See NewStream.
+type Stream = linkstream.Stream
+
+// Event is a single link occurrence.
+type Event = linkstream.Event
+
+// Options configures the occupancy method (see core.Options).
+type Options = core.Options
+
+// Result is the outcome of the occupancy method: the saturation scale
+// Gamma and the full score curve.
+type Result = core.Result
+
+// SweepPoint is one scored aggregation period of a sweep.
+type SweepPoint = core.SweepPoint
+
+// Sample is an empirical occupancy-rate distribution on [0,1].
+type Sample = dist.Sample
+
+// Selector scores how uniformly a distribution spreads over [0,1].
+type Selector = dist.Selector
+
+// Series is a link stream aggregated into a series of graphs.
+type Series = series.Series
+
+// Trip is a minimal trip (u, v, departure, arrival, hops).
+type Trip = temporal.Trip
+
+// NewStream returns an empty link stream.
+func NewStream() *Stream { return linkstream.New() }
+
+// SaturationScale runs the occupancy method on the stream and returns
+// its saturation scale γ together with the score curve.
+func SaturationScale(s *Stream, opt Options) (Result, error) {
+	return core.SaturationScale(s, opt)
+}
+
+// OccupancyDistribution aggregates the stream at period delta and
+// returns the distribution of occupancy rates of the minimal trips of
+// the aggregated series.
+func OccupancyDistribution(s *Stream, delta int64, opt Options) (*Sample, error) {
+	return core.OccupancySample(s, delta, opt)
+}
+
+// Sweep scores every candidate period with the selectors in opt.
+func Sweep(s *Stream, grid []int64, opt Options) ([]SweepPoint, error) {
+	return core.Sweep(s, grid, opt)
+}
+
+// Aggregate builds the graph series G∆ from the stream (Definition 1 of
+// the paper).
+func Aggregate(s *Stream, delta int64, directed bool) (*Series, error) {
+	return series.Aggregate(s, delta, directed)
+}
+
+// MinimalTrips enumerates all minimal trips of the aggregated series.
+func MinimalTrips(g *Series) []Trip {
+	cfg := temporal.Config{N: g.N, Directed: g.Directed}
+	return temporal.CollectTrips(cfg, temporal.SeriesLayers(g))
+}
+
+// StreamMinimalTrips enumerates all minimal trips of the raw stream
+// (layer per distinct timestamp).
+func StreamMinimalTrips(s *Stream, directed bool) []Trip {
+	cfg := temporal.Config{N: s.NumNodes(), Directed: directed}
+	return temporal.CollectTrips(cfg, temporal.StreamLayers(s, directed))
+}
+
+// LogGrid returns a geometrically spaced candidate-period grid.
+func LogGrid(lo, hi int64, points int) []int64 { return core.LogGrid(lo, hi, points) }
+
+// LinearGrid returns an evenly spaced candidate-period grid.
+func LinearGrid(lo, hi int64, points int) []int64 { return core.LinearGrid(lo, hi, points) }
+
+// AllSelectors returns the five uniformity measures compared in the
+// paper's Section 7.
+func AllSelectors() []Selector { return dist.AllSelectors() }
+
+// ClassicPoint holds the classical graph-series properties (Figure 2)
+// at one aggregation period.
+type ClassicPoint = classic.Point
+
+// ClassicProperties computes density, connectedness and distance
+// properties of the aggregated series across the candidate grid.
+func ClassicProperties(s *Stream, grid []int64, directed bool, workers int) ([]ClassicPoint, error) {
+	return classic.Curve(s, grid, classic.Options{Directed: directed, Workers: workers})
+}
+
+// LossPoint is the proportion of shortest transitions lost at one
+// period (Section 8).
+type LossPoint = validate.LossPoint
+
+// TransitionLoss computes the proportion of the stream's shortest
+// transitions that collapse inside one aggregation window, per period.
+func TransitionLoss(s *Stream, grid []int64, directed bool, workers int) ([]LossPoint, error) {
+	return validate.TransitionLossCurve(s, grid, validate.Options{Directed: directed, Workers: workers})
+}
+
+// ElongationPoint is the mean elongation factor at one period
+// (Section 8, Definition 8).
+type ElongationPoint = validate.ElongationPoint
+
+// Elongation computes the mean elongation factor of the minimal trips
+// of the aggregated series versus the raw stream, per period.
+func Elongation(s *Stream, grid []int64, directed bool, workers int) ([]ElongationPoint, error) {
+	return validate.ElongationCurve(s, grid, validate.Options{Directed: directed, Workers: workers})
+}
+
+// AdaptiveConfig configures the activity-segmented analysis (the
+// extension proposed in the paper's conclusion).
+type AdaptiveConfig = adaptive.Config
+
+// AdaptiveAnalysis is the outcome of AnalyzeAdaptive.
+type AdaptiveAnalysis = adaptive.Analysis
+
+// AnalyzeAdaptive separates high- and low-activity periods of the
+// stream and determines a saturation scale for each part independently,
+// as the paper's conclusion proposes for strongly heterogeneous
+// streams.
+func AnalyzeAdaptive(s *Stream, cfg AdaptiveConfig) (*AdaptiveAnalysis, error) {
+	return adaptive.Analyze(s, cfg)
+}
+
+// EarliestArrivals answers the forward query on an aggregated series:
+// departing from src at window startWindow or later, the earliest
+// arrival window at every node (temporal.Unreachable if none) and the
+// minimum hops among paths realising it.
+func EarliestArrivals(g *Series, src int32, startWindow int64) (arr []int64, hops []int32) {
+	cfg := temporal.Config{N: g.N, Directed: g.Directed}
+	return temporal.EarliestArrivals(cfg, temporal.SeriesLayers(g), src, startWindow)
+}
+
+// StreamEarliestArrivals answers the forward query on the raw stream,
+// with raw timestamps.
+func StreamEarliestArrivals(s *Stream, src int32, startTime int64, directed bool) (arr []int64, hops []int32) {
+	cfg := temporal.Config{N: s.NumNodes(), Directed: directed}
+	return temporal.EarliestArrivals(cfg, temporal.StreamLayers(s, directed), src, startTime)
+}
+
+// ReachablePairs counts the ordered pairs (u, v) connected by at least
+// one temporal path in the aggregated series.
+func ReachablePairs(g *Series) int64 {
+	cfg := temporal.Config{N: g.N, Directed: g.Directed}
+	return temporal.CountReachablePairs(cfg, temporal.SeriesLayers(g))
+}
+
+// Unreachable is the earliest-arrival value of unreachable nodes.
+const Unreachable = temporal.Unreachable
