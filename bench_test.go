@@ -16,6 +16,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/dist"
 	"repro/internal/figures"
+	"repro/internal/linkstream"
 	"repro/internal/synth"
 	"repro/internal/temporal"
 )
@@ -338,6 +339,42 @@ func BenchmarkAdaptiveAnalysis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := adaptive.Analyze(s, adaptive.Config{GridPoints: 10}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCSRBuild measures the flat-arena aggregation pass alone:
+// bucketing the sorted canonical event buffer into one period's CSR
+// with sort-and-compact dedup.
+func BenchmarkCSRBuild(b *testing.B) {
+	s := irvineStream(b)
+	s.Sort()
+	events := linkstream.Canonical(s.Events())
+	t0 := events[0].T
+	var scratch temporal.CSRScratch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := temporal.BuildCSR(events, t0, 3600, &scratch)
+		if c.NumLayers() == 0 {
+			b.Fatal("no layers")
+		}
+	}
+}
+
+// BenchmarkEngineMinimalTripsPrebuilt measures the backward DP sweep on
+// a prebuilt CSR arena, isolating the sweep from layer conversion.
+func BenchmarkEngineMinimalTripsPrebuilt(b *testing.B) {
+	s := irvineStream(b)
+	g, err := Aggregate(s, 6*3600, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := SeriesCSR(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		occ := CSROccupancies(c, g.N, false)
+		if len(occ) == 0 {
+			b.Fatal("no trips")
 		}
 	}
 }

@@ -1,0 +1,174 @@
+// Command tsbench runs the repository's Benchmark* suite and writes the
+// results as JSON (ns/op, B/op, allocs/op per benchmark), so the
+// performance trajectory of the hot paths is tracked across PRs in
+// files like BENCH_1.json.
+//
+// Usage:
+//
+//	tsbench [-bench regex] [-benchtime 2s] [-o BENCH_1.json]
+//	tsbench -input bench.txt -o BENCH_1.json   # parse existing output
+//
+// Without -input it shells out to `go test -run ^$ -bench ... -benchmem`
+// in the module root, which therefore requires the go toolchain on
+// PATH.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the JSON document tsbench writes.
+type Report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tsbench", flag.ContinueOnError)
+	bench := fs.String("bench", ".", "benchmark name regex passed to go test -bench")
+	benchtime := fs.String("benchtime", "1s", "go test -benchtime value (e.g. 2s, 10x)")
+	pkg := fs.String("pkg", ".", "package to benchmark")
+	out := fs.String("o", "", "output JSON file (default: stdout)")
+	input := fs.String("input", "", "parse an existing `go test -bench` output file instead of running")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var raw io.Reader
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		raw = f
+	} else {
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
+			"-benchmem", "-benchtime", *benchtime, *pkg)
+		cmd.Stderr = os.Stderr
+		outBytes, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("go test -bench: %w", err)
+		}
+		raw = strings.NewReader(string(outBytes))
+	}
+
+	report, err := Parse(raw)
+	if err != nil {
+		return err
+	}
+	if len(report.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results found")
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %d benchmark results to %s\n", len(report.Benchmarks), *out)
+	return nil
+}
+
+// Parse extracts benchmark results from `go test -bench -benchmem`
+// output.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseLine(line)
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, res)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseLine parses one result line of the form
+//
+//	BenchmarkName-8  42  123456 ns/op  789 B/op  12 allocs/op
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so names stay comparable across
+	// machines.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			res.NsPerOp, err = strconv.ParseFloat(val, 64)
+		case "B/op":
+			res.BytesPerOp, err = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
+		default:
+			continue
+		}
+		if err != nil {
+			return Result{}, false
+		}
+	}
+	if res.NsPerOp == 0 {
+		return Result{}, false
+	}
+	return res, true
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEngineMinimalTrips 	      43	  51292655 ns/op	14786294 B/op	      52 allocs/op
+BenchmarkAblationSweepParallel-8 	       7	 299027043 ns/op	55968578 B/op	     336 allocs/op
+BenchmarkMKDistance 	 2503592	       916.1 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	10.494s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "repro" {
+		t.Fatalf("header = %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkEngineMinimalTrips" || b.Iterations != 43 ||
+		b.NsPerOp != 51292655 || b.BytesPerOp != 14786294 || b.AllocsPerOp != 52 {
+		t.Fatalf("first result = %+v", b)
+	}
+	// The -GOMAXPROCS suffix is stripped.
+	if rep.Benchmarks[1].Name != "BenchmarkAblationSweepParallel" {
+		t.Fatalf("second result name = %q", rep.Benchmarks[1].Name)
+	}
+	// Fractional ns/op parses.
+	if rep.Benchmarks[2].NsPerOp != 916.1 || rep.Benchmarks[2].AllocsPerOp != 0 {
+		t.Fatalf("third result = %+v", rep.Benchmarks[2])
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkFoo",
+		"BenchmarkFoo abc 12 ns/op",
+		"BenchmarkFoo 12 abc ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("parseLine accepted %q", line)
+		}
+	}
+}

@@ -18,10 +18,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dist"
 	"repro/internal/linkstream"
-	"repro/internal/series"
 	"repro/internal/temporal"
 )
 
@@ -156,22 +159,45 @@ type Result struct {
 
 // OccupancySample aggregates the stream at period delta and returns the
 // distribution of occupancy rates of the minimal trips of G∆ (the
-// curves of Figure 3 left and Figure 4).
+// curves of Figure 3 left and Figure 4). The window partition is built
+// directly into the engine's CSR arena, without materialising a Series.
 func OccupancySample(s *linkstream.Stream, delta int64, opt Options) (*dist.Sample, error) {
 	if s.NumEvents() == 0 {
 		return nil, ErrNoEvents
 	}
-	g, err := series.Aggregate(s, delta, opt.Directed)
-	if err != nil {
-		return nil, err
+	if delta <= 0 {
+		return nil, fmt.Errorf("core: non-positive aggregation period %d", delta)
 	}
-	cfg := temporal.Config{N: g.N, Directed: opt.Directed, Workers: opt.Workers}
-	occ := temporal.Occupancies(cfg, temporal.SeriesLayers(g))
-	return dist.NewSample(occ)
+	events := sortedEvents(s, opt.Directed)
+	var scratch temporal.CSRScratch
+	c := temporal.BuildCSR(events, events[0].T, delta, &scratch)
+	cfg := temporal.Config{N: s.NumNodes(), Directed: opt.Directed, Workers: opt.Workers}
+	return dist.NewSample(temporal.OccupanciesCSR(cfg, c))
+}
+
+// sortedEvents sorts the stream and returns its event buffer, a
+// canonicalised copy of it for undirected analyses. Sorting and
+// canonicalising happen once per sweep, not once per candidate period.
+func sortedEvents(s *linkstream.Stream, directed bool) []linkstream.Event {
+	s.Sort()
+	events := s.Events()
+	if !directed {
+		events = linkstream.Canonical(events)
+	}
+	return events
 }
 
 // Sweep scores every candidate period in grid with every selector in
 // opt.Selectors. Points are returned in grid order.
+//
+// This is a single-pass pipeline over the stream: the event buffer is
+// sorted and canonicalised once, every period's window partition is an
+// O(M) bucketing pass over that same buffer (reused build scratch, CSR
+// arenas), and the (period, destination) sweep work items are then
+// scheduled on one shared worker pool with per-worker engine state, so
+// grid-level and destination-level parallelism compose without per-∆
+// allocation spikes. A scoring pass over the periods (sample sort plus
+// selector integrals, itself parallel over periods) follows.
 func Sweep(s *linkstream.Stream, grid []int64, opt Options) ([]SweepPoint, error) {
 	if s.NumEvents() == 0 {
 		return nil, ErrNoEvents
@@ -187,32 +213,148 @@ func Sweep(s *linkstream.Stream, grid []int64, opt Options) ([]SweepPoint, error
 			}
 		}
 	}
-	points := make([]SweepPoint, 0, len(grid))
 	for _, delta := range grid {
-		p := SweepPoint{Delta: delta, Scores: make([]float64, len(sels))}
-		if opt.HistogramBins > 0 {
-			g, err := series.Aggregate(s, delta, opt.Directed)
-			if err != nil {
-				return nil, err
-			}
-			cfg := temporal.Config{N: g.N, Directed: opt.Directed, Workers: opt.Workers}
-			h := dist.NewHistogram(opt.HistogramBins)
-			h.AddAll(temporal.Occupancies(cfg, temporal.SeriesLayers(g)))
-			p.Trips = int(h.N())
-			for i := range sels {
-				p.Scores[i] = h.MKProximity()
+		if delta <= 0 {
+			return nil, fmt.Errorf("core: non-positive aggregation period %d", delta)
+		}
+	}
+
+	events := sortedEvents(s, opt.Directed)
+	t0 := events[0].T
+	n := s.NumNodes()
+
+	// Aggregation pass: one CSR arena per period from the shared event
+	// buffer, with one reused sort-and-compact scratch.
+	csrs := make([]*temporal.CSR, len(grid))
+	var scratch temporal.CSRScratch
+	for i, delta := range grid {
+		csrs[i] = temporal.BuildCSR(events, t0, delta, &scratch)
+	}
+
+	// Sweep pass: (period, destination-block) work items, period-major
+	// so a worker drains its occupancy sink only on period boundaries.
+	type deltaAcc struct {
+		mu     sync.Mutex
+		chunks [][]float64
+		total  int
+	}
+	accs := make([]deltaAcc, len(grid))
+	// In histogram mode chunks are streamed into the per-period
+	// histogram as workers flush and recycled immediately, so the
+	// sweep never holds a period's full occupancy population — that
+	// bounded footprint is the point of the histogram backend.
+	var hists []*dist.Histogram
+	if opt.HistogramBins > 0 {
+		hists = make([]*dist.Histogram, len(grid))
+		for i := range hists {
+			hists[i] = dist.NewHistogram(opt.HistogramBins)
+		}
+	}
+	blocks := temporal.DestBlocks(n)
+	items := len(grid) * blocks
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > items {
+		workers = items
+	}
+	flush := func(w *temporal.Worker, di int) {
+		chunks, total := w.TakeOccupancies()
+		if total == 0 {
+			return
+		}
+		a := &accs[di]
+		a.mu.Lock()
+		if hists != nil {
+			for _, ch := range chunks {
+				hists[di].AddAll(ch)
 			}
 		} else {
-			sample, err := OccupancySample(s, delta, opt)
-			if err != nil {
-				return nil, err
-			}
-			p.Trips = sample.N()
-			for i, sel := range sels {
-				p.Scores[i] = sel.Score(sample)
-			}
+			a.chunks = append(a.chunks, chunks...)
+			a.total += total
 		}
-		points = append(points, p)
+		a.mu.Unlock()
+		if hists != nil {
+			temporal.RecycleOccupancies(chunks)
+		}
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := temporal.NewWorker(n)
+			defer w.Release()
+			cur := -1
+			for {
+				item := int(next.Add(1) - 1)
+				if item >= items {
+					break
+				}
+				di := item / blocks
+				if di != cur {
+					if cur >= 0 {
+						flush(w, cur)
+					}
+					cur = di
+				}
+				w.SweepOccupancyBlock(csrs[di], opt.Directed, item%blocks)
+			}
+			if cur >= 0 {
+				flush(w, cur)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Scoring pass, parallel over periods.
+	points := make([]SweepPoint, len(grid))
+	errs := make([]error, len(grid))
+	next.Store(0)
+	for i := 0; i < min(workers, len(grid)); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				di := int(next.Add(1) - 1)
+				if di >= len(grid) {
+					return
+				}
+				p := SweepPoint{Delta: grid[di], Scores: make([]float64, len(sels))}
+				if hists != nil {
+					h := hists[di]
+					p.Trips = int(h.N())
+					// Validation above restricted histogram mode to M-K
+					// selectors, so every slot gets the one histogram score.
+					mk := h.MKProximity()
+					for si := range sels {
+						p.Scores[si] = mk
+					}
+				} else {
+					a := &accs[di]
+					occ := temporal.ConcatOccupancies(a.total, a.chunks)
+					a.chunks = nil
+					sample, err := dist.NewSample(occ)
+					if err != nil {
+						errs[di] = err
+						continue
+					}
+					p.Trips = sample.N()
+					for si, sel := range sels {
+						p.Scores[si] = sel.Score(sample)
+					}
+				}
+				points[di] = p
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return points, nil
 }
@@ -282,10 +424,6 @@ func mergePoints(a, b []SweepPoint) []SweepPoint {
 	}
 	add(a)
 	add(b)
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].Delta < out[j-1].Delta; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Delta < out[j].Delta })
 	return out
 }

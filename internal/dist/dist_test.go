@@ -1,0 +1,212 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func mustSample(t *testing.T, values []float64) *Sample {
+	t.Helper()
+	s, err := NewSample(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSampleErrors(t *testing.T) {
+	if _, err := NewSample(nil); err == nil {
+		t.Fatal("empty sample should error")
+	}
+	if _, err := NewSample([]float64{0.5, math.NaN()}); err == nil {
+		t.Fatal("NaN should error")
+	}
+	if _, err := NewSample([]float64{math.Inf(1)}); err == nil {
+		t.Fatal("Inf should error")
+	}
+}
+
+func TestSampleWeightedBasics(t *testing.T) {
+	// 4x 0.25, 2x 0.5, 1x 1.0 — stored as 3 distinct values.
+	s := mustSample(t, []float64{0.25, 0.5, 0.25, 1, 0.25, 0.5, 0.25})
+	if s.N() != 7 {
+		t.Fatalf("N = %d, want 7", s.N())
+	}
+	if got := s.Values(); len(got) != 3 || got[0] != 0.25 || got[1] != 0.5 || got[2] != 1 {
+		t.Fatalf("distinct values = %v", got)
+	}
+	want := (4*0.25 + 2*0.5 + 1) / 7
+	if math.Abs(s.Mean()-want) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", s.Mean(), want)
+	}
+	if got := s.CDF(0.25); math.Abs(got-4.0/7) > 1e-12 {
+		t.Fatalf("CDF(0.25) = %v, want 4/7", got)
+	}
+	if got := s.CDF(0.2); got != 0 {
+		t.Fatalf("CDF(0.2) = %v, want 0", got)
+	}
+	if got := s.ICD(0.5); math.Abs(got-1.0/7) > 1e-12 {
+		t.Fatalf("ICD(0.5) = %v, want 1/7", got)
+	}
+	if got := s.ICD(1); got != 0 {
+		t.Fatalf("ICD(1) = %v, want 0", got)
+	}
+}
+
+// TestSampleMatchesNaiveStats cross-checks the weighted implementation
+// against direct computation on the raw multiset.
+func TestSampleMatchesNaiveStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	values := make([]float64, 5000)
+	// Mix of repeated rational values (like occupancies) and noise.
+	for i := range values {
+		if i%3 == 0 {
+			values[i] = rng.Float64()
+		} else {
+			values[i] = float64(1+rng.Intn(9)) / float64(10+rng.Intn(10))
+		}
+	}
+	s := mustSample(t, append([]float64(nil), values...))
+
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	mean := sum / float64(len(values))
+	if math.Abs(s.Mean()-mean) > 1e-9 {
+		t.Fatalf("mean = %v, naive %v", s.Mean(), mean)
+	}
+	var varAcc float64
+	for _, v := range values {
+		varAcc += (v - mean) * (v - mean)
+	}
+	std := math.Sqrt(varAcc / float64(len(values)))
+	if math.Abs(s.Std()-std) > 1e-9 {
+		t.Fatalf("std = %v, naive %v", s.Std(), std)
+	}
+	// CDF at a few points vs counting.
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	for _, x := range []float64{0.1, 0.33, 0.5, 0.77, 0.999} {
+		cnt := 0
+		for _, v := range sorted {
+			if v <= x {
+				cnt++
+			}
+		}
+		if got, want := s.CDF(x), float64(cnt)/float64(len(values)); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("CDF(%v) = %v, naive %v", x, got, want)
+		}
+	}
+	// MKDistance vs direct Riemann integration of |F(x)-x|.
+	integ := 0.0
+	const steps = 200000
+	for i := 0; i < steps; i++ {
+		x := (float64(i) + 0.5) / steps
+		j := sort.SearchFloat64s(sorted, x)
+		for j < len(sorted) && sorted[j] == x {
+			j++
+		}
+		integ += math.Abs(float64(j)/float64(len(sorted))-x) / steps
+	}
+	if math.Abs(s.MKDistance()-integ) > 1e-4 {
+		t.Fatalf("MKDistance = %v, numeric %v", s.MKDistance(), integ)
+	}
+}
+
+func TestMKDistanceLimits(t *testing.T) {
+	// Point mass at 0 and at 1: maximal distance 1/2, proximity 0.
+	for _, v := range []float64{0, 1} {
+		s := mustSample(t, []float64{v, v, v})
+		if math.Abs(s.MKDistance()-0.5) > 1e-12 {
+			t.Fatalf("point mass at %v: MK = %v, want 0.5", v, s.MKDistance())
+		}
+		if math.Abs(s.MKProximity()) > 1e-12 {
+			t.Fatalf("point mass at %v: proximity = %v, want 0", v, s.MKProximity())
+		}
+	}
+	// A fine uniform grid approaches distance 0 / proximity 1.
+	grid := make([]float64, 1000)
+	for i := range grid {
+		grid[i] = (float64(i) + 0.5) / 1000
+	}
+	s := mustSample(t, grid)
+	if s.MKDistance() > 1e-3 {
+		t.Fatalf("uniform grid: MK = %v, want ~0", s.MKDistance())
+	}
+	if s.MKProximity() < 0.99 {
+		t.Fatalf("uniform grid: proximity = %v, want ~1", s.MKProximity())
+	}
+}
+
+func TestHistogramMatchesSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	values := make([]float64, 20000)
+	for i := range values {
+		values[i] = math.Pow(rng.Float64(), 2) // skewed towards 0
+	}
+	s := mustSample(t, append([]float64(nil), values...))
+	h := NewHistogram(4096)
+	h.AddAll(values)
+	if h.N() != int64(len(values)) {
+		t.Fatalf("histogram N = %d", h.N())
+	}
+	if d := math.Abs(h.MKProximity() - s.MKProximity()); d > 4.0/4096*2 {
+		t.Fatalf("histogram proximity off by %v", d)
+	}
+}
+
+func TestCREUniformQuarter(t *testing.T) {
+	grid := make([]float64, 2000)
+	for i := range grid {
+		grid[i] = (float64(i) + 0.5) / 2000
+	}
+	s := mustSample(t, grid)
+	if got := (CRESelector{}).Score(s); math.Abs(got-0.25) > 1e-2 {
+		t.Fatalf("CRE of uniform = %v, want ~1/4", got)
+	}
+	point := mustSample(t, []float64{1, 1, 1})
+	if got := (CRESelector{}).Score(point); got > 1e-12 {
+		t.Fatalf("CRE of point mass at 1 = %v, want 0", got)
+	}
+}
+
+func TestSelectorsOrderAndNames(t *testing.T) {
+	sels := AllSelectors()
+	if len(sels) != 5 {
+		t.Fatalf("AllSelectors = %d, want 5", len(sels))
+	}
+	if sels[0].Name() != "mk-proximity" {
+		t.Fatalf("primary selector = %q", sels[0].Name())
+	}
+	if sels[2].Name() != "variation-coefficient" {
+		t.Fatalf("selector 2 = %q, the figure harness expects the variation coefficient there", sels[2].Name())
+	}
+	seen := map[string]bool{}
+	s := mustSample(t, []float64{0.2, 0.4, 0.4, 0.9})
+	for _, sel := range sels {
+		if seen[sel.Name()] {
+			t.Fatalf("duplicate selector name %q", sel.Name())
+		}
+		seen[sel.Name()] = true
+		if v := sel.Score(s); math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s score = %v", sel.Name(), v)
+		}
+	}
+}
+
+func TestSelectorsPreferUniformOverContracted(t *testing.T) {
+	uniform := make([]float64, 500)
+	for i := range uniform {
+		uniform[i] = (float64(i) + 0.5) / 500
+	}
+	u := mustSample(t, uniform)
+	contracted := mustSample(t, []float64{1, 1, 1, 1, 1})
+	for _, sel := range AllSelectors() {
+		if sel.Score(u) <= sel.Score(contracted) {
+			t.Fatalf("%s: uniform %v <= contracted %v", sel.Name(), sel.Score(u), sel.Score(contracted))
+		}
+	}
+}

@@ -143,6 +143,22 @@ func (s *Stream) Normalize() {
 	s.sorted = false
 }
 
+// Canonical returns a copy of events with every pair oriented U < V,
+// the form undirected analyses need. The input order is preserved; the
+// input slice is not modified. Building the canonical buffer once and
+// sharing it across aggregation periods is what lets the sweep pipeline
+// canonicalise a stream a single time.
+func Canonical(events []Event) []Event {
+	out := make([]Event, len(events))
+	for i, e := range events {
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		out[i] = e
+	}
+	return out
+}
+
 // Dedup removes exactly repeated events (same U, V and T). The stream is
 // sorted as a side effect. Events (u,v,t) and (v,u,t) are distinct unless
 // Normalize was called first.

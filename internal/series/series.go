@@ -12,7 +12,6 @@ package series
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/linkstream"
 	"repro/internal/snapshot"
@@ -56,6 +55,9 @@ func Aggregate(s *linkstream.Stream, delta int64, directed bool) (*Series, error
 		Directed:   directed,
 	}
 	events := s.Events()
+	// Per-window dedup by sort-and-compact on packed (U, V) keys, with
+	// one sort buffer reused across all windows.
+	var scratch []uint64
 	i := 0
 	for i < len(events) {
 		k := (events[i].T - t0) / delta
@@ -63,29 +65,20 @@ func Aggregate(s *linkstream.Stream, delta int64, directed bool) (*Series, error
 		for end < len(events) && (events[end].T-t0)/delta == k {
 			end++
 		}
-		edges := make([]snapshot.Edge, 0, end-i)
+		keys := scratch[:0]
 		for _, e := range events[i:end] {
-			ed := snapshot.Edge{U: e.U, V: e.V}
-			if !directed {
-				ed = ed.Canon()
+			u, v := e.U, e.V
+			if !directed && u > v {
+				u, v = v, u
 			}
-			edges = append(edges, ed)
+			keys = append(keys, snapshot.PackEdge(u, v))
 		}
-		sort.Slice(edges, func(a, b int) bool {
-			if edges[a].U != edges[b].U {
-				return edges[a].U < edges[b].U
-			}
-			return edges[a].V < edges[b].V
-		})
-		w := 0
-		for j, ed := range edges {
-			if j > 0 && ed == edges[j-1] {
-				continue
-			}
-			edges[w] = ed
-			w++
+		scratch = keys
+		keys = snapshot.SortCompactEdgeKeys(keys)
+		edges := make([]snapshot.Edge, 0, len(keys))
+		for _, key := range keys {
+			edges = append(edges, snapshot.UnpackEdge(key))
 		}
-		edges = edges[:w]
 		g.Windows = append(g.Windows, Window{K: k, Edges: edges})
 		g.TotalEdges += len(edges)
 		i = end

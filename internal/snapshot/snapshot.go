@@ -10,6 +10,7 @@ package snapshot
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -25,6 +26,29 @@ func (e Edge) Canon() Edge {
 		return Edge{U: e.V, V: e.U}
 	}
 	return e
+}
+
+// PackEdge packs an edge into one uint64 key ordered like (U, V); the
+// shared currency of the sort-and-compact dedup used by both series
+// aggregation and the temporal engine's CSR builder.
+func PackEdge(u, v int32) uint64 { return uint64(uint32(u))<<32 | uint64(uint32(v)) }
+
+// UnpackEdge is the inverse of PackEdge.
+func UnpackEdge(key uint64) Edge { return Edge{U: int32(key >> 32), V: int32(uint32(key))} }
+
+// SortCompactEdgeKeys sorts packed edge keys and removes duplicates in
+// place, returning the compacted prefix.
+func SortCompactEdgeKeys(keys []uint64) []uint64 {
+	slices.Sort(keys)
+	w := 0
+	for i, k := range keys {
+		if i > 0 && k == keys[i-1] {
+			continue
+		}
+		keys[w] = k
+		w++
+	}
+	return keys[:w]
 }
 
 // Graph is a static graph on nodes 0..N-1 in CSR form. Build one with

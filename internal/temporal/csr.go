@@ -1,0 +1,771 @@
+package temporal
+
+// This file implements the flat CSR layer arena the engine runs on: one
+// contiguous []int32 endpoint array plus per-layer offsets, built once
+// per aggregation period, so the inner relax loop of the backward sweep
+// walks cache-linear memory instead of []Layer -> []snapshot.Edge
+// pointer chains. The slice-based sweep in temporal.go is retained as
+// the reference implementation for equivalence tests; every public
+// entry point routes through the CSR engine.
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/linkstream"
+	"repro/internal/series"
+	"repro/internal/snapshot"
+)
+
+// CSR is a layered dynamic graph in compressed sparse row form. Layer
+// li covers edge indices Off[li]..Off[li+1]; edge e has endpoints
+// Ends[2e] and Ends[2e+1]. Keys holds the strictly increasing time key
+// of each layer (window indices for a series, raw timestamps for a
+// stream). Edge sets are deduplicated per layer; for undirected
+// analyses endpoints are canonicalised (U < V) at build time.
+type CSR struct {
+	Keys []int64
+	Off  []int // len(Keys)+1
+	Ends []int32
+
+	// recip caches 1/(arr-dep+1) for every possible trip duration, so
+	// the occupancy hot path multiplies instead of dividing. Built
+	// lazily; nil when the key span is too large to tabulate.
+	recipOnce sync.Once
+	recip     []float64
+}
+
+// maxRecipSpan bounds the reciprocal table: series keys are window
+// indices (tiny spans), stream keys are raw timestamps (tabulated up to
+// 4M entries / 32 MB; beyond that the sweep falls back to division).
+const maxRecipSpan = 1 << 22
+
+// recipTable returns the 1/duration lookup table, or nil when the key
+// span exceeds maxRecipSpan.
+func (c *CSR) recipTable() []float64 {
+	c.recipOnce.Do(func() {
+		if len(c.Keys) == 0 {
+			return
+		}
+		span := c.Keys[len(c.Keys)-1] - c.Keys[0]
+		if span >= maxRecipSpan {
+			return
+		}
+		t := make([]float64, span+1)
+		for d := range t {
+			t[d] = 1 / float64(d+1)
+		}
+		c.recip = t
+	})
+	return c.recip
+}
+
+// NumLayers returns the number of (non-empty) layers.
+func (c *CSR) NumLayers() int { return len(c.Keys) }
+
+// NumEdges returns the total number of edges over all layers.
+func (c *CSR) NumEdges() int { return len(c.Ends) / 2 }
+
+// FromLayers flattens slice-based layers into a CSR arena. Layers must
+// be sorted by strictly increasing Key with deduplicated edge sets (the
+// invariant SeriesLayers and StreamLayers already guarantee).
+func FromLayers(layers []Layer) *CSR {
+	m := 0
+	for _, l := range layers {
+		m += len(l.Edges)
+	}
+	c := &CSR{
+		Keys: make([]int64, len(layers)),
+		Off:  make([]int, len(layers)+1),
+		Ends: make([]int32, 0, 2*m),
+	}
+	for i, l := range layers {
+		c.Keys[i] = l.Key
+		c.Off[i] = len(c.Ends) / 2
+		for _, e := range l.Edges {
+			c.Ends = append(c.Ends, e.U, e.V)
+		}
+	}
+	c.Off[len(layers)] = len(c.Ends) / 2
+	return c
+}
+
+// Layers materialises the CSR back into slice-based layers (testing and
+// interop; the engine itself never needs this).
+func (c *CSR) Layers() []Layer {
+	out := make([]Layer, len(c.Keys))
+	for i := range c.Keys {
+		lo, hi := c.Off[i], c.Off[i+1]
+		edges := make([]snapshot.Edge, 0, hi-lo)
+		for e := lo; e < hi; e++ {
+			edges = append(edges, snapshot.Edge{U: c.Ends[2*e], V: c.Ends[2*e+1]})
+		}
+		out[i] = Layer{Key: c.Keys[i], Edges: edges}
+	}
+	return out
+}
+
+// SeriesCSR builds the CSR arena of an aggregated series directly,
+// without materialising []Layer.
+func SeriesCSR(g *series.Series) *CSR {
+	c := &CSR{
+		Keys: make([]int64, len(g.Windows)),
+		Off:  make([]int, len(g.Windows)+1),
+		Ends: make([]int32, 0, 2*g.TotalEdges),
+	}
+	for i, w := range g.Windows {
+		c.Keys[i] = w.K
+		c.Off[i] = len(c.Ends) / 2
+		for _, e := range w.Edges {
+			c.Ends = append(c.Ends, e.U, e.V)
+		}
+	}
+	c.Off[len(g.Windows)] = len(c.Ends) / 2
+	return c
+}
+
+// CSRScratch is the reusable build scratch of BuildCSR: one uint64 sort
+// buffer sized to the largest layer seen so far. A single scratch
+// serialises builds; use one per goroutine.
+type CSRScratch struct {
+	keys []uint64
+}
+
+// StreamCSR groups the events of the stream by timestamp into a CSR
+// with raw timestamps as keys, canonicalising endpoints when directed
+// is false. The stream is sorted as a side effect.
+func StreamCSR(s *linkstream.Stream, directed bool) *CSR {
+	s.Sort()
+	events := s.Events()
+	if !directed {
+		events = linkstream.Canonical(events)
+	}
+	var scratch CSRScratch
+	return BuildCSR(events, 0, 1, &scratch)
+}
+
+// BuildCSR bucketises pre-sorted events into windows of length delta
+// starting at t0 (layer key = (T-t0)/delta) and deduplicates every
+// window by sort-and-compact, in one O(M log w) pass with w the largest
+// window population. Events must be sorted by time and already
+// canonicalised for undirected analyses (linkstream.Canonical); with
+// delta == 1 and t0 == 0 the keys are the raw timestamps, which is the
+// link-stream layering. scratch is reused across calls to avoid
+// per-delta allocation spikes.
+func BuildCSR(events []linkstream.Event, t0, delta int64, scratch *CSRScratch) *CSR {
+	c := &CSR{}
+	if len(events) == 0 {
+		c.Off = []int{0}
+		return c
+	}
+	c.Ends = make([]int32, 0, 2*len(events))
+	i := 0
+	for i < len(events) {
+		k := (events[i].T - t0) / delta
+		end := i
+		for end < len(events) && (events[end].T-t0)/delta == k {
+			end++
+		}
+		buf := scratch.keys[:0]
+		for _, e := range events[i:end] {
+			buf = append(buf, snapshot.PackEdge(e.U, e.V))
+		}
+		scratch.keys = buf
+		c.Keys = append(c.Keys, k)
+		c.Off = append(c.Off, len(c.Ends)/2)
+		for _, key := range snapshot.SortCompactEdgeKeys(buf) {
+			c.Ends = append(c.Ends, int32(key>>32), int32(uint32(key)))
+		}
+		i = end
+	}
+	c.Off = append(c.Off, len(c.Ends)/2)
+	return c
+}
+
+// occChunkLen is the fixed capacity of occupancy sink chunks: big
+// enough that chunk bookkeeping vanishes, small enough that partially
+// filled chunks waste little (512 KiB per chunk).
+const occChunkLen = 1 << 16
+
+// The sweep state packs (arrival layer index, hop count) into one
+// int64: arrIdx<<32 | hops. Arrival times only ever compare against
+// each other, and layer keys are strictly increasing, so comparing
+// layer indices is comparing arrivals — and the engine's lexicographic
+// "earlier arrival, then fewer hops" improvement test collapses to a
+// single integer comparison on the packed value. "One more hop through
+// the same relay" is packed+1. Both fields are non-negative and fit 31
+// bits (layer count and hop count are bounded by the edge total), so
+// the packing is order-preserving.
+const unreachPacked = int64(math.MaxInt32) << 32
+
+// noCand is the resting value of cand slots. The commit phase restores
+// it for every touched node, so between layers the whole cand array is
+// at rest without any epoch bookkeeping, and "is this the node's first
+// candidate this layer" is one compare against the slot itself.
+const noCand = int64(math.MaxInt64)
+
+// destBlockSize is the number of destinations the occupancy sweep
+// processes per pass over the layers. Blocking amortises the edge
+// stream (loads, loop control) across lanes: one (u, v) read feeds
+// destBlockSize independent relaxations whose state interleaves in
+// adjacent slots, so a node's lanes share a cache line.
+const destBlockSize = 4
+
+// sweepState is the per-worker scratch of the CSR sweep: 8 bytes of
+// standing state and 8 bytes of per-layer candidate state per node (per
+// lane in the blocked occupancy sweep). The occupancy sink is a list of
+// fixed-size chunks, never a doubling slice: growing a flat slice
+// re-copies every element O(log n) times, which profiled as ~25% of the
+// whole sweep.
+type sweepState struct {
+	node      []int64 // packed (arrIdx, hops); unreachPacked if unreachable
+	cand      []int64 // packed per-layer candidate; noCand at rest
+	seg       []int32 // layer index at which node's (arr, hop) became active
+	touched   []int32
+	nodeB     []int64 // destBlockSize-lane standing state, slot 4*node+lane
+	candB     []int64 // destBlockSize-lane candidates; noCand at rest
+	occ       []float64   // active occupancy chunk, used when collectOcc
+	occChunks [][]float64 // completed chunks
+	trips     []Trip      // trip sink for CollectTrips
+}
+
+func newSweepState(n int) *sweepState {
+	st := &sweepState{
+		node:    make([]int64, n),
+		cand:    make([]int64, n),
+		seg:     make([]int32, n),
+		touched: make([]int32, 0, 64),
+	}
+	for i := range st.cand {
+		st.cand[i] = noCand
+	}
+	return st
+}
+
+// statePool recycles sweep states across calls (and benchmark
+// iterations); entries of the wrong size are dropped on Get.
+var statePool sync.Pool
+
+func getSweepState(n int) *sweepState {
+	if v := statePool.Get(); v != nil {
+		st := v.(*sweepState)
+		if len(st.node) == n {
+			return st
+		}
+	}
+	return newSweepState(n)
+}
+
+func putSweepState(st *sweepState) {
+	st.occ = nil
+	st.occChunks = nil
+	st.trips = nil
+	statePool.Put(st)
+}
+
+// takeOcc flushes the active chunk and hands the caller every completed
+// chunk plus the total value count, resetting the sink.
+func (st *sweepState) takeOcc() (chunks [][]float64, total int) {
+	if len(st.occ) > 0 {
+		st.occChunks = append(st.occChunks, st.occ)
+	}
+	st.occ = nil
+	chunks = st.occChunks
+	st.occChunks = nil
+	for _, ch := range chunks {
+		total += len(ch)
+	}
+	return chunks, total
+}
+
+// chunkPool recycles occupancy chunks: a fresh 512 KiB allocation is
+// zeroed by the runtime, a pooled one is not, and the sweep emits tens
+// of chunks per call.
+var chunkPool sync.Pool
+
+func newChunk() []float64 {
+	if v := chunkPool.Get(); v != nil {
+		return v.([]float64)[:0]
+	}
+	return make([]float64, 0, occChunkLen)
+}
+
+// concatChunks assembles chunk lists into one exact-size slice and
+// recycles the chunks.
+func concatChunks(total int, chunkLists ...[][]float64) []float64 {
+	out := make([]float64, 0, total)
+	for _, chunks := range chunkLists {
+		for _, ch := range chunks {
+			out = append(out, ch...)
+			chunkPool.Put(ch)
+		}
+	}
+	return out
+}
+
+// run performs one backward sweep for destination dest over the CSR.
+// It mirrors destState.run (the reference implementation, temporal.go)
+// with the relax bodies inlined over the flat endpoint array. visit, if
+// non nil, receives every minimal trip; acc, if non nil, accumulates
+// the distance segments. The occupancy hot path does not come through
+// here — it runs the blocked sweep, runOccBlock.
+func (st *sweepState) run(c *CSR, dest int32, directed bool, visit func(u int32, dep, arr int64, hops int32), acc *distAcc) {
+	node, cand, seg := st.node, st.cand, st.seg
+	for i := range node {
+		node[i] = unreachPacked
+	}
+	keys, off, ends := c.Keys, c.Off, c.Ends
+	touched := st.touched[:0]
+
+	for li := len(keys) - 1; li >= 0; li-- {
+		key := keys[li]
+		touched = touched[:0]
+		// Pinning node[dest] to (li, 0 hops) folds the "relay is the
+		// destination" case into the generic packed arithmetic: pv+1
+		// yields (li, 1 hop), exactly "arrive at this layer in one
+		// hop". The pin also keeps dest itself out of the candidate
+		// set — every candidate packs an arrival layer >= li and at
+		// least one hop, so no p undercuts li<<32. Likewise, an
+		// unreachable relay yields unreachPacked+1, which undercuts no
+		// standing value either; both special cases vanish from the
+		// loop, leaving two loads, an add and one compare per relax.
+		node[dest] = int64(li) << 32
+		edges := ends[2*off[li]:2*off[li+1]]
+		if directed {
+			for j := 0; j+1 < len(edges); j += 2 {
+				u, v := edges[j], edges[j+1]
+				// A directed link (u, v) lets u move to v; the backward
+				// state of v (arrival departing >= key+1) relaxes u.
+				if p := node[v] + 1; p < node[u] {
+					if c := cand[u]; p < c {
+						if c == noCand {
+							touched = append(touched, u)
+						}
+						cand[u] = p
+					}
+				}
+			}
+		} else {
+			for j := 0; j+1 < len(edges); j += 2 {
+				u, v := edges[j], edges[j+1]
+				pu, pv := node[u], node[v]
+				if p := pv + 1; p < pu {
+					if c := cand[u]; p < c {
+						if c == noCand {
+							touched = append(touched, u)
+						}
+						cand[u] = p
+					}
+				}
+				if p := pu + 1; p < pv {
+					if c := cand[v]; p < c {
+						if c == noCand {
+							touched = append(touched, v)
+						}
+						cand[v] = p
+					}
+				}
+			}
+		}
+		for _, x := range touched {
+			p, old := cand[x], node[x]
+			cand[x] = noCand
+			node[x] = p
+			if acc != nil {
+				if old != unreachPacked {
+					acc.addSegment(keys[old>>32], key+1, keys[seg[x]], int32(old))
+				}
+				seg[x] = int32(li)
+			}
+			if p>>32 < old>>32 {
+				// Strictly earlier arrival: exactly one minimal trip.
+				if visit != nil {
+					visit(x, key, keys[p>>32], int32(p))
+				}
+			}
+			// Otherwise: same earliest arrival with fewer hops when
+			// departing earlier — not a minimal trip, but the hop count
+			// feeds upstream relaxations and the dhops segments.
+		}
+	}
+	st.touched = touched[:0]
+
+	if acc != nil {
+		for u := range node {
+			if p := node[u]; int32(u) != dest && p != unreachPacked {
+				acc.addSegment(keys[p>>32], acc.kMin, keys[seg[u]], int32(p))
+			}
+		}
+	}
+}
+
+// runOccBlock sweeps up to destBlockSize consecutive destinations
+// (first, first+1, ...) in one pass over the layers, appending every
+// minimal trip's occupancy to the chunk sink. Lane b holds destination
+// first+b; lanes past ndests stay entirely unreachable (their pins are
+// never set), so every relaxation on them fails the single compare and
+// they are inert. Semantically this is exactly ndests independent runs
+// of the single-destination sweep.
+func (st *sweepState) runOccBlock(c *CSR, first int32, ndests int, directed bool) {
+	n := len(st.node)
+	if st.nodeB == nil {
+		st.nodeB = make([]int64, destBlockSize*n)
+		st.candB = make([]int64, destBlockSize*n)
+		for i := range st.candB {
+			st.candB[i] = noCand
+		}
+	}
+	nodeB, candB := st.nodeB, st.candB
+	for i := range nodeB {
+		nodeB[i] = unreachPacked
+	}
+	keys, off, ends := c.Keys, c.Off, c.Ends
+	recip := c.recipTable()
+	if st.occ == nil {
+		st.occ = newChunk()
+	}
+	occ := st.occ
+	touched := st.touched[:0]
+
+	for li := len(keys) - 1; li >= 0; li-- {
+		key := keys[li]
+		touched = touched[:0]
+		// Pin each lane's own destination to (li, 0 hops); see run.
+		pin := int64(li) << 32
+		for b := 0; b < ndests; b++ {
+			nodeB[destBlockSize*int(first+int32(b))+b] = pin
+		}
+		edges := ends[2*off[li]:2*off[li+1]]
+		for j := 0; j+1 < len(edges); j += 2 {
+			bu := destBlockSize * int(edges[j])
+			bv := destBlockSize * int(edges[j+1])
+			// Manually unrolled over the destBlockSize lanes: the
+			// compiler does not unroll the short inner loop, and the
+			// whole point of blocking is straight-line work per edge.
+			nu := nodeB[bu : bu+4 : bu+4]
+			nv := nodeB[bv : bv+4 : bv+4]
+			pu0, pu1, pu2, pu3 := nu[0], nu[1], nu[2], nu[3]
+			pv0, pv1, pv2, pv3 := nv[0], nv[1], nv[2], nv[3]
+			if p := pv0 + 1; p < pu0 {
+				if cnd := candB[bu]; p < cnd {
+					if cnd == noCand {
+						touched = append(touched, int32(bu))
+					}
+					candB[bu] = p
+				}
+			}
+			if p := pv1 + 1; p < pu1 {
+				if cnd := candB[bu+1]; p < cnd {
+					if cnd == noCand {
+						touched = append(touched, int32(bu+1))
+					}
+					candB[bu+1] = p
+				}
+			}
+			if p := pv2 + 1; p < pu2 {
+				if cnd := candB[bu+2]; p < cnd {
+					if cnd == noCand {
+						touched = append(touched, int32(bu+2))
+					}
+					candB[bu+2] = p
+				}
+			}
+			if p := pv3 + 1; p < pu3 {
+				if cnd := candB[bu+3]; p < cnd {
+					if cnd == noCand {
+						touched = append(touched, int32(bu+3))
+					}
+					candB[bu+3] = p
+				}
+			}
+			if directed {
+				continue
+			}
+			if p := pu0 + 1; p < pv0 {
+				if cnd := candB[bv]; p < cnd {
+					if cnd == noCand {
+						touched = append(touched, int32(bv))
+					}
+					candB[bv] = p
+				}
+			}
+			if p := pu1 + 1; p < pv1 {
+				if cnd := candB[bv+1]; p < cnd {
+					if cnd == noCand {
+						touched = append(touched, int32(bv+1))
+					}
+					candB[bv+1] = p
+				}
+			}
+			if p := pu2 + 1; p < pv2 {
+				if cnd := candB[bv+2]; p < cnd {
+					if cnd == noCand {
+						touched = append(touched, int32(bv+2))
+					}
+					candB[bv+2] = p
+				}
+			}
+			if p := pu3 + 1; p < pv3 {
+				if cnd := candB[bv+3]; p < cnd {
+					if cnd == noCand {
+						touched = append(touched, int32(bv+3))
+					}
+					candB[bv+3] = p
+				}
+			}
+		}
+		for _, slot := range touched {
+			p, old := candB[slot], nodeB[slot]
+			candB[slot] = noCand
+			nodeB[slot] = p
+			if p>>32 < old>>32 {
+				if len(occ) == occChunkLen {
+					st.occChunks = append(st.occChunks, occ)
+					occ = newChunk()
+				}
+				hop := float64(int32(p))
+				if recip != nil {
+					occ = append(occ, hop*recip[keys[p>>32]-key])
+				} else {
+					occ = append(occ, hop/float64(keys[p>>32]-key+1))
+				}
+			}
+		}
+	}
+	st.touched = touched[:0]
+	st.occ = occ
+}
+
+// forEachDestCSR runs fn for every destination on cfg.Workers parallel
+// workers, each owning one pooled sweep state.
+func forEachDestCSR(cfg Config, fn func(dest int32, st *sweepState)) {
+	w := cfg.workers()
+	if w > cfg.N {
+		w = cfg.N
+	}
+	if w <= 1 {
+		st := getSweepState(cfg.N)
+		for d := int32(0); int(d) < cfg.N; d++ {
+			fn(d, st)
+		}
+		putSweepState(st)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := getSweepState(cfg.N)
+			for {
+				d := next.Add(1) - 1
+				if d >= int64(cfg.N) {
+					break
+				}
+				fn(int32(d), st)
+			}
+			putSweepState(st)
+		}()
+	}
+	wg.Wait()
+}
+
+// CollectTripsCSR returns every minimal trip of the CSR graph, parallel
+// over destinations; the order of the result is unspecified. Trips
+// accumulate into one arena per worker, not one slice per destination.
+func CollectTripsCSR(cfg Config, c *CSR) []Trip {
+	w := cfg.workers()
+	if w > cfg.N {
+		w = cfg.N
+	}
+	if w < 1 {
+		w = 1
+	}
+	parts := make([][]Trip, w)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			st := getSweepState(cfg.N)
+			st.trips = st.trips[:0]
+			for {
+				d := next.Add(1) - 1
+				if d >= int64(cfg.N) {
+					break
+				}
+				dest := int32(d)
+				st.run(c, dest, cfg.Directed, func(u int32, dep, arr int64, hops int32) {
+					st.trips = append(st.trips, Trip{U: u, V: dest, Dep: dep, Arr: arr, Hops: hops})
+				}, nil)
+			}
+			// Hand the arena over rather than copying it; the pooled
+			// state starts a fresh one next time.
+			parts[slot] = st.trips
+			st.trips = nil
+			putSweepState(st)
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]Trip, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// DestBlocks returns the number of destination blocks the blocked
+// occupancy sweep schedules for n nodes; block b covers destinations
+// [b*destBlockSize, min((b+1)*destBlockSize, n)).
+func DestBlocks(n int) int { return (n + destBlockSize - 1) / destBlockSize }
+
+// OccupanciesCSR returns the occupancy rates of all minimal trips of
+// the CSR graph. This is the hot path of the occupancy method:
+// destinations are swept destBlockSize at a time, occupancies
+// accumulate into fixed-size chunks per worker and are assembled into
+// the exact-size result once, so the allocation count is O(trips /
+// chunk size + workers), not O(destinations), and no value is copied
+// more than once.
+func OccupanciesCSR(cfg Config, c *CSR) []float64 {
+	blocks := DestBlocks(cfg.N)
+	w := cfg.workers()
+	if w > blocks {
+		w = blocks
+	}
+	if w < 1 {
+		w = 1
+	}
+	chunkLists := make([][][]float64, w)
+	totals := make([]int, w)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			st := getSweepState(cfg.N)
+			for {
+				b := int(next.Add(1) - 1)
+				if b >= blocks {
+					break
+				}
+				first := b * destBlockSize
+				ndests := min(destBlockSize, cfg.N-first)
+				st.runOccBlock(c, int32(first), ndests, cfg.Directed)
+			}
+			chunkLists[slot], totals[slot] = st.takeOcc()
+			putSweepState(st)
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for _, t := range totals {
+		total += t
+	}
+	return concatChunks(total, chunkLists...)
+}
+
+// Worker is a reusable sweep context for external schedulers (one per
+// goroutine). Release returns its state to the engine pool.
+type Worker struct{ st *sweepState }
+
+// NewWorker returns a worker for graphs with n nodes.
+func NewWorker(n int) *Worker { return &Worker{st: getSweepState(n)} }
+
+// SweepOccupancyBlock runs the blocked backward sweep for destination
+// block b (see DestBlocks) and accumulates the occupancy of every
+// minimal trip in the worker's chunk sink. It is the work-item
+// primitive of the multi-delta sweep pipeline (core): the caller owns
+// the worker loop, reuses one Worker across all (delta, block) items of
+// one delta, and drains the sink with TakeOccupancies at delta
+// boundaries.
+func (w *Worker) SweepOccupancyBlock(c *CSR, directed bool, b int) {
+	n := len(w.st.node)
+	first := b * destBlockSize
+	w.st.runOccBlock(c, int32(first), min(destBlockSize, n-first), directed)
+}
+
+// TakeOccupancies drains the worker's occupancy sink: the accumulated
+// chunks and their total value count. The worker is ready for the next
+// delta afterwards.
+func (w *Worker) TakeOccupancies() (chunks [][]float64, total int) {
+	return w.st.takeOcc()
+}
+
+// ConcatOccupancies assembles chunk lists (from TakeOccupancies) into
+// one exact-size slice.
+func ConcatOccupancies(total int, chunkLists ...[][]float64) []float64 {
+	return concatChunks(total, chunkLists...)
+}
+
+// RecycleOccupancies returns chunks obtained from TakeOccupancies to
+// the engine's chunk pool, for consumers that stream chunk contents
+// (e.g. into a histogram) instead of concatenating them.
+func RecycleOccupancies(chunks [][]float64) {
+	for _, ch := range chunks {
+		chunkPool.Put(ch)
+	}
+}
+
+// Release recycles the worker's scratch; the worker must not be used
+// afterwards.
+func (w *Worker) Release() {
+	if w.st != nil {
+		putSweepState(w.st)
+		w.st = nil
+	}
+}
+
+// DistancesCSR computes the mean distances (see Distances) on the CSR
+// graph.
+func DistancesCSR(cfg Config, c *CSR, kMin int64, durPlus int64) DistanceStats {
+	accs := make([]distAcc, cfg.N)
+	forEachDestCSR(cfg, func(dest int32, st *sweepState) {
+		acc := &accs[dest]
+		acc.durPlus = durPlus
+		acc.kMin = kMin
+		st.run(c, dest, cfg.Directed, nil, acc)
+	})
+	var total distAcc
+	for i := range accs {
+		total.sumTime += accs[i].sumTime
+		total.sumHops += accs[i].sumHops
+		total.count += accs[i].count
+	}
+	if total.count == 0 {
+		return DistanceStats{}
+	}
+	return DistanceStats{
+		MeanTime: total.sumTime / float64(total.count),
+		MeanHops: total.sumHops / float64(total.count),
+		Count:    total.count,
+	}
+}
+
+// CountReachablePairsCSR counts ordered pairs (u, v), u != v, joined by
+// a temporal path in the CSR graph.
+func CountReachablePairsCSR(cfg Config, c *CSR) int64 {
+	counts := make([]int64, cfg.N)
+	forEachDestCSR(cfg, func(dest int32, st *sweepState) {
+		st.run(c, dest, cfg.Directed, nil, nil)
+		var n int64
+		for u := range st.node {
+			if int32(u) != dest && st.node[u] != unreachPacked {
+				n++
+			}
+		}
+		counts[dest] = n
+	})
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}

@@ -12,6 +12,11 @@ package temporal
 // paths arriving exactly at that key. arr[src] is Unreachable by
 // convention (a node does not travel to itself).
 func EarliestArrivals(cfg Config, layers []Layer, src int32, startKey int64) (arr []int64, hops []int32) {
+	return EarliestArrivalsCSR(cfg, FromLayers(layers), src, startKey)
+}
+
+// EarliestArrivalsCSR is EarliestArrivals on the flat CSR arena.
+func EarliestArrivalsCSR(cfg Config, c *CSR, src int32, startKey int64) (arr []int64, hops []int32) {
 	arr = make([]int64, cfg.N)
 	hops = make([]int32, cfg.N)
 	for i := range arr {
@@ -32,44 +37,46 @@ func EarliestArrivals(cfg Config, layers []Layer, src int32, startKey int64) (ar
 	// Per-layer candidate scratch with the same epoch trick as the
 	// backward engine, so paths cannot chain two hops inside one layer.
 	candHop := make([]int32, cfg.N)
-	mark := make([]int64, cfg.N)
+	mark := make([]int32, cfg.N)
 	touched := make([]int32, 0, 64)
-	epoch := int64(0)
+	epoch := int32(0)
 
-	for _, layer := range layers {
-		if layer.Key < startKey {
-			continue
+	relax := func(to int32, h int32) {
+		if mark[to] != epoch {
+			mark[to] = epoch
+			candHop[to] = h
+			touched = append(touched, to)
+		} else if h < candHop[to] {
+			candHop[to] = h
 		}
-		key := layer.Key
+	}
+	keys, off, ends := c.Keys, c.Off, c.Ends
+	// First layer with key >= startKey: keys are strictly increasing.
+	li0 := 0
+	for li0 < len(keys) && keys[li0] < startKey {
+		li0++
+	}
+	for li := li0; li < len(keys); li++ {
+		key := keys[li]
 		epoch++
 		touched = touched[:0]
-		relax := func(from, to int32) {
-			if to == src {
-				return
+		for e2, hi2 := 2*off[li], 2*off[li+1]; e2 < hi2; e2 += 2 {
+			u, v := ends[e2], ends[e2+1]
+			// A link (u, v) carries information forward from u to v.
+			if v != src {
+				if u == src {
+					relax(v, 1)
+				} else if mh := minHops[u]; mh != infHops { // reached strictly before this layer
+					relax(v, mh+1)
+				}
 			}
-			var h int32
-			switch {
-			case from == src:
-				h = 1
-			case minHops[from] != infHops: // reached strictly before this layer
-				h = minHops[from] + 1
-			default:
-				return
+			if cfg.Directed || u == src {
+				continue
 			}
-			if mark[to] != epoch {
-				mark[to] = epoch
-				candHop[to] = h
-				touched = append(touched, to)
-				return
-			}
-			if h < candHop[to] {
-				candHop[to] = h
-			}
-		}
-		for _, e := range layer.Edges {
-			relax(e.U, e.V)
-			if !cfg.Directed {
-				relax(e.V, e.U)
+			if v == src {
+				relax(u, 1)
+			} else if mh := minHops[v]; mh != infHops {
+				relax(u, mh+1)
 			}
 		}
 		for _, x := range touched {
@@ -90,20 +97,5 @@ func EarliestArrivals(cfg Config, layers []Layer, src int32, startKey int64) (ar
 // layered graph. It runs the backward sweep once per destination,
 // parallel over destinations.
 func CountReachablePairs(cfg Config, layers []Layer) int64 {
-	counts := make([]int64, cfg.N)
-	forEachDest(cfg, func(dest int32, st *destState) {
-		st.run(dest, layers, cfg.Directed, nil, nil, 0)
-		var c int64
-		for u := 0; u < cfg.N; u++ {
-			if int32(u) != dest && st.arr[u] != Unreachable {
-				c++
-			}
-		}
-		counts[dest] = c
-	})
-	var total int64
-	for _, c := range counts {
-		total += c
-	}
-	return total
+	return CountReachablePairsCSR(cfg, FromLayers(layers))
 }

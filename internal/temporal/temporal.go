@@ -86,42 +86,15 @@ func SeriesLayers(g *series.Series) []Layer {
 // StreamLayers groups the events of a (sorted) link stream by timestamp
 // into engine layers with raw timestamps as keys. If directed is false,
 // edges are canonicalised; duplicated events inside a timestamp are
-// collapsed.
+// collapsed (by sort-and-compact, via the CSR builder).
 func StreamLayers(s *linkstream.Stream, directed bool) []Layer {
-	s.Sort()
-	events := s.Events()
-	var layers []Layer
-	i := 0
-	for i < len(events) {
-		t := events[i].T
-		end := i
-		for end < len(events) && events[end].T == t {
-			end++
-		}
-		edges := make([]snapshot.Edge, 0, end-i)
-		for _, e := range events[i:end] {
-			ed := snapshot.Edge{U: e.U, V: e.V}
-			if !directed {
-				ed = ed.Canon()
-			}
-			dup := false
-			for _, x := range edges {
-				if x == ed {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				edges = append(edges, ed)
-			}
-		}
-		layers = append(layers, Layer{Key: t, Edges: edges})
-		i = end
-	}
-	return layers
+	return StreamCSR(s, directed).Layers()
 }
 
-// destState is the per-worker scratch memory of the backward sweep.
+// destState is the per-worker scratch memory of the slice-based
+// backward sweep. This implementation predates the CSR engine (csr.go)
+// and is retained as the reference the CSR sweep is equivalence-tested
+// against; production entry points all route through the CSR arena.
 type destState struct {
 	arr     []int64 // earliest arrival at dest for departures >= current key
 	hop     []int32 // min hops among paths realising arr
@@ -304,58 +277,28 @@ func forEachDest(cfg Config, fn func(dest int32, st *destState)) {
 // order: destinations in increasing id, then strictly decreasing
 // departure per destination sweep.
 func ForEachTrip(cfg Config, layers []Layer, visit func(Trip)) {
-	st := newDestState(cfg.N)
+	c := FromLayers(layers)
+	st := getSweepState(cfg.N)
 	for d := int32(0); int(d) < cfg.N; d++ {
-		st.run(d, layers, cfg.Directed, func(u int32, dep, arr int64, hops int32) {
+		st.run(c, d, cfg.Directed, func(u int32, dep, arr int64, hops int32) {
 			visit(Trip{U: u, V: d, Dep: dep, Arr: arr, Hops: hops})
-		}, nil, 0)
+		}, nil)
 	}
+	putSweepState(st)
 }
 
 // CollectTrips returns every minimal trip of the layered graph. The
 // sweep is parallel over destinations; the order of the result is
 // unspecified.
 func CollectTrips(cfg Config, layers []Layer) []Trip {
-	parts := make([][]Trip, cfg.N)
-	forEachDest(cfg, func(dest int32, st *destState) {
-		var local []Trip
-		st.run(dest, layers, cfg.Directed, func(u int32, dep, arr int64, hops int32) {
-			local = append(local, Trip{U: u, V: dest, Dep: dep, Arr: arr, Hops: hops})
-		}, nil, 0)
-		parts[dest] = local
-	})
-	total := 0
-	for _, p := range parts {
-		total += len(p)
-	}
-	out := make([]Trip, 0, total)
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out
+	return CollectTripsCSR(cfg, FromLayers(layers))
 }
 
 // Occupancies returns the occupancy rates (Definition 7) of all minimal
 // trips of an aggregated graph series given as layers. The sweep is
 // parallel over destinations; the order of the result is unspecified.
 func Occupancies(cfg Config, layers []Layer) []float64 {
-	parts := make([][]float64, cfg.N)
-	forEachDest(cfg, func(dest int32, st *destState) {
-		var local []float64
-		st.run(dest, layers, cfg.Directed, func(u int32, dep, arr int64, hops int32) {
-			local = append(local, float64(hops)/float64(arr-dep+1))
-		}, nil, 0)
-		parts[dest] = local
-	})
-	total := 0
-	for _, p := range parts {
-		total += len(p)
-	}
-	out := make([]float64, 0, total)
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out
+	return OccupanciesCSR(cfg, FromLayers(layers))
 }
 
 // DistanceStats aggregates the distance properties of Figure 2 over all
@@ -373,27 +316,7 @@ type DistanceStats struct {
 // for raw link streams. The caller obtains the mean distance in absolute
 // time as Delta * MeanTime.
 func Distances(cfg Config, layers []Layer, kMin int64, durPlus int64) DistanceStats {
-	accs := make([]distAcc, cfg.N)
-	forEachDest(cfg, func(dest int32, st *destState) {
-		acc := &accs[dest]
-		acc.durPlus = durPlus
-		acc.kMin = kMin
-		st.run(dest, layers, cfg.Directed, nil, acc, 0)
-	})
-	var total distAcc
-	for i := range accs {
-		total.sumTime += accs[i].sumTime
-		total.sumHops += accs[i].sumHops
-		total.count += accs[i].count
-	}
-	if total.count == 0 {
-		return DistanceStats{}
-	}
-	return DistanceStats{
-		MeanTime: total.sumTime / float64(total.count),
-		MeanHops: total.sumHops / float64(total.count),
-		Count:    total.count,
-	}
+	return DistancesCSR(cfg, FromLayers(layers), kMin, durPlus)
 }
 
 // ShortestTransitions returns the minimal trips with exactly two hops

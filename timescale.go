@@ -94,14 +94,38 @@ func Aggregate(s *Stream, delta int64, directed bool) (*Series, error) {
 // MinimalTrips enumerates all minimal trips of the aggregated series.
 func MinimalTrips(g *Series) []Trip {
 	cfg := temporal.Config{N: g.N, Directed: g.Directed}
-	return temporal.CollectTrips(cfg, temporal.SeriesLayers(g))
+	return temporal.CollectTripsCSR(cfg, temporal.SeriesCSR(g))
 }
 
 // StreamMinimalTrips enumerates all minimal trips of the raw stream
 // (layer per distinct timestamp).
 func StreamMinimalTrips(s *Stream, directed bool) []Trip {
 	cfg := temporal.Config{N: s.NumNodes(), Directed: directed}
-	return temporal.CollectTrips(cfg, temporal.StreamLayers(s, directed))
+	return temporal.CollectTripsCSR(cfg, temporal.StreamCSR(s, directed))
+}
+
+// LayeredCSR is the flat arena representation the temporal engine runs
+// on: one contiguous endpoint array plus per-layer offsets. Build one
+// with SeriesCSR or StreamCSR to amortise conversion across repeated
+// queries on the same layered graph.
+type LayeredCSR = temporal.CSR
+
+// SeriesCSR builds the engine arena of an aggregated series.
+func SeriesCSR(g *Series) *LayeredCSR { return temporal.SeriesCSR(g) }
+
+// StreamCSR builds the engine arena of the raw stream (one layer per
+// distinct timestamp, canonicalised unless directed).
+func StreamCSR(s *Stream, directed bool) *LayeredCSR { return temporal.StreamCSR(s, directed) }
+
+// CSRMinimalTrips enumerates all minimal trips of a prebuilt arena.
+func CSRMinimalTrips(c *LayeredCSR, n int, directed bool) []Trip {
+	return temporal.CollectTripsCSR(temporal.Config{N: n, Directed: directed}, c)
+}
+
+// CSROccupancies returns the occupancy rates of all minimal trips of a
+// prebuilt arena.
+func CSROccupancies(c *LayeredCSR, n int, directed bool) []float64 {
+	return temporal.OccupanciesCSR(temporal.Config{N: n, Directed: directed}, c)
 }
 
 // LogGrid returns a geometrically spaced candidate-period grid.
@@ -165,21 +189,21 @@ func AnalyzeAdaptive(s *Stream, cfg AdaptiveConfig) (*AdaptiveAnalysis, error) {
 // minimum hops among paths realising it.
 func EarliestArrivals(g *Series, src int32, startWindow int64) (arr []int64, hops []int32) {
 	cfg := temporal.Config{N: g.N, Directed: g.Directed}
-	return temporal.EarliestArrivals(cfg, temporal.SeriesLayers(g), src, startWindow)
+	return temporal.EarliestArrivalsCSR(cfg, temporal.SeriesCSR(g), src, startWindow)
 }
 
 // StreamEarliestArrivals answers the forward query on the raw stream,
 // with raw timestamps.
 func StreamEarliestArrivals(s *Stream, src int32, startTime int64, directed bool) (arr []int64, hops []int32) {
 	cfg := temporal.Config{N: s.NumNodes(), Directed: directed}
-	return temporal.EarliestArrivals(cfg, temporal.StreamLayers(s, directed), src, startTime)
+	return temporal.EarliestArrivalsCSR(cfg, temporal.StreamCSR(s, directed), src, startTime)
 }
 
 // ReachablePairs counts the ordered pairs (u, v) connected by at least
 // one temporal path in the aggregated series.
 func ReachablePairs(g *Series) int64 {
 	cfg := temporal.Config{N: g.N, Directed: g.Directed}
-	return temporal.CountReachablePairs(cfg, temporal.SeriesLayers(g))
+	return temporal.CountReachablePairsCSR(cfg, temporal.SeriesCSR(g))
 }
 
 // Unreachable is the earliest-arrival value of unreachable nodes.
