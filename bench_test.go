@@ -12,13 +12,16 @@ import (
 	"testing"
 
 	"repro/internal/adaptive"
+	"repro/internal/classic"
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/dist"
 	"repro/internal/figures"
 	"repro/internal/linkstream"
+	"repro/internal/sweep"
 	"repro/internal/synth"
 	"repro/internal/temporal"
+	"repro/internal/validate"
 )
 
 func benchProfile() figures.Profile { return figures.QuickProfile() }
@@ -218,6 +221,73 @@ func BenchmarkAblationGridDense(b *testing.B) {
 			Grid: core.LogGrid(3600, s.Duration(), 14),
 		})
 		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiSweepAllMetrics vs BenchmarkMultiSweepSeparatePasses:
+// the unified observer engine. The fused run computes the occupancy
+// curve, the classical Figure 2 properties, the transition-loss curve
+// and the elongation curve in one engine pass (each period's CSR built
+// and swept once, the raw stream's trips enumerated once); the
+// separate-passes run computes the same four curves with the retained
+// seed single-metric implementations (core.SweepReference,
+// classic.CurveReference, validate.*CurveReference) — four passes over
+// the stream, each rebuilding its own period arenas — which is what
+// figures.RunAll paid before the engine existed.
+// BenchmarkMultiSweepSeparateWrappers is the tighter comparison against
+// the current engine-backed entry points called one metric at a time.
+func BenchmarkMultiSweepAllMetrics(b *testing.B) {
+	s := irvineStream(b)
+	grid := core.LogGrid(3600, s.Duration(), 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		occ := core.NewOccupancyObserver(nil)
+		cls := classic.NewObserver()
+		loss := validate.NewTransitionLossObserver()
+		elong := validate.NewElongationObserver()
+		if err := sweep.Run(s, grid, sweep.Options{}, occ, cls, loss, elong); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiSweepSeparatePasses(b *testing.B) {
+	s := irvineStream(b)
+	grid := core.LogGrid(3600, s.Duration(), 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SweepReference(s, grid, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := classic.CurveReference(s, grid, classic.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := validate.TransitionLossCurveReference(s, grid, validate.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := validate.ElongationCurveReference(s, grid, validate.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiSweepSeparateWrappers(b *testing.B) {
+	s := irvineStream(b)
+	grid := core.LogGrid(3600, s.Duration(), 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Sweep(s, grid, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := classic.Curve(s, grid, classic.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := validate.TransitionLossCurve(s, grid, validate.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := validate.ElongationCurve(s, grid, validate.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

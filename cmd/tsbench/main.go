@@ -7,10 +7,14 @@
 //
 //	tsbench [-bench regex] [-benchtime 2s] [-o BENCH_1.json]
 //	tsbench -input bench.txt -o BENCH_1.json   # parse existing output
+//	tsbench -o BENCH_2.json -against BENCH_1.json -gate 25
 //
 // Without -input it shells out to `go test -run ^$ -bench ... -benchmem`
 // in the module root, which therefore requires the go toolchain on
-// PATH.
+// PATH. With -against, the run is diffed against a baseline report:
+// every benchmark present in both is printed with its ns/op delta, and
+// with -gate N the command fails if any shared benchmark regressed by
+// more than N percent — the regression gate CI runs on every push.
 package main
 
 import (
@@ -57,6 +61,8 @@ func run(args []string, stdout io.Writer) error {
 	pkg := fs.String("pkg", ".", "package to benchmark")
 	out := fs.String("o", "", "output JSON file (default: stdout)")
 	input := fs.String("input", "", "parse an existing `go test -bench` output file instead of running")
+	against := fs.String("against", "", "baseline JSON report to diff the results against")
+	gate := fs.Float64("gate", 0, "with -against: fail if any shared benchmark's ns/op regressed by more than this percentage")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,13 +99,77 @@ func run(args []string, stdout io.Writer) error {
 	}
 	data = append(data, '\n')
 	if *out == "" {
-		_, err = stdout.Write(data)
+		// Default stdout output happens with or without -against, so a
+		// measurement run is never discarded.
+		if _, err := stdout.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d benchmark results to %s\n", len(report.Benchmarks), *out)
+	}
+	if *against == "" {
+		return nil
+	}
+	base, err := loadReport(*against)
+	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		return err
+	return diffReports(stdout, base, report, *gate)
+}
+
+// loadReport reads a JSON report previously written by tsbench.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
-	fmt.Fprintf(stdout, "wrote %d benchmark results to %s\n", len(report.Benchmarks), *out)
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return rep, nil
+}
+
+// diffReports prints the ns/op delta of every benchmark present in
+// both reports and, when gatePct > 0, fails if any regressed by more
+// than gatePct percent. Benchmarks present on only one side are listed
+// but never gated.
+func diffReports(stdout io.Writer, base, cur *Report, gatePct float64) error {
+	baseByName := make(map[string]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseByName[r.Name] = r
+	}
+	var regressed []string
+	shared := 0
+	for _, r := range cur.Benchmarks {
+		b, ok := baseByName[r.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-44s %12.0f ns/op  (new)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		shared++
+		delta := 100 * (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+		status := ""
+		if gatePct > 0 && delta > gatePct {
+			status = "  REGRESSED"
+			regressed = append(regressed, fmt.Sprintf("%s (%+.1f%%)", r.Name, delta))
+		}
+		fmt.Fprintf(stdout, "%-44s %12.0f -> %12.0f ns/op  %+7.1f%%%s\n",
+			r.Name, b.NsPerOp, r.NsPerOp, delta, status)
+	}
+	if shared == 0 {
+		return fmt.Errorf("no shared benchmarks between the reports")
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond the ±%.0f%% gate: %s",
+			len(regressed), gatePct, strings.Join(regressed, ", "))
+	}
+	if gatePct > 0 {
+		fmt.Fprintf(stdout, "all %d shared benchmarks within the ±%.0f%% gate\n", shared, gatePct)
+	}
 	return nil
 }
 

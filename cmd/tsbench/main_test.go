@@ -42,6 +42,55 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestDiffReportsGate(t *testing.T) {
+	base := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+	}}
+	cur := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 110},  // +10%: inside the gate
+		{Name: "BenchmarkB", NsPerOp: 1400}, // +40%: regression
+		{Name: "BenchmarkNew", NsPerOp: 5},  // only in current: reported, not gated
+	}}
+	var out strings.Builder
+	err := diffReports(&out, base, cur, 25)
+	if err == nil {
+		t.Fatal("a +40% regression must trip the ±25% gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkB") {
+		t.Fatalf("gate error %v should name BenchmarkB", err)
+	}
+	s := out.String()
+	for _, want := range []string{"BenchmarkA", "REGRESSED", "(new)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, s)
+		}
+	}
+
+	// Inside the gate: no error, summary line printed.
+	out.Reset()
+	cur.Benchmarks[1].NsPerOp = 1100
+	if err := diffReports(&out, base, cur, 25); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "within the ±25% gate") {
+		t.Fatalf("missing gate summary:\n%s", out.String())
+	}
+
+	// Improvements never trip the gate.
+	out.Reset()
+	cur.Benchmarks[1].NsPerOp = 200
+	if err := diffReports(&out, base, cur, 25); err != nil {
+		t.Fatal(err)
+	}
+
+	// Disjoint reports are an error, not a silent pass.
+	if err := diffReports(&out, &Report{}, cur, 25); err == nil {
+		t.Fatal("no shared benchmarks should error")
+	}
+}
+
 func TestParseLineRejectsGarbage(t *testing.T) {
 	for _, line := range []string{
 		"BenchmarkFoo",

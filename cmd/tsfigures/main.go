@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/figures"
 )
@@ -29,9 +30,11 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("tsfigures", flag.ContinueOnError)
 	fig := fs.String("fig", "", "experiment to run (table1, fig2..fig8b); empty = all")
+	metrics := fs.String("metrics", "", "comma-separated list of experiments to run (e.g. fig2,fig8a); empty = all")
 	profile := fs.String("profile", "full", "profile: full | quick")
 	out := fs.String("out", "", "write output to this file instead of stdout")
 	workers := fs.Int("workers", 0, "engine parallelism (0 = all CPUs)")
+	maxInFlight := fs.Int("max-inflight", 0, "max aggregation periods resident in the sweep engine (0 = engine default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,6 +49,7 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown profile %q", *profile)
 	}
 	p.Workers = *workers
+	p.MaxInFlight = *maxInFlight
 
 	w := stdout
 	if *out != "" {
@@ -57,8 +61,19 @@ func run(args []string, stdout io.Writer) error {
 		w = f
 	}
 
-	if *fig == "" {
+	switch {
+	case *fig != "" && *metrics != "":
+		return fmt.Errorf("-fig and -metrics are mutually exclusive")
+	case *fig != "":
+		return figures.Run(*fig, p, w)
+	case *metrics != "":
+		for _, name := range strings.Split(*metrics, ",") {
+			if err := figures.Run(strings.TrimSpace(name), p, w); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
 		return figures.RunAll(p, w)
 	}
-	return figures.Run(*fig, p, w)
 }

@@ -18,13 +18,45 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/adaptive"
+	"repro/internal/classic"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/linkstream"
+	"repro/internal/sweep"
 	"repro/internal/textplot"
+	"repro/internal/validate"
 )
+
+// metricSet is the parsed -metrics flag: which curves the fused engine
+// pass computes alongside the occupancy method.
+type metricSet struct {
+	classic, distance, loss, elongation bool
+}
+
+func parseMetrics(spec string) (metricSet, error) {
+	var m metricSet
+	for _, name := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(name) {
+		case "", "occupancy": // always on: it decides gamma
+		case "classic":
+			m.classic = true
+		case "distance":
+			m.distance = true
+		case "loss":
+			m.loss = true
+		case "elongation":
+			m.elongation = true
+		default:
+			return m, fmt.Errorf("unknown metric %q (have occupancy, classic, distance, loss, elongation)", name)
+		}
+	}
+	return m, nil
+}
+
+func (m metricSet) extras() bool { return m.classic || m.distance || m.loss || m.elongation }
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
@@ -44,7 +76,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	allSel := fs.Bool("all-selectors", false, "score with all five Section 7 metrics")
 	adaptiveMode := fs.Bool("adaptive", false, "also segment activity modes and report per-segment scales")
 	workers := fs.Int("workers", 0, "engine parallelism (0 = all CPUs)")
+	metricsSpec := fs.String("metrics", "occupancy",
+		"comma-separated metrics computed in one fused engine pass: occupancy,classic,distance,loss,elongation (occupancy always included; -refine only applies without extra metrics)")
+	maxInFlight := fs.Int("max-inflight", 0, "max aggregation periods resident in the sweep engine (0 = engine default)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	metrics, err := parseMetrics(*metricsSpec)
+	if err != nil {
 		return err
 	}
 
@@ -66,7 +105,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("no events read")
 	}
 
-	opt := core.Options{Directed: *directed, Workers: *workers, Refine: *refine}
+	opt := core.Options{Directed: *directed, Workers: *workers, Refine: *refine, MaxInFlight: *maxInFlight}
 	if *allSel {
 		opt.Selectors = dist.AllSelectors()
 	}
@@ -76,9 +115,59 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	opt.Grid = core.LogGrid(lo, s.Duration(), *points)
 
-	res, err := core.SaturationScale(s, opt)
-	if err != nil {
-		return err
+	var res core.Result
+	var classicObs *classic.Observer
+	var distObs *sweep.DistanceObserver
+	var lossObs *validate.TransitionLossObserver
+	var elongObs *validate.ElongationObserver
+	if metrics.extras() {
+		// Fused mode: every requested curve falls out of one engine
+		// pass over the stream (one CSR build and one backward sweep
+		// per candidate period, shared by all observers).
+		occObs := core.NewOccupancyObserver(opt.Selectors)
+		observers := []sweep.Observer{occObs}
+		if metrics.classic {
+			classicObs = classic.NewObserver()
+			observers = append(observers, classicObs)
+		}
+		if metrics.distance {
+			distObs = sweep.NewDistanceObserver()
+			observers = append(observers, distObs)
+		}
+		if metrics.loss {
+			lossObs = validate.NewTransitionLossObserver()
+			observers = append(observers, lossObs)
+		}
+		if metrics.elongation {
+			elongObs = validate.NewElongationObserver()
+			observers = append(observers, elongObs)
+		}
+		err := sweep.Run(s, opt.Grid, sweep.Options{
+			Directed:    *directed,
+			Workers:     *workers,
+			MaxInFlight: *maxInFlight,
+		}, observers...)
+		if err != nil {
+			return err
+		}
+		pts := occObs.Points()
+		best := core.Best(pts, 0)
+		sel := dist.Selector(dist.MKProximitySelector{})
+		if len(opt.Selectors) > 0 {
+			sel = opt.Selectors[0]
+		}
+		res = core.Result{
+			Gamma:    pts[best].Delta,
+			Score:    pts[best].Scores[0],
+			Selector: sel.Name(),
+			Points:   pts,
+		}
+	} else {
+		r, err := core.SaturationScale(s, opt)
+		if err != nil {
+			return err
+		}
+		res = r
 	}
 	st := s.ComputeStats()
 	fmt.Fprintf(stdout, "events: %d  nodes: %d  span: %ds  activity: %.3f msgs/person/day\n",
@@ -127,6 +216,63 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			})
 		}
 		fmt.Fprint(stdout, textplot.Table([]string{"segment", "mode", "events", "gamma"}, rows))
+	}
+	if classicObs != nil {
+		rows := make([][]string, 0, len(classicObs.Points()))
+		for _, p := range classicObs.Points() {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", p.Delta),
+				fmt.Sprintf("%.5f", p.MeanDensity),
+				fmt.Sprintf("%.3f", p.MeanDegree),
+				fmt.Sprintf("%.2f", p.MeanNonIsolated),
+				fmt.Sprintf("%.2f", p.MeanLargestComp),
+			})
+		}
+		fmt.Fprintln(stdout, "\nclassical properties (Figure 2):")
+		fmt.Fprint(stdout, textplot.Table(
+			[]string{"period (s)", "density", "degree", "non-isolated", "largest comp"}, rows))
+	}
+	if distObs != nil {
+		rows := make([][]string, 0, len(distObs.Points()))
+		for _, p := range distObs.Points() {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", p.Delta),
+				fmt.Sprintf("%.3f", p.MeanTime),
+				fmt.Sprintf("%.3f", p.MeanHops),
+				fmt.Sprintf("%.3f", p.MeanAbsTime/3600),
+				fmt.Sprintf("%d", p.FinitePairs),
+			})
+		}
+		fmt.Fprintln(stdout, "\nmean temporal distances:")
+		fmt.Fprint(stdout, textplot.Table(
+			[]string{"period (s)", "dtime (windows)", "dhops", "dabstime (h)", "finite triples"}, rows))
+	}
+	if lossObs != nil || elongObs != nil {
+		n := len(res.Points)
+		rows := make([][]string, 0, n)
+		header := []string{"period (s)"}
+		if lossObs != nil {
+			header = append(header, "transitions lost")
+		}
+		if elongObs != nil {
+			header = append(header, "mean elongation")
+		}
+		for i := 0; i < n; i++ {
+			row := []string{fmt.Sprintf("%d", res.Points[i].Delta)}
+			if lossObs != nil {
+				row = append(row, fmt.Sprintf("%.1f%%", 100*lossObs.Points()[i].Lost))
+			}
+			if elongObs != nil {
+				el := "-"
+				if p := elongObs.Points()[i]; p.Trips > 0 {
+					el = fmt.Sprintf("%.2f", p.MeanElongation)
+				}
+				row = append(row, el)
+			}
+			rows = append(rows, row)
+		}
+		fmt.Fprintln(stdout, "\nvalidation (Section 8):")
+		fmt.Fprint(stdout, textplot.Table(header, rows))
 	}
 	if *curve {
 		pts := make([]textplot.XY, 0, len(res.Points))

@@ -3,10 +3,15 @@
 // collapsed into one window and the mean elongation factor of minimal
 // trips, across a sweep of periods, annotated with the saturation scale.
 //
+// The saturation scale and every requested validation curve come out of
+// one pass of the unified sweep engine: the stream is sorted once, each
+// period's layer arena is built and swept once, and the occupancy, loss
+// and elongation observers all score that single sweep.
+//
 // Usage:
 //
 //	tsvalidate -in stream.txt
-//	tsvalidate -points 16 < stream.txt
+//	tsvalidate -points 16 -metrics loss < stream.txt
 package main
 
 import (
@@ -14,9 +19,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/linkstream"
+	"repro/internal/sweep"
 	"repro/internal/textplot"
 	"repro/internal/validate"
 )
@@ -35,9 +42,26 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	points := fs.Int("points", 20, "number of periods to sweep")
 	minDelta := fs.Int64("min", 0, "smallest period (default: stream resolution)")
 	workers := fs.Int("workers", 0, "engine parallelism (0 = all CPUs)")
+	metricsSpec := fs.String("metrics", "loss,elongation",
+		"comma-separated validation metrics to compute: loss,elongation")
+	maxInFlight := fs.Int("max-inflight", 0, "max aggregation periods resident in the sweep engine (0 = engine default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	wantLoss, wantElong := false, false
+	for _, name := range strings.Split(*metricsSpec, ",") {
+		switch strings.TrimSpace(name) {
+		case "", "occupancy": // gamma is always computed
+		case "loss":
+			wantLoss = true
+		case "elongation":
+			wantElong = true
+		default:
+			return fmt.Errorf("unknown metric %q (have loss, elongation)", name)
+		}
+	}
+	// With neither loss nor elongation selected the run still computes
+	// and prints the saturation scale (gamma-only mode).
 
 	var r io.Reader = stdin
 	if *in != "" {
@@ -61,47 +85,64 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		lo = s.Resolution()
 	}
 	grid := core.LogGrid(lo, s.Duration(), *points)
-	opt := validate.Options{Directed: *directed, Workers: *workers}
 
-	sc, err := core.SaturationScale(s, core.Options{
-		Directed: *directed, Workers: *workers, Grid: grid,
-	})
+	occObs := core.NewOccupancyObserver(nil)
+	observers := []sweep.Observer{occObs}
+	var lossObs *validate.TransitionLossObserver
+	var elongObs *validate.ElongationObserver
+	if wantLoss {
+		lossObs = validate.NewTransitionLossObserver()
+		observers = append(observers, lossObs)
+	}
+	if wantElong {
+		elongObs = validate.NewElongationObserver()
+		observers = append(observers, elongObs)
+	}
+	err := sweep.Run(s, grid, sweep.Options{
+		Directed:    *directed,
+		Workers:     *workers,
+		MaxInFlight: *maxInFlight,
+	}, observers...)
 	if err != nil {
 		return err
 	}
-	loss, err := validate.TransitionLossCurve(s, grid, opt)
-	if err != nil {
-		return err
-	}
-	elong, err := validate.ElongationCurve(s, grid, opt)
-	if err != nil {
-		return err
-	}
+	occ := occObs.Points()
+	gamma := occ[core.Best(occ, 0)].Delta
 
-	fmt.Fprintf(stdout, "saturation scale gamma = %d s (%.2f h)\n\n", sc.Gamma, float64(sc.Gamma)/3600)
+	fmt.Fprintf(stdout, "saturation scale gamma = %d s (%.2f h)\n\n", gamma, float64(gamma)/3600)
+	header := []string{"period (s)", "period (h)"}
+	if wantLoss {
+		header = append(header, "transitions lost")
+	}
+	if wantElong {
+		header = append(header, "mean elongation")
+	}
+	header = append(header, "")
 	rows := make([][]string, 0, len(grid))
 	for i, delta := range grid {
 		marker := ""
-		if delta >= sc.Gamma && (i == 0 || grid[i-1] < sc.Gamma) {
+		if delta >= gamma && (i == 0 || grid[i-1] < gamma) {
 			marker = "<- gamma"
 		}
-		el := "-"
-		if elong[i].Trips > 0 {
-			el = fmt.Sprintf("%.2f", elong[i].MeanElongation)
-		}
-		rows = append(rows, []string{
+		row := []string{
 			fmt.Sprintf("%d", delta),
 			fmt.Sprintf("%.3f", float64(delta)/3600),
-			fmt.Sprintf("%.1f%%", 100*loss[i].Lost),
-			el,
-			marker,
-		})
+		}
+		if wantLoss {
+			row = append(row, fmt.Sprintf("%.1f%%", 100*lossObs.Points()[i].Lost))
+		}
+		if wantElong {
+			el := "-"
+			if p := elongObs.Points()[i]; p.Trips > 0 {
+				el = fmt.Sprintf("%.2f", p.MeanElongation)
+			}
+			row = append(row, el)
+		}
+		rows = append(rows, append(row, marker))
 	}
-	fmt.Fprint(stdout, textplot.Table(
-		[]string{"period (s)", "period (h)", "transitions lost", "mean elongation", ""},
-		rows))
-	if len(loss) > 0 {
-		fmt.Fprintf(stdout, "\nshortest transitions in the stream: %d\n", loss[0].Total)
+	fmt.Fprint(stdout, textplot.Table(header, rows))
+	if wantLoss {
+		fmt.Fprintf(stdout, "\nshortest transitions in the stream: %d\n", lossObs.Points()[0].Total)
 	}
 	return nil
 }

@@ -42,6 +42,28 @@ func ExampleAggregate() {
 	// edges per window: 3 3 3
 }
 
+// MultiSweep computes several metrics in one fused engine pass: each
+// candidate period is aggregated and swept exactly once, and every
+// registered observer scores that single sweep.
+func ExampleMultiSweep() {
+	occ := repro.NewOccupancyObserver(nil)
+	loss := repro.NewTransitionLossObserver()
+	dist := repro.NewDistanceObserver()
+	grid := []int64{1, 4, 11}
+	err := repro.MultiSweep(figure1(), grid, repro.SweepEngineOptions{MaxInFlight: 2},
+		occ, loss, dist)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("periods scored:", len(occ.Points()))
+	fmt.Println("transitions in the stream:", loss.Points()[0].Total)
+	fmt.Printf("mean dtime at delta=4: %.2f windows\n", dist.Points()[1].MeanTime)
+	// Output:
+	// periods scored: 3
+	// transitions in the stream: 11
+	// mean dtime at delta=4: 1.65 windows
+}
+
 // Minimal trips capture the propagation structure; their occupancy
 // rates are the core quantity of the occupancy method.
 func ExampleMinimalTrips() {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/linkstream"
 	"repro/internal/series"
+	"repro/internal/sweep"
 	"repro/internal/temporal"
 )
 
@@ -39,10 +40,82 @@ type Point struct {
 type Options struct {
 	Directed bool
 	Workers  int
+	// MaxInFlight bounds the periods the sweep engine keeps resident;
+	// <= 0 selects the engine default.
+	MaxInFlight int
 }
 
-// Curve computes the Figure 2 quantities for every period in grid.
+// Observer collects the Figure 2 quantities as a sweep-engine
+// observer: window statistics and distance means both fall out of the
+// engine's single pass per period, so fusing the classical curve with
+// the occupancy or validation metrics costs no extra aggregation.
+type Observer struct {
+	points []Point
+}
+
+// NewObserver returns an empty classical-properties observer.
+func NewObserver() *Observer { return &Observer{} }
+
+// Needs implements sweep.Observer.
+func (o *Observer) Needs() sweep.Needs {
+	return sweep.Needs{WindowStats: true, Distances: true}
+}
+
+// Begin implements sweep.Observer.
+func (o *Observer) Begin(v *sweep.StreamView) error {
+	o.points = make([]Point, len(v.Grid))
+	return nil
+}
+
+// ObservePeriod implements sweep.Observer.
+func (o *Observer) ObservePeriod(p *sweep.Period) error {
+	st, d := p.Windows, p.Distances
+	o.points[p.Index] = Point{
+		Delta:           p.Delta,
+		MeanDensity:     st.MeanDensity,
+		MeanDegree:      st.MeanDegree,
+		MeanNonIsolated: st.MeanNonIsolated,
+		MeanLargestComp: st.MeanLargestComp,
+		MeanDistTime:    d.MeanTime,
+		MeanDistHops:    d.MeanHops,
+		MeanDistAbsTime: float64(p.Delta) * d.MeanTime,
+		FinitePairs:     d.Count,
+	}
+	return nil
+}
+
+// Points returns the curve in grid order. Valid after sweep.Run
+// returns without error.
+func (o *Observer) Points() []Point { return o.points }
+
+// Curve computes the Figure 2 quantities for every period in grid, as
+// one pass of the unified sweep engine (each period's CSR is built
+// once, swept once for the distances and scanned once for the window
+// statistics, then freed).
 func Curve(s *linkstream.Stream, grid []int64, opt Options) ([]Point, error) {
+	if s.NumEvents() == 0 {
+		return nil, errors.New("classic: stream has no events")
+	}
+	if len(grid) == 0 {
+		return nil, errors.New("classic: empty grid")
+	}
+	obs := NewObserver()
+	err := sweep.Run(s, grid, sweep.Options{
+		Directed:    opt.Directed,
+		Workers:     opt.Workers,
+		MaxInFlight: opt.MaxInFlight,
+	}, obs)
+	if err != nil {
+		return nil, err
+	}
+	return obs.Points(), nil
+}
+
+// CurveReference is the seed implementation of Curve: one At call — a
+// full Series aggregation plus a dedicated distance pass — per period.
+// Retained as the behavioural reference for the equivalence tests and
+// the separate-passes benchmarks.
+func CurveReference(s *linkstream.Stream, grid []int64, opt Options) ([]Point, error) {
 	if s.NumEvents() == 0 {
 		return nil, errors.New("classic: stream has no events")
 	}
@@ -60,7 +133,10 @@ func Curve(s *linkstream.Stream, grid []int64, opt Options) ([]Point, error) {
 	return points, nil
 }
 
-// At computes the Figure 2 quantities for a single period.
+// At computes the Figure 2 quantities for a single period. It is the
+// seed per-∆ implementation — one Series aggregation plus one distance
+// pass — retained as the reference Curve is equivalence-tested
+// against.
 func At(s *linkstream.Stream, delta int64, opt Options) (Point, error) {
 	g, err := series.Aggregate(s, delta, opt.Directed)
 	if err != nil {

@@ -18,13 +18,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/dist"
 	"repro/internal/linkstream"
+	"repro/internal/sweep"
 	"repro/internal/temporal"
 )
 
@@ -54,6 +52,11 @@ type Options struct {
 	// backend; it is intended for very large trip populations and the
 	// ablation benchmarks.
 	HistogramBins int
+	// MaxInFlight bounds how many aggregation periods the sweep engine
+	// keeps resident at once (CSR arena plus occupancy products); <= 0
+	// selects the engine default. Peak sweep memory is
+	// O(MaxInFlight × period footprint) instead of O(grid).
+	MaxInFlight int
 }
 
 func (o Options) selectors() []dist.Selector {
@@ -187,17 +190,81 @@ func sortedEvents(s *linkstream.Stream, directed bool) []linkstream.Event {
 	return events
 }
 
+// OccupancyObserver is the occupancy method as a sweep-engine observer:
+// it scores every period's occupancy distribution (exact sample or
+// streamed histogram) with the configured selectors. Register it with
+// sweep.Run — or repro.MultiSweep — to fuse the occupancy curve with
+// other metrics in one pass.
+type OccupancyObserver struct {
+	sels   []dist.Selector
+	points []SweepPoint
+}
+
+// NewOccupancyObserver returns an observer scoring with the given
+// selectors (nil selects the paper's default, M-K proximity only).
+func NewOccupancyObserver(sels []dist.Selector) *OccupancyObserver {
+	if len(sels) == 0 {
+		sels = []dist.Selector{dist.MKProximitySelector{}}
+	}
+	return &OccupancyObserver{sels: sels}
+}
+
+// Needs implements sweep.Observer.
+func (o *OccupancyObserver) Needs() sweep.Needs { return sweep.Needs{Occupancies: true} }
+
+// Begin implements sweep.Observer.
+func (o *OccupancyObserver) Begin(v *sweep.StreamView) error {
+	o.points = make([]SweepPoint, len(v.Grid))
+	return nil
+}
+
+// ObservePeriod implements sweep.Observer. It runs concurrently for
+// different periods; each call only writes its own grid slot.
+func (o *OccupancyObserver) ObservePeriod(p *sweep.Period) error {
+	pt := SweepPoint{Delta: p.Delta, Scores: make([]float64, len(o.sels))}
+	if p.Histogram != nil {
+		// The histogram backend only approximates the M-K score; reject
+		// other selectors here too, so the engine-level entry points
+		// (sweep.Run, repro.MultiSweep) cannot silently fill their
+		// slots with the wrong score.
+		for _, sel := range o.sels {
+			if _, ok := sel.(dist.MKProximitySelector); !ok {
+				return fmt.Errorf("core: selector %s does not support the histogram backend", sel.Name())
+			}
+		}
+		pt.Trips = int(p.Histogram.N())
+		mk := p.Histogram.MKProximity()
+		for si := range pt.Scores {
+			pt.Scores[si] = mk
+		}
+	} else {
+		sample, err := dist.NewSampleFromChunks(p.OccupancyCount, p.OccupancyChunks)
+		if err != nil {
+			return err
+		}
+		pt.Trips = sample.N()
+		for si, sel := range o.sels {
+			pt.Scores[si] = sel.Score(sample)
+		}
+	}
+	o.points[p.Index] = pt
+	return nil
+}
+
+// Points returns the scored curve in grid order. Valid after sweep.Run
+// returns without error.
+func (o *OccupancyObserver) Points() []SweepPoint { return o.points }
+
 // Sweep scores every candidate period in grid with every selector in
 // opt.Selectors. Points are returned in grid order.
 //
-// This is a single-pass pipeline over the stream: the event buffer is
-// sorted and canonicalised once, every period's window partition is an
-// O(M) bucketing pass over that same buffer (reused build scratch, CSR
-// arenas), and the (period, destination) sweep work items are then
-// scheduled on one shared worker pool with per-worker engine state, so
-// grid-level and destination-level parallelism compose without per-∆
-// allocation spikes. A scoring pass over the periods (sample sort plus
-// selector integrals, itself parallel over periods) follows.
+// Sweep is a thin wrapper over the unified sweep engine: one
+// OccupancyObserver registered with sweep.Run. The engine sorts and
+// canonicalises the event buffer once, builds each period's CSR arena
+// exactly once, schedules (period, destination-block) work items on one
+// shared worker pool, and keeps at most opt.MaxInFlight periods
+// resident — each period is built, swept, scored and freed before the
+// grid moves on.
 func Sweep(s *linkstream.Stream, grid []int64, opt Options) ([]SweepPoint, error) {
 	if s.NumEvents() == 0 {
 		return nil, ErrNoEvents
@@ -218,145 +285,17 @@ func Sweep(s *linkstream.Stream, grid []int64, opt Options) ([]SweepPoint, error
 			return nil, fmt.Errorf("core: non-positive aggregation period %d", delta)
 		}
 	}
-
-	events := sortedEvents(s, opt.Directed)
-	t0 := events[0].T
-	n := s.NumNodes()
-
-	// Aggregation pass: one CSR arena per period from the shared event
-	// buffer, with one reused sort-and-compact scratch.
-	csrs := make([]*temporal.CSR, len(grid))
-	var scratch temporal.CSRScratch
-	for i, delta := range grid {
-		csrs[i] = temporal.BuildCSR(events, t0, delta, &scratch)
+	obs := NewOccupancyObserver(sels)
+	err := sweep.Run(s, grid, sweep.Options{
+		Directed:      opt.Directed,
+		Workers:       opt.Workers,
+		MaxInFlight:   opt.MaxInFlight,
+		HistogramBins: opt.HistogramBins,
+	}, obs)
+	if err != nil {
+		return nil, err
 	}
-
-	// Sweep pass: (period, destination-block) work items, period-major
-	// so a worker drains its occupancy sink only on period boundaries.
-	type deltaAcc struct {
-		mu     sync.Mutex
-		chunks [][]float64
-		total  int
-	}
-	accs := make([]deltaAcc, len(grid))
-	// In histogram mode chunks are streamed into the per-period
-	// histogram as workers flush and recycled immediately, so the
-	// sweep never holds a period's full occupancy population — that
-	// bounded footprint is the point of the histogram backend.
-	var hists []*dist.Histogram
-	if opt.HistogramBins > 0 {
-		hists = make([]*dist.Histogram, len(grid))
-		for i := range hists {
-			hists[i] = dist.NewHistogram(opt.HistogramBins)
-		}
-	}
-	blocks := temporal.DestBlocks(n)
-	items := len(grid) * blocks
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > items {
-		workers = items
-	}
-	flush := func(w *temporal.Worker, di int) {
-		chunks, total := w.TakeOccupancies()
-		if total == 0 {
-			return
-		}
-		a := &accs[di]
-		a.mu.Lock()
-		if hists != nil {
-			for _, ch := range chunks {
-				hists[di].AddAll(ch)
-			}
-		} else {
-			a.chunks = append(a.chunks, chunks...)
-			a.total += total
-		}
-		a.mu.Unlock()
-		if hists != nil {
-			temporal.RecycleOccupancies(chunks)
-		}
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			w := temporal.NewWorker(n)
-			defer w.Release()
-			cur := -1
-			for {
-				item := int(next.Add(1) - 1)
-				if item >= items {
-					break
-				}
-				di := item / blocks
-				if di != cur {
-					if cur >= 0 {
-						flush(w, cur)
-					}
-					cur = di
-				}
-				w.SweepOccupancyBlock(csrs[di], opt.Directed, item%blocks)
-			}
-			if cur >= 0 {
-				flush(w, cur)
-			}
-		}()
-	}
-	wg.Wait()
-
-	// Scoring pass, parallel over periods.
-	points := make([]SweepPoint, len(grid))
-	errs := make([]error, len(grid))
-	next.Store(0)
-	for i := 0; i < min(workers, len(grid)); i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				di := int(next.Add(1) - 1)
-				if di >= len(grid) {
-					return
-				}
-				p := SweepPoint{Delta: grid[di], Scores: make([]float64, len(sels))}
-				if hists != nil {
-					h := hists[di]
-					p.Trips = int(h.N())
-					// Validation above restricted histogram mode to M-K
-					// selectors, so every slot gets the one histogram score.
-					mk := h.MKProximity()
-					for si := range sels {
-						p.Scores[si] = mk
-					}
-				} else {
-					a := &accs[di]
-					occ := temporal.ConcatOccupancies(a.total, a.chunks)
-					a.chunks = nil
-					sample, err := dist.NewSample(occ)
-					if err != nil {
-						errs[di] = err
-						continue
-					}
-					p.Trips = sample.N()
-					for si, sel := range sels {
-						p.Scores[si] = sel.Score(sample)
-					}
-				}
-				points[di] = p
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return points, nil
+	return obs.Points(), nil
 }
 
 // Best returns the index of the point maximising selector selIdx.

@@ -9,6 +9,7 @@ package dist
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -37,16 +38,30 @@ func NewSample(values []float64) (*Sample, error) {
 	if len(values) == 0 {
 		return nil, ErrEmptySample
 	}
+	return NewSampleFromChunks(len(values), [][]float64{values})
+}
+
+// NewSampleFromChunks builds the distribution of a multiset given as a
+// list of value chunks with total values overall, counting each chunk
+// in place — the streaming entry point of the sweep pipeline, which
+// hands over its workers' occupancy chunks without ever concatenating
+// them. The chunks are not retained.
+func NewSampleFromChunks(total int, chunks [][]float64) (*Sample, error) {
+	if total == 0 {
+		return nil, ErrEmptySample
+	}
 	m := newF64Counter()
 	const expMask = 0x7FF0000000000000
-	for _, v := range values {
-		k := math.Float64bits(v)
-		if k&expMask == expMask { // NaN or Inf: exponent all ones
-			return nil, errors.New("dist: non-finite sample value")
+	for _, values := range chunks {
+		for _, v := range values {
+			k := math.Float64bits(v)
+			if k&expMask == expMask { // NaN or Inf: exponent all ones
+				return nil, errors.New("dist: non-finite sample value")
+			}
+			m.add(k)
 		}
-		m.add(k)
 	}
-	s := &Sample{values: make([]float64, 0, m.used), n: int64(len(values))}
+	s := &Sample{values: make([]float64, 0, m.used), n: int64(total)}
 	counts := make(map[float64]int64, m.used)
 	for i, c := range m.cnts {
 		if c != 0 {
@@ -257,6 +272,32 @@ func (h *Histogram) AddAll(vs []float64) {
 
 // N returns the number of recorded values.
 func (h *Histogram) N() int64 { return h.n }
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Merge adds every count of o into h. Both histograms must have the
+// same number of bins. This is the concurrent-merge path of the sweep
+// pipeline: workers bin occupancy chunks into a private histogram
+// outside any lock and fold it into the shared per-period histogram
+// with one O(bins) merge, so the hot binning loop never contends.
+func (h *Histogram) Merge(o *Histogram) {
+	if len(o.counts) != len(h.counts) {
+		panic(fmt.Sprintf("dist: merging %d-bin histogram into %d bins", len(o.counts), len(h.counts)))
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+}
+
+// Reset zeroes the histogram for reuse.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.n = 0
+}
 
 // MKProximity returns the histogram approximation of Sample.MKProximity,
 // treating each bin's mass as concentrated at the bin centre. The error

@@ -24,7 +24,7 @@ func Fig2(p Profile) (*Fig2Result, error) {
 	}
 	s = p.prepare(s)
 	grid := core.LogGrid(MinDelta, s.Duration(), p.GridPoints)
-	pts, err := classic.Curve(s, grid, classic.Options{Workers: p.Workers})
+	pts, err := classic.Curve(s, grid, classic.Options{Workers: p.Workers, MaxInFlight: p.MaxInFlight})
 	if err != nil {
 		return nil, err
 	}

@@ -47,7 +47,7 @@ func occupancyFor(d *datasets.Dataset, p Profile, icdCount int) (*OccupancyResul
 		return nil, err
 	}
 	s = p.prepare(s)
-	opt := core.Options{Workers: p.Workers, Grid: core.LogGrid(MinDelta, s.Duration(), p.GridPoints)}
+	opt := core.Options{Workers: p.Workers, MaxInFlight: p.MaxInFlight, Grid: core.LogGrid(MinDelta, s.Duration(), p.GridPoints)}
 	sc, err := core.SaturationScale(s, opt)
 	if err != nil {
 		return nil, err

@@ -42,9 +42,10 @@ func Fig6Left(p Profile) (*Fig6LeftResult, error) {
 			return nil, err
 		}
 		sc, err := core.SaturationScale(s, core.Options{
-			Workers: p.Workers,
-			Grid:    core.LogGrid(1, res.T, p.GridPoints),
-			Refine:  4,
+			Workers:     p.Workers,
+			MaxInFlight: p.MaxInFlight,
+			Grid:        core.LogGrid(1, res.T, p.GridPoints),
+			Refine:      4,
 		})
 		if err != nil {
 			return nil, err
@@ -144,9 +145,10 @@ func Fig6Right(p Profile) (*Fig6RightResult, error) {
 			return nil, err
 		}
 		sc, err := core.SaturationScale(s, core.Options{
-			Workers: p.Workers,
-			Grid:    core.LogGrid(1, res.T, p.GridPoints),
-			Refine:  4,
+			Workers:     p.Workers,
+			MaxInFlight: p.MaxInFlight,
+			Grid:        core.LogGrid(1, res.T, p.GridPoints),
+			Refine:      4,
 		})
 		if err != nil {
 			return nil, err

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/sweep"
 	"repro/internal/textplot"
 	"repro/internal/validate"
 )
@@ -24,29 +25,33 @@ type Fig8Result struct {
 // Fig8 computes the transition-loss (left) and elongation (right)
 // curves and evaluates them at γ. The paper reports ~48 % of shortest
 // transitions lost and a mean elongation below 1.5 at γ = 18 h.
+//
+// All three quantities — the occupancy curve deciding γ, the loss curve
+// and the elongation curve — come out of one engine pass: each
+// period's CSR is built once and its single backward sweep feeds the
+// occupancy, trip and stream-transition observers simultaneously.
 func Fig8(p Profile) (*Fig8Result, error) {
 	s, err := datasets.Irvine().Stream()
 	if err != nil {
 		return nil, err
 	}
 	s = p.prepare(s)
-	opt := validate.Options{Workers: p.Workers}
 	grid := core.LogGrid(MinDelta, s.Duration(), p.GridPoints)
-	sc, err := core.SaturationScale(s, core.Options{Workers: p.Workers, Grid: grid})
+	occObs := core.NewOccupancyObserver(nil)
+	lossObs := validate.NewTransitionLossObserver()
+	elongObs := validate.NewElongationObserver()
+	err = sweep.Run(s, grid, sweep.Options{Workers: p.Workers, MaxInFlight: p.MaxInFlight},
+		occObs, lossObs, elongObs)
 	if err != nil {
 		return nil, err
 	}
-	loss, err := validate.TransitionLossCurve(s, grid, opt)
-	if err != nil {
-		return nil, err
-	}
-	elong, err := validate.ElongationCurve(s, grid, opt)
-	if err != nil {
-		return nil, err
-	}
-	res := &Fig8Result{Gamma: sc.Gamma, Loss: loss, Elongation: elong}
-	res.LossAtGamma = interpAt(sc.Gamma, loss, func(p validate.LossPoint) (int64, float64) { return p.Delta, p.Lost })
-	res.ElongationAtGamma = interpAt(sc.Gamma, elong, func(p validate.ElongationPoint) (int64, float64) { return p.Delta, p.MeanElongation })
+	points := occObs.Points()
+	gamma := points[core.Best(points, 0)].Delta
+	loss := lossObs.Points()
+	elong := elongObs.Points()
+	res := &Fig8Result{Gamma: gamma, Loss: loss, Elongation: elong}
+	res.LossAtGamma = interpAt(gamma, loss, func(p validate.LossPoint) (int64, float64) { return p.Delta, p.Lost })
+	res.ElongationAtGamma = interpAt(gamma, elong, func(p validate.ElongationPoint) (int64, float64) { return p.Delta, p.MeanElongation })
 	return res, nil
 }
 

@@ -25,10 +25,11 @@ import (
 // the calibrated stand-ins); Quick shrinks workloads and grids so every
 // experiment finishes in at most a few seconds, for tests and benches.
 type Profile struct {
-	Name       string
-	GridPoints int // ∆-sweep resolution
-	Workers    int // engine parallelism; 0 = GOMAXPROCS
-	Quick      bool
+	Name        string
+	GridPoints  int // ∆-sweep resolution
+	Workers     int // engine parallelism; 0 = GOMAXPROCS
+	MaxInFlight int // sweep-engine resident periods; 0 = engine default
+	Quick       bool
 }
 
 // FullProfile is the paper-scale configuration.

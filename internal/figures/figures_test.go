@@ -4,8 +4,42 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/sweep"
 	"repro/internal/validate"
 )
+
+// TestFigureSweepsBuildEachPeriodOnce pins the engine guarantee the
+// refactor exists for: one figure computation builds each candidate
+// period's CSR arena exactly once, however many metrics it feeds —
+// Figure 8's occupancy, transition-loss and elongation curves share a
+// single pass, as do Figure 2's window statistics and distances.
+func TestFigureSweepsBuildEachPeriodOnce(t *testing.T) {
+	p := QuickProfile()
+	s, err := datasets.Irvine().Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = p.prepare(s)
+	gridLen := len(core.LogGrid(MinDelta, s.Duration(), p.GridPoints))
+
+	sweep.ResetBuildStats()
+	if _, err := Fig8(p); err != nil {
+		t.Fatal(err)
+	}
+	if builds, _ := sweep.BuildStats(); builds != int64(gridLen) {
+		t.Fatalf("Fig8 built %d period CSRs for %d grid entries", builds, gridLen)
+	}
+
+	sweep.ResetBuildStats()
+	if _, err := Fig2(p); err != nil {
+		t.Fatal(err)
+	}
+	if builds, _ := sweep.BuildStats(); builds != int64(gridLen) {
+		t.Fatalf("Fig2 built %d period CSRs for %d grid entries", builds, gridLen)
+	}
+}
 
 // The quick profile must still reproduce every qualitative finding of
 // the paper; these tests are the executable form of EXPERIMENTS.md.

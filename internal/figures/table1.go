@@ -37,8 +37,9 @@ func Table1(p Profile) (*Table1Result, error) {
 		s = p.prepare(s)
 		st := s.ComputeStats()
 		sc, err := core.SaturationScale(s, core.Options{
-			Workers: p.Workers,
-			Grid:    core.LogGrid(MinDelta, s.Duration(), p.GridPoints),
+			Workers:     p.Workers,
+			MaxInFlight: p.MaxInFlight,
+			Grid:        core.LogGrid(MinDelta, s.Duration(), p.GridPoints),
 		})
 		if err != nil {
 			return nil, err

@@ -2,6 +2,7 @@ package linkstream
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -17,11 +18,40 @@ import (
 // lines ignored. Node fields are arbitrary tokens and are interned in
 // order of first appearance.
 
+// DefaultMaxLineBytes is the line-length cap ReadEvents applies when
+// ReadOptions.MaxLineBytes is unset.
+const DefaultMaxLineBytes = 1 << 20
+
+// ReadOptions configures ReadEventsWith.
+type ReadOptions struct {
+	// MaxLineBytes caps the length of one input line; <= 0 selects
+	// DefaultMaxLineBytes. Inputs produced by some exporters carry very
+	// long trailing comment or metadata lines, which a larger cap
+	// admits without growing per-line allocations for ordinary files.
+	MaxLineBytes int
+}
+
 // ReadEvents parses events from r into the stream, returning the number of
-// events added. Malformed lines abort with a positioned error.
+// events added. Malformed lines abort with a positioned error. Lines are
+// capped at DefaultMaxLineBytes; use ReadEventsWith to change the cap.
 func (s *Stream) ReadEvents(r io.Reader) (int, error) {
+	return s.ReadEventsWith(r, ReadOptions{})
+}
+
+// ReadEventsWith is ReadEvents with an explicit configuration. A line
+// exceeding the cap aborts with an error naming the offending line
+// number (wrapping bufio.ErrTooLong) instead of a bare scanner error.
+func (s *Stream) ReadEventsWith(r io.Reader, opt ReadOptions) (int, error) {
+	maxLine := opt.MaxLineBytes
+	if maxLine <= 0 {
+		maxLine = DefaultMaxLineBytes
+	}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	initial := 64 * 1024
+	if initial > maxLine {
+		initial = maxLine
+	}
+	sc.Buffer(make([]byte, 0, initial), maxLine)
 	added, lineNo := 0, 0
 	for sc.Scan() {
 		lineNo++
@@ -43,6 +73,11 @@ func (s *Stream) ReadEvents(r io.Reader) (int, error) {
 		added++
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// The overflow happened on the line after the last one
+			// successfully scanned.
+			return added, fmt.Errorf("linkstream: line %d: longer than %d bytes: %w", lineNo+1, maxLine, err)
+		}
 		return added, fmt.Errorf("linkstream: read: %v", err)
 	}
 	return added, nil

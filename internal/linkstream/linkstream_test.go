@@ -1,6 +1,7 @@
 package linkstream
 
 import (
+	"bufio"
 	"errors"
 	"math/rand"
 	"sort"
@@ -333,6 +334,44 @@ func TestReadEventsErrors(t *testing.T) {
 		if _, err := s.ReadEvents(strings.NewReader(in)); err == nil {
 			t.Fatalf("ReadEvents(%q): expected error", in)
 		}
+	}
+}
+
+func TestReadEventsLineTooLong(t *testing.T) {
+	// Line 3 blows the cap; the error must carry that line number and
+	// wrap bufio.ErrTooLong.
+	in := "a b 1\nb c 2\nc d 3 " + strings.Repeat("x", 256) + "\nd e 4\n"
+	s := New()
+	n, err := s.ReadEventsWith(strings.NewReader(in), ReadOptions{MaxLineBytes: 64})
+	if err == nil {
+		t.Fatal("expected an overflow error")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("error %v should wrap bufio.ErrTooLong", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %v should name line 3", err)
+	}
+	if n != 2 {
+		t.Fatalf("read %d events before the overflow, want 2", n)
+	}
+}
+
+func TestReadEventsWithLargerCap(t *testing.T) {
+	// The same long line parses fine once the cap admits it, trailing
+	// columns ignored.
+	in := "a b 1\nc d 3 " + strings.Repeat("x", 4096) + "\n"
+	s := New()
+	if _, err := s.ReadEvents(strings.NewReader(in)); err != nil {
+		t.Fatalf("default 1 MiB cap should admit a 4 KiB line: %v", err)
+	}
+	s = New()
+	n, err := s.ReadEventsWith(strings.NewReader(in), ReadOptions{MaxLineBytes: 16 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("read %d events, want 2", n)
 	}
 }
 

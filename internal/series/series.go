@@ -123,41 +123,57 @@ type Stats struct {
 // ComputeStats materialises every non-empty window once and aggregates
 // the classical properties.
 func (g *Series) ComputeStats() (Stats, error) {
-	st := Stats{Delta: g.Delta, NumWindows: g.NumWindows, NonEmptyWindows: len(g.Windows), TotalEdges: g.TotalEdges}
-	if g.NumWindows == 0 {
+	return ComputeStatsFromLayers(g.N, g.Delta, g.NumWindows, g.Directed, len(g.Windows),
+		func(i int) []snapshot.Edge { return g.Windows[i].Edges })
+}
+
+// ComputeStatsFromLayers aggregates the classical per-snapshot
+// properties over any layered representation of an aggregated series —
+// layer(i) returns the deduplicated edge set of the i-th non-empty
+// window, in increasing window order. (*Series).ComputeStats is a thin
+// wrapper over it. The sweep engine keeps an optimised union-find
+// variant of this accumulation (it never materialises snapshot.Graph);
+// the two are pinned together by classic's bit-exact equivalence tests
+// — change the per-window quantities or their accumulation order here
+// and there together.
+func ComputeStatsFromLayers(n int, delta, numWindows int64, directed bool, layers int, layer func(i int) []snapshot.Edge) (Stats, error) {
+	st := Stats{Delta: delta, NumWindows: numWindows, NonEmptyWindows: layers}
+	if numWindows == 0 {
 		return st, nil
 	}
 	var sumDensity, sumDegree, sumNonIso, sumLCC float64
-	for i := range g.Windows {
-		gr, err := g.Snapshot(i)
+	for i := 0; i < layers; i++ {
+		edges := layer(i)
+		st.TotalEdges += len(edges)
+		gr, err := snapshot.NewGraph(n, edges, directed)
 		if err != nil {
 			return st, err
 		}
 		sumDensity += gr.Density()
-		if g.N > 0 {
-			if g.Directed {
-				sumDegree += float64(gr.M()) / float64(g.N)
+		if n > 0 {
+			if directed {
+				sumDegree += float64(gr.M()) / float64(n)
 			} else {
-				sumDegree += 2 * float64(gr.M()) / float64(g.N)
+				sumDegree += 2 * float64(gr.M()) / float64(n)
 			}
 		}
 		sumNonIso += float64(gr.NonIsolated())
 		sumLCC += float64(gr.LargestComponent())
-		if len(g.Windows[i].Edges) > st.MaxSnapshotEdges {
-			st.MaxSnapshotEdges = len(g.Windows[i].Edges)
+		if len(edges) > st.MaxSnapshotEdges {
+			st.MaxSnapshotEdges = len(edges)
 		}
 	}
 	// Empty windows contribute 0 to everything except the largest
 	// component, which is 1 (a single isolated node) when N > 0.
-	empty := float64(g.NumWindows) - float64(len(g.Windows))
-	if g.N > 0 {
+	empty := float64(numWindows) - float64(layers)
+	if n > 0 {
 		sumLCC += empty
 	}
-	k := float64(g.NumWindows)
+	k := float64(numWindows)
 	st.MeanDensity = sumDensity / k
 	st.MeanDegree = sumDegree / k
 	st.MeanNonIsolated = sumNonIso / k
 	st.MeanLargestComp = sumLCC / k
-	st.MeanSnapshotEdges = float64(g.TotalEdges) / k
+	st.MeanSnapshotEdges = float64(st.TotalEdges) / k
 	return st, nil
 }

@@ -1,0 +1,55 @@
+package sweep
+
+// DistancePoint is one aggregation period's mean temporal distances —
+// the Figure 2 bottom-panel quantities, emitted from the same backward
+// sweeps that produce the occupancy distribution instead of a separate
+// one-sweep-per-destination distance pass.
+type DistancePoint struct {
+	Delta int64
+	// MeanTime is the mean distance in time, in window counts
+	// (dtime = arr - dep + 1).
+	MeanTime float64
+	// MeanHops is the mean distance in hops.
+	MeanHops float64
+	// MeanAbsTime = Delta * MeanTime is the mean distance in raw time
+	// units.
+	MeanAbsTime float64
+	// FinitePairs is the number of (u, v, t) triples with a finite
+	// distance.
+	FinitePairs int64
+}
+
+// DistanceObserver collects the Figure 2 distance curves across the
+// sweep grid.
+type DistanceObserver struct {
+	points []DistancePoint
+}
+
+// NewDistanceObserver returns an empty distance observer.
+func NewDistanceObserver() *DistanceObserver { return &DistanceObserver{} }
+
+// Needs implements Observer.
+func (o *DistanceObserver) Needs() Needs { return Needs{Distances: true} }
+
+// Begin implements Observer.
+func (o *DistanceObserver) Begin(v *StreamView) error {
+	o.points = make([]DistancePoint, len(v.Grid))
+	return nil
+}
+
+// ObservePeriod implements Observer.
+func (o *DistanceObserver) ObservePeriod(p *Period) error {
+	d := p.Distances
+	o.points[p.Index] = DistancePoint{
+		Delta:       p.Delta,
+		MeanTime:    d.MeanTime,
+		MeanHops:    d.MeanHops,
+		MeanAbsTime: float64(p.Delta) * d.MeanTime,
+		FinitePairs: d.Count,
+	}
+	return nil
+}
+
+// Points returns the distance curve in grid order. Valid after Run
+// returns without error.
+func (o *DistanceObserver) Points() []DistancePoint { return o.points }

@@ -1,0 +1,725 @@
+// Package sweep implements the unified observer-based sweep engine:
+// the one loop every per-∆ analysis of the paper shares. A sweep sorts
+// and canonicalises the link stream exactly once, builds each candidate
+// period's CSR layer arena exactly once, runs the backward temporal-path
+// sweep over it exactly once, and fans the products of that single pass
+// — minimal trips, occupancy rates, distance segments, per-window
+// snapshot statistics and the raw stream's minimal trips — out to
+// registered Observers. The occupancy method (core), the classical
+// Figure 2 properties (classic), the Section 8 validation curves
+// (validate) and the Figure 2 distance curves (DistanceObserver) are
+// all observers of the same engine run, so computing every metric costs
+// one pass over the stream instead of one pass per metric.
+//
+// Period scheduling is a bounded in-flight pipeline: at most
+// Options.MaxInFlight periods have their CSR arena and product sinks
+// resident at any moment. A period's arena is built, swept by the
+// shared worker pool, scored by every observer and freed before the
+// (MaxInFlight+1)-th following period starts, so peak memory is
+// O(MaxInFlight × period footprint) instead of O(grid × period
+// footprint) — the property that lets wide ∆ grids run over very large
+// streams.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dist"
+	"repro/internal/linkstream"
+	"repro/internal/series"
+	"repro/internal/temporal"
+)
+
+// ErrNoEvents is returned when the stream has no event to analyse.
+var ErrNoEvents = errors.New("sweep: stream has no events")
+
+// DefaultMaxInFlight is the number of periods kept resident when
+// Options.MaxInFlight is unset: enough to overlap one period's arena
+// construction with the sweeps of the previous ones without ever
+// holding a whole grid in memory.
+const DefaultMaxInFlight = 4
+
+// Options configures an engine run.
+type Options struct {
+	// Directed preserves link orientation in layers and paths.
+	Directed bool
+	// Workers bounds engine parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// MaxInFlight bounds how many periods may be resident (CSR arena
+	// plus product sinks) at once; <= 0 selects DefaultMaxInFlight.
+	// 1 fully serialises periods with minimal memory; values >= 2
+	// overlap one period's construction and scoring with the sweeps of
+	// the others.
+	MaxInFlight int
+	// HistogramBins, when positive, streams occupancies into fixed-bin
+	// per-period histograms instead of exact value multisets: observers
+	// receive Period.Histogram instead of Period.Occupancies, and the
+	// engine never holds a period's full occupancy population.
+	HistogramBins int
+}
+
+// Needs declares which engine products an observer consumes. The
+// engine computes the union of all observers' needs in a single sweep
+// pass, so registering one more observer never adds another pass.
+type Needs struct {
+	// Trips requests Period.Trips, the minimal trips of G∆.
+	Trips bool
+	// Occupancies requests Period.Occupancies (or Period.Histogram in
+	// histogram mode), the occupancy rates of the minimal trips.
+	Occupancies bool
+	// Distances requests Period.Distances, the Figure 2 mean distance
+	// statistics.
+	Distances bool
+	// WindowStats requests Period.Windows, the per-snapshot classical
+	// properties.
+	WindowStats bool
+	// StreamTrips requests StreamView.StreamTrips, the minimal trips of
+	// the raw stream (computed once per run, before any period).
+	StreamTrips bool
+}
+
+func (n Needs) union(o Needs) Needs {
+	return Needs{
+		Trips:       n.Trips || o.Trips,
+		Occupancies: n.Occupancies || o.Occupancies,
+		Distances:   n.Distances || o.Distances,
+		WindowStats: n.WindowStats || o.WindowStats,
+		StreamTrips: n.StreamTrips || o.StreamTrips,
+	}
+}
+
+// perPeriod reports whether any per-period product requires building
+// the period's CSR at all.
+func (n Needs) perPeriod() bool {
+	return n.Trips || n.Occupancies || n.Distances || n.WindowStats
+}
+
+// sweeps reports whether the backward temporal-path sweep must run.
+func (n Needs) sweeps() bool { return n.Trips || n.Occupancies || n.Distances }
+
+// StreamView is the stream-level context handed to Observer.Begin: the
+// sorted (and, for undirected runs, canonicalised) event buffer shared
+// by every period, the candidate grid, and — when requested — the
+// minimal trips of the raw stream.
+type StreamView struct {
+	N        int
+	Directed bool
+	T0, T1   int64
+	Grid     []int64
+	// Events is sorted by time and canonicalised (U < V) for
+	// undirected runs. Observers must not modify it.
+	Events []linkstream.Event
+
+	streamTrips []temporal.Trip
+}
+
+// StreamTrips returns the minimal trips of the raw stream (layer per
+// distinct timestamp, raw timestamps as keys). It is non-nil only for
+// runs whose observers declared Needs.StreamTrips.
+func (v *StreamView) StreamTrips() []temporal.Trip { return v.streamTrips }
+
+// Period is the per-period view handed to Observer.ObservePeriod. Only
+// the products requested through Needs are populated; everything the
+// period owns is released once every observer has seen it.
+type Period struct {
+	Index      int   // position in StreamView.Grid
+	Delta      int64 // aggregation period
+	T0         int64 // origin of the window partition
+	NumWindows int64 // total number of windows, empty ones included
+
+	// TripBlocks holds the minimal trips of G∆ (Dep and Arr are window
+	// indices) as per-destination slices in destination order:
+	// iterating the blocks in order and each block front to back visits
+	// every trip in exactly the order consecutive single-destination
+	// backward sweeps would emit them. The blocked layout is exposed
+	// as-is so no trip is ever copied between the sweep and the
+	// observers; use Trips to materialise one flat slice. Populated for
+	// Needs.Trips.
+	TripBlocks [][]temporal.Trip
+	// OccupancyChunks holds the occupancy-rate multiset of the minimal
+	// trips as a list of engine-owned value chunks (OccupancyCount
+	// values overall), in unspecified order. Populated for
+	// Needs.Occupancies in exact mode (Options.HistogramBins == 0).
+	// The chunks are recycled when ObservePeriod returns — observers
+	// must consume them inside the call (dist.NewSampleFromChunks does
+	// exactly that).
+	OccupancyChunks [][]float64
+	// OccupancyCount is the total number of values in OccupancyChunks.
+	OccupancyCount int
+	// Histogram is the streamed occupancy histogram. Populated for
+	// Needs.Occupancies in histogram mode.
+	Histogram *dist.Histogram
+	// Distances holds the mean temporal distances (dtime in window
+	// counts, durPlus = 1). Populated for Needs.Distances.
+	Distances temporal.DistanceStats
+	// Windows holds the classical per-snapshot statistics. Populated
+	// for Needs.WindowStats.
+	Windows series.Stats
+}
+
+// Trips concatenates TripBlocks into one flat destination-ordered
+// slice. It allocates; observers that only iterate should range over
+// TripBlocks directly.
+func (p *Period) Trips() []temporal.Trip {
+	total := 0
+	for _, blk := range p.TripBlocks {
+		total += len(blk)
+	}
+	out := make([]temporal.Trip, 0, total)
+	for _, blk := range p.TripBlocks {
+		out = append(out, blk...)
+	}
+	return out
+}
+
+// Observer consumes the products of an engine run. Begin is called
+// once, before any period; ObservePeriod is called exactly once per
+// grid entry, possibly concurrently for different periods (an observer
+// must only touch per-period state, e.g. write results[p.Index], or
+// read state frozen in Begin).
+type Observer interface {
+	// Needs declares which products the observer consumes.
+	Needs() Needs
+	// Begin receives the stream-level view before any period runs.
+	Begin(v *StreamView) error
+	// ObservePeriod receives one period's products. The Period and
+	// everything it references become invalid when the call returns;
+	// observers must copy what they keep.
+	ObservePeriod(p *Period) error
+}
+
+// Engine instrumentation: periodBuilds counts period CSR constructions
+// since the last ResetBuildStats; periodsAlive tracks the currently
+// resident periods and maxAlive their high-water mark. Tests use these
+// to assert the build-each-CSR-once and bounded-in-flight guarantees.
+var (
+	periodBuilds atomic.Int64
+	periodsAlive atomic.Int64
+	maxAlive     atomic.Int64
+)
+
+// ResetBuildStats zeroes the engine's build instrumentation.
+func ResetBuildStats() {
+	periodBuilds.Store(0)
+	periodsAlive.Store(0)
+	maxAlive.Store(0)
+}
+
+// BuildStats returns how many period CSR arenas were built since the
+// last ResetBuildStats and the maximum number simultaneously resident.
+func BuildStats() (builds, maxInFlight int64) {
+	return periodBuilds.Load(), maxAlive.Load()
+}
+
+// Run executes one engine pass: it validates the inputs, prepares the
+// shared stream view (plus the raw-stream trips if any observer needs
+// them), calls every observer's Begin, then pipelines the grid's
+// periods through the bounded in-flight scheduler, fanning each
+// period's products to every observer. The first error — from an
+// observer or the engine itself — aborts the run and is returned.
+func Run(s *linkstream.Stream, grid []int64, opt Options, observers ...Observer) error {
+	if s.NumEvents() == 0 {
+		return ErrNoEvents
+	}
+	if len(grid) == 0 {
+		return errors.New("sweep: empty candidate grid")
+	}
+	for _, delta := range grid {
+		if delta <= 0 {
+			return fmt.Errorf("sweep: non-positive aggregation period %d", delta)
+		}
+	}
+	if len(observers) == 0 {
+		return errors.New("sweep: no observers registered")
+	}
+
+	s.Sort()
+	events := s.Events()
+	if !opt.Directed {
+		events = linkstream.Canonical(events)
+	}
+	var needs Needs
+	for _, o := range observers {
+		needs = needs.union(o.Needs())
+	}
+	v := &StreamView{
+		N:        s.NumNodes(),
+		Directed: opt.Directed,
+		T0:       events[0].T,
+		T1:       events[len(events)-1].T,
+		Grid:     grid,
+		Events:   events,
+	}
+	if needs.StreamTrips {
+		var scratch temporal.CSRScratch
+		streamCSR := temporal.BuildCSR(events, 0, 1, &scratch)
+		v.streamTrips = collectStreamTrips(streamCSR, v.N, opt)
+	}
+	for _, o := range observers {
+		if err := o.Begin(v); err != nil {
+			return err
+		}
+	}
+
+	if !needs.perPeriod() {
+		// Stream-level observers only: no CSR, no sweep — one cheap
+		// sequential pass over the grid.
+		for i, delta := range grid {
+			p := &Period{Index: i, Delta: delta, T0: v.T0, NumWindows: (v.T1-v.T0)/delta + 1}
+			for _, o := range observers {
+				if err := o.ObservePeriod(p); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	e := &engine{opt: opt, needs: needs, observers: observers, v: v}
+	e.workers = opt.Workers
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	e.blocks = temporal.DestBlocks(v.N)
+	e.histMode = opt.HistogramBins > 0 && needs.Occupancies
+	maxInFlight := opt.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	e.sem = make(chan struct{}, maxInFlight)
+	e.tasks = make(chan task, 2*e.workers)
+	return e.run()
+}
+
+// collectStreamTrips enumerates the minimal trips of the raw stream
+// with the blocked (LanesPerBlock destinations per layer pass) sweep,
+// parallel over destination blocks. The result is in destination-major
+// order regardless of worker count, so every observer sees the same
+// deterministic trip sequence.
+func collectStreamTrips(c *temporal.CSR, n int, opt Options) []temporal.Trip {
+	blocks := temporal.DestBlocks(n)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > blocks {
+		workers = blocks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	lanes := make([][]temporal.Trip, temporal.LanesPerBlock*blocks)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := temporal.NewWorker(n)
+			defer w.Release()
+			for {
+				b := int(next.Add(1) - 1)
+				if b >= blocks {
+					return
+				}
+				bl := w.SweepFullBlock(c, opt.Directed, b, true, false, nil)
+				copy(lanes[temporal.LanesPerBlock*b:], bl[:])
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, l := range lanes {
+		total += len(l)
+	}
+	out := make([]temporal.Trip, 0, total)
+	for _, l := range lanes {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// statsBlock is the pseudo block index of a period's window-statistics
+// task.
+const statsBlock = -1
+
+// job is one in-flight period: its arena, its product sinks and the
+// completion accounting that decides when it can be finalised.
+type job struct {
+	idx        int
+	delta      int64
+	numWindows int64
+	csr        *temporal.CSR
+
+	// pending counts unfinished tasks; contrib counts workers holding
+	// unflushed occupancy products for this job. The job finalises when
+	// both reach zero; finalized arbitrates the single finaliser.
+	pending   atomic.Int32
+	contrib   atomic.Int32
+	finalized atomic.Bool
+
+	mu       sync.Mutex // guards chunks, occTotal, hist
+	chunks   [][]float64
+	occTotal int
+	hist     *dist.Histogram
+
+	blockTrips [][]temporal.Trip  // one slot per (block, lane), written lock-free
+	sink       *temporal.DistSink // per-destination slots, written lock-free
+	stats      series.Stats       // written by the stats task
+}
+
+type task struct {
+	j     *job
+	block int // destination block, or statsBlock
+}
+
+type engine struct {
+	opt       Options
+	needs     Needs
+	observers []Observer
+	v         *StreamView
+	workers   int
+	blocks    int
+	histMode  bool
+
+	sem   chan struct{}
+	tasks chan task
+	wg    sync.WaitGroup
+
+	aborted  atomic.Bool
+	errMu    sync.Mutex
+	firstErr error
+}
+
+func (e *engine) fail(err error) {
+	if err == nil {
+		return
+	}
+	e.errMu.Lock()
+	if e.firstErr == nil {
+		e.firstErr = err
+	}
+	e.errMu.Unlock()
+	e.aborted.Store(true)
+}
+
+func (e *engine) run() error {
+	for i := 0; i < e.workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	e.produce()
+	e.wg.Wait()
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.firstErr
+}
+
+// produce builds one CSR per period — each period exactly once — and
+// enqueues its tasks, blocking on the in-flight semaphore so no more
+// than MaxInFlight periods are ever resident.
+func (e *engine) produce() {
+	defer close(e.tasks)
+	var scratch temporal.CSRScratch
+	for i, delta := range e.v.Grid {
+		if e.aborted.Load() {
+			return
+		}
+		e.sem <- struct{}{}
+		j := &job{idx: i, delta: delta, numWindows: (e.v.T1-e.v.T0)/delta + 1}
+		j.csr = temporal.BuildCSR(e.v.Events, e.v.T0, delta, &scratch)
+		periodBuilds.Add(1)
+		alive := periodsAlive.Add(1)
+		for {
+			m := maxAlive.Load()
+			if alive <= m || maxAlive.CompareAndSwap(m, alive) {
+				break
+			}
+		}
+		ntasks := 0
+		if e.needs.sweeps() {
+			ntasks += e.blocks
+			if e.needs.Trips {
+				j.blockTrips = make([][]temporal.Trip, temporal.LanesPerBlock*e.blocks)
+			}
+			if e.needs.Distances {
+				j.sink = temporal.NewDistSink(e.v.N, 0, 1)
+			}
+			if e.histMode {
+				j.hist = dist.NewHistogram(e.opt.HistogramBins)
+			}
+		}
+		if e.needs.WindowStats {
+			ntasks++
+		}
+		if ntasks == 0 {
+			// Unreachable while perPeriod() gates the pipeline, but keep
+			// the accounting sound.
+			e.finalize(j)
+			continue
+		}
+		j.pending.Store(int32(ntasks))
+		if e.needs.WindowStats {
+			e.tasks <- task{j: j, block: statsBlock}
+		}
+		if e.needs.sweeps() {
+			for b := 0; b < e.blocks; b++ {
+				e.tasks <- task{j: j, block: b}
+			}
+		}
+	}
+}
+
+// worker drains the task channel with one pooled sweep context. The
+// occupancy sink is worker-local and flushed into a job when the worker
+// moves to a later period, would otherwise block on an empty channel,
+// or exits — so in the steady state each worker flushes each period
+// once, and a job never waits on a worker that is busy elsewhere.
+func (e *engine) worker() {
+	defer e.wg.Done()
+	w := temporal.NewWorker(e.v.N)
+	defer w.Release()
+	var localHist *dist.Histogram
+	if e.histMode {
+		localHist = dist.NewHistogram(e.opt.HistogramBins)
+	}
+	var cur *job // job the worker's occupancy sink holds data for
+
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		j := cur
+		cur = nil
+		chunks, total := w.TakeOccupancies()
+		if total > 0 {
+			if e.histMode {
+				for _, ch := range chunks {
+					localHist.AddAll(ch)
+				}
+				temporal.RecycleOccupancies(chunks)
+				j.mu.Lock()
+				j.hist.Merge(localHist)
+				j.mu.Unlock()
+				localHist.Reset()
+			} else {
+				j.mu.Lock()
+				j.chunks = append(j.chunks, chunks...)
+				j.occTotal += total
+				j.mu.Unlock()
+			}
+		}
+		j.contrib.Add(-1)
+		e.maybeFinalize(j)
+	}
+
+	for {
+		var t task
+		select {
+		case tt, ok := <-e.tasks:
+			if !ok {
+				flush()
+				return
+			}
+			t = tt
+		default:
+			// Nothing ready: flush so no job waits on this worker's
+			// sink, then block for more work.
+			flush()
+			tt, ok := <-e.tasks
+			if !ok {
+				return
+			}
+			t = tt
+		}
+
+		j := t.j
+		if e.aborted.Load() {
+			j.pending.Add(-1)
+			e.maybeFinalize(j)
+			continue
+		}
+		if t.block == statsBlock {
+			j.stats = e.windowStats(j)
+		} else {
+			if e.needs.Occupancies && cur != j {
+				flush()
+				cur = j
+				j.contrib.Add(1)
+			}
+			if e.needs.Trips || e.needs.Distances {
+				lanes := w.SweepFullBlock(j.csr, e.opt.Directed, t.block,
+					e.needs.Trips, e.needs.Occupancies, j.sink)
+				if e.needs.Trips {
+					copy(j.blockTrips[temporal.LanesPerBlock*t.block:], lanes[:])
+				}
+			} else {
+				// Pure occupancy: the 4-lane blocked sweep.
+				w.SweepOccupancyBlock(j.csr, e.opt.Directed, t.block)
+			}
+		}
+		j.pending.Add(-1)
+		e.maybeFinalize(j)
+	}
+}
+
+func (e *engine) maybeFinalize(j *job) {
+	if j.pending.Load() != 0 || j.contrib.Load() != 0 {
+		return
+	}
+	if !j.finalized.CompareAndSwap(false, true) {
+		return
+	}
+	e.finalize(j)
+}
+
+// finalize assembles the period view, hands it to every observer and
+// releases everything the period held — arena, chunks, trips — before
+// freeing the in-flight slot. It runs on whichever worker completed the
+// period, so observer scoring overlaps other periods' sweeps.
+func (e *engine) finalize(j *job) {
+	defer func() {
+		j.csr = nil
+		j.chunks = nil
+		j.blockTrips = nil
+		j.sink = nil
+		j.hist = nil
+		periodsAlive.Add(-1)
+		<-e.sem
+	}()
+	if e.aborted.Load() {
+		return
+	}
+	p := &Period{Index: j.idx, Delta: j.delta, T0: e.v.T0, NumWindows: j.numWindows}
+	if e.needs.Trips {
+		p.TripBlocks = j.blockTrips
+	}
+	if e.needs.Occupancies {
+		if e.histMode {
+			p.Histogram = j.hist
+		} else {
+			p.OccupancyChunks = j.chunks
+			p.OccupancyCount = j.occTotal
+		}
+	}
+	if e.needs.Distances {
+		p.Distances = j.sink.Stats()
+	}
+	if e.needs.WindowStats {
+		p.Windows = j.stats
+	}
+	for _, o := range e.observers {
+		if err := o.ObservePeriod(p); err != nil {
+			e.fail(err)
+			break
+		}
+	}
+	if p.OccupancyChunks != nil {
+		temporal.RecycleOccupancies(p.OccupancyChunks)
+		j.chunks = nil
+	}
+}
+
+// windowStats scores the classical per-snapshot properties straight off
+// the period's CSR arena: each layer is exactly one non-empty window's
+// already-deduplicated edge set, so neither a Series nor a
+// snapshot.Graph is ever materialised — non-isolated counts and the
+// largest component come from one stamped union-find over the layer's
+// edges, with per-window values and accumulation order identical to
+// series.ComputeStatsFromLayers. The bit-exact equivalence tests in
+// classic (Curve vs CurveReference) pin the two implementations
+// together; a change to either must keep them in lockstep.
+func (e *engine) windowStats(j *job) series.Stats {
+	c, n := j.csr, e.v.N
+	st := series.Stats{Delta: j.delta, NumWindows: j.numWindows, NonEmptyWindows: c.NumLayers()}
+	if j.numWindows == 0 {
+		return st
+	}
+	// Stamped union-find scratch: nodes are initialised lazily per
+	// layer, so a layer costs O(its edges), not O(n).
+	parent := make([]int32, n)
+	size := make([]int32, n)
+	stamp := make([]int32, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	var sumDensity, sumDegree, sumNonIso, sumLCC float64
+	for li := 0; li < c.NumLayers(); li++ {
+		lo, hi := c.Off[li], c.Off[li+1]
+		m := hi - lo
+		st.TotalEdges += m
+		if m > st.MaxSnapshotEdges {
+			st.MaxSnapshotEdges = m
+		}
+		epoch := int32(li)
+		nonIso := 0
+		largest := int32(1)
+		touch := func(x int32) int32 {
+			if stamp[x] != epoch {
+				stamp[x] = epoch
+				parent[x] = x
+				size[x] = 1
+				nonIso++
+			}
+			return find(x)
+		}
+		for t := lo; t < hi; t++ {
+			ru, rv := touch(c.Ends[2*t]), touch(c.Ends[2*t+1])
+			if ru == rv {
+				continue
+			}
+			if size[ru] < size[rv] {
+				ru, rv = rv, ru
+			}
+			parent[rv] = ru
+			size[ru] += size[rv]
+			if size[ru] > largest {
+				largest = size[ru]
+			}
+		}
+		// Same per-window quantities, in the same accumulation order,
+		// as snapshot.Graph's Density/NonIsolated/LargestComponent fed
+		// through series.ComputeStatsFromLayers.
+		if n >= 2 {
+			pairs := float64(n) * float64(n-1)
+			if e.opt.Directed {
+				sumDensity += float64(m) / pairs
+			} else {
+				sumDensity += 2 * float64(m) / pairs
+			}
+		}
+		if n > 0 {
+			if e.opt.Directed {
+				sumDegree += float64(m) / float64(n)
+			} else {
+				sumDegree += 2 * float64(m) / float64(n)
+			}
+		}
+		sumNonIso += float64(nonIso)
+		sumLCC += float64(largest)
+	}
+	// Empty windows contribute 0 to everything except the largest
+	// component, which is 1 (a single isolated node) when N > 0.
+	empty := float64(j.numWindows) - float64(c.NumLayers())
+	if n > 0 {
+		sumLCC += empty
+	}
+	k := float64(j.numWindows)
+	st.MeanDensity = sumDensity / k
+	st.MeanDegree = sumDegree / k
+	st.MeanNonIsolated = sumNonIso / k
+	st.MeanLargestComp = sumLCC / k
+	st.MeanSnapshotEdges = float64(st.TotalEdges) / k
+	return st
+}

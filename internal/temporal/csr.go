@@ -223,11 +223,13 @@ type sweepState struct {
 	cand      []int64 // packed per-layer candidate; noCand at rest
 	seg       []int32 // layer index at which node's (arr, hop) became active
 	touched   []int32
-	nodeB     []int64 // destBlockSize-lane standing state, slot 4*node+lane
-	candB     []int64 // destBlockSize-lane candidates; noCand at rest
-	occ       []float64   // active occupancy chunk, used when collectOcc
-	occChunks [][]float64 // completed chunks
-	trips     []Trip      // trip sink for CollectTrips
+	nodeB     []int64               // destBlockSize-lane standing state, slot 4*node+lane
+	candB     []int64               // destBlockSize-lane candidates; noCand at rest
+	segB      []int32               // per-slot layer index of the standing state (distance segments)
+	occ       []float64             // active occupancy chunk, used when collectOcc
+	occChunks [][]float64           // completed chunks
+	trips     []Trip                // trip sink for CollectTrips
+	tripsB    [destBlockSize][]Trip // per-lane trip sinks of the full block sweep (ownership handed to the caller)
 }
 
 func newSweepState(n int) *sweepState {
@@ -331,7 +333,7 @@ func (st *sweepState) run(c *CSR, dest int32, directed bool, visit func(u int32,
 		// standing value either; both special cases vanish from the
 		// loop, leaving two loads, an add and one compare per relax.
 		node[dest] = int64(li) << 32
-		edges := ends[2*off[li]:2*off[li+1]]
+		edges := ends[2*off[li] : 2*off[li+1]]
 		if directed {
 			for j := 0; j+1 < len(edges); j += 2 {
 				u, v := edges[j], edges[j+1]
@@ -436,7 +438,7 @@ func (st *sweepState) runOccBlock(c *CSR, first int32, ndests int, directed bool
 		for b := 0; b < ndests; b++ {
 			nodeB[destBlockSize*int(first+int32(b))+b] = pin
 		}
-		edges := ends[2*off[li]:2*off[li+1]]
+		edges := ends[2*off[li] : 2*off[li+1]]
 		for j := 0; j+1 < len(edges); j += 2 {
 			bu := destBlockSize * int(edges[j])
 			bv := destBlockSize * int(edges[j+1])
@@ -535,6 +537,174 @@ func (st *sweepState) runOccBlock(c *CSR, first int32, ndests int, directed bool
 	}
 	st.touched = touched[:0]
 	st.occ = occ
+}
+
+// runFullBlock is runOccBlock with the full product fan-out: the same
+// 4-lane blocked relax loop, but the commit phase can additionally emit
+// every minimal trip into per-lane sinks (st.tripsB, lane b holding
+// destination first+b, so concatenating lanes in order yields the exact
+// destination-major, departure-descending trip order of consecutive
+// single-destination sweeps) and accumulate the distance segments of
+// each lane into sink's per-destination slot. Per destination, the
+// sequence of segment operations is identical to the single-destination
+// sweep's — lanes evolve independently and a slot's commits interleave
+// with other lanes' without reordering its own — so the accumulated
+// floating-point sums match st.run bit for bit.
+func (st *sweepState) runFullBlock(c *CSR, first int32, ndests int, directed bool, wantTrips, wantOcc bool, sink *DistSink) {
+	n := len(st.node)
+	if st.nodeB == nil {
+		st.nodeB = make([]int64, destBlockSize*n)
+		st.candB = make([]int64, destBlockSize*n)
+		for i := range st.candB {
+			st.candB[i] = noCand
+		}
+	}
+	needSeg := sink != nil
+	if needSeg && st.segB == nil {
+		st.segB = make([]int32, destBlockSize*n)
+	}
+	nodeB, candB, segB := st.nodeB, st.candB, st.segB
+	for i := range nodeB {
+		nodeB[i] = unreachPacked
+	}
+	// Lane sinks start nil each block (the previous block's were handed
+	// to the caller) and grow by append: for pointer-free elements the
+	// growth path never zeroes memory, which beats any presized make —
+	// makeslice clears its whole capacity.
+	keys, off, ends := c.Keys, c.Off, c.Ends
+	var recip []float64
+	if wantOcc {
+		recip = c.recipTable()
+	}
+	touched := st.touched[:0]
+
+	for li := len(keys) - 1; li >= 0; li-- {
+		key := keys[li]
+		touched = touched[:0]
+		// Pin each lane's own destination to (li, 0 hops); see run.
+		pin := int64(li) << 32
+		for b := 0; b < ndests; b++ {
+			nodeB[destBlockSize*int(first+int32(b))+b] = pin
+		}
+		edges := ends[2*off[li] : 2*off[li+1]]
+		for j := 0; j+1 < len(edges); j += 2 {
+			bu := destBlockSize * int(edges[j])
+			bv := destBlockSize * int(edges[j+1])
+			// Same manually unrolled lanes as runOccBlock.
+			nu := nodeB[bu : bu+4 : bu+4]
+			nv := nodeB[bv : bv+4 : bv+4]
+			pu0, pu1, pu2, pu3 := nu[0], nu[1], nu[2], nu[3]
+			pv0, pv1, pv2, pv3 := nv[0], nv[1], nv[2], nv[3]
+			if p := pv0 + 1; p < pu0 {
+				if cnd := candB[bu]; p < cnd {
+					if cnd == noCand {
+						touched = append(touched, int32(bu))
+					}
+					candB[bu] = p
+				}
+			}
+			if p := pv1 + 1; p < pu1 {
+				if cnd := candB[bu+1]; p < cnd {
+					if cnd == noCand {
+						touched = append(touched, int32(bu+1))
+					}
+					candB[bu+1] = p
+				}
+			}
+			if p := pv2 + 1; p < pu2 {
+				if cnd := candB[bu+2]; p < cnd {
+					if cnd == noCand {
+						touched = append(touched, int32(bu+2))
+					}
+					candB[bu+2] = p
+				}
+			}
+			if p := pv3 + 1; p < pu3 {
+				if cnd := candB[bu+3]; p < cnd {
+					if cnd == noCand {
+						touched = append(touched, int32(bu+3))
+					}
+					candB[bu+3] = p
+				}
+			}
+			if directed {
+				continue
+			}
+			if p := pu0 + 1; p < pv0 {
+				if cnd := candB[bv]; p < cnd {
+					if cnd == noCand {
+						touched = append(touched, int32(bv))
+					}
+					candB[bv] = p
+				}
+			}
+			if p := pu1 + 1; p < pv1 {
+				if cnd := candB[bv+1]; p < cnd {
+					if cnd == noCand {
+						touched = append(touched, int32(bv+1))
+					}
+					candB[bv+1] = p
+				}
+			}
+			if p := pu2 + 1; p < pv2 {
+				if cnd := candB[bv+2]; p < cnd {
+					if cnd == noCand {
+						touched = append(touched, int32(bv+2))
+					}
+					candB[bv+2] = p
+				}
+			}
+			if p := pu3 + 1; p < pv3 {
+				if cnd := candB[bv+3]; p < cnd {
+					if cnd == noCand {
+						touched = append(touched, int32(bv+3))
+					}
+					candB[bv+3] = p
+				}
+			}
+		}
+		for _, slot := range touched {
+			p, old := candB[slot], nodeB[slot]
+			candB[slot] = noCand
+			nodeB[slot] = p
+			lane := int(slot) % destBlockSize
+			if needSeg {
+				if old != unreachPacked {
+					sink.accs[int(first)+lane].addSegment(keys[old>>32], key+1, keys[segB[slot]], int32(old))
+				}
+				segB[slot] = int32(li)
+			}
+			if p>>32 < old>>32 {
+				if wantTrips {
+					st.tripsB[lane] = append(st.tripsB[lane], Trip{
+						U: int32(slot) / destBlockSize, V: first + int32(lane),
+						Dep: key, Arr: keys[p>>32], Hops: int32(p),
+					})
+				}
+				if wantOcc {
+					st.pushOcc(recip, key, keys[p>>32], int32(p))
+				}
+			}
+		}
+	}
+	st.touched = touched[:0]
+
+	if needSeg {
+		// Per destination, flush the final standing segments in node
+		// order — the same order st.run's tail loop uses.
+		for u := 0; u < n; u++ {
+			base := destBlockSize * u
+			for b := 0; b < ndests; b++ {
+				if int32(u) == first+int32(b) {
+					continue
+				}
+				if p := nodeB[base+b]; p != unreachPacked {
+					acc := &sink.accs[int(first)+b]
+					acc.addSegment(keys[p>>32], acc.kMin, keys[segB[base+b]], int32(p))
+				}
+			}
+		}
+	}
 }
 
 // forEachDestCSR runs fn for every destination on cfg.Workers parallel
@@ -672,6 +842,64 @@ func OccupanciesCSR(cfg Config, c *CSR) []float64 {
 	return concatChunks(total, chunkLists...)
 }
 
+// pushOcc appends one minimal trip's occupancy to the state's chunk
+// sink, using the same reciprocal-table arithmetic as the blocked
+// occupancy sweep so every occupancy producer yields bit-identical
+// values.
+func (st *sweepState) pushOcc(recip []float64, dep, arr int64, hops int32) {
+	if st.occ == nil {
+		st.occ = newChunk()
+	}
+	if len(st.occ) == occChunkLen {
+		st.occChunks = append(st.occChunks, st.occ)
+		st.occ = newChunk()
+	}
+	if recip != nil {
+		st.occ = append(st.occ, float64(hops)*recip[arr-dep])
+	} else {
+		st.occ = append(st.occ, float64(hops)/float64(arr-dep+1))
+	}
+}
+
+// DistSink accumulates the Figure 2 distance segments of a sweep, one
+// accumulator per destination so parallel destination sweeps write
+// disjoint slots without synchronisation. Stats folds the slots in
+// destination order, which keeps the floating-point result independent
+// of worker count.
+type DistSink struct {
+	accs []distAcc
+}
+
+// NewDistSink returns a sink for n destinations. kMin is the smallest
+// start time considered; durPlus is 1 for graph series (dtime =
+// arr-dep+1) and 0 for raw link streams.
+func NewDistSink(n int, kMin, durPlus int64) *DistSink {
+	s := &DistSink{accs: make([]distAcc, n)}
+	for i := range s.accs {
+		s.accs[i].kMin = kMin
+		s.accs[i].durPlus = durPlus
+	}
+	return s
+}
+
+// Stats folds the per-destination accumulators into the mean distances.
+func (s *DistSink) Stats() DistanceStats {
+	var total distAcc
+	for i := range s.accs {
+		total.sumTime += s.accs[i].sumTime
+		total.sumHops += s.accs[i].sumHops
+		total.count += s.accs[i].count
+	}
+	if total.count == 0 {
+		return DistanceStats{}
+	}
+	return DistanceStats{
+		MeanTime: total.sumTime / float64(total.count),
+		MeanHops: total.sumHops / float64(total.count),
+		Count:    total.count,
+	}
+}
+
 // Worker is a reusable sweep context for external schedulers (one per
 // goroutine). Release returns its state to the engine pool.
 type Worker struct{ st *sweepState }
@@ -690,6 +918,39 @@ func (w *Worker) SweepOccupancyBlock(c *CSR, directed bool, b int) {
 	n := len(w.st.node)
 	first := b * destBlockSize
 	w.st.runOccBlock(c, int32(first), min(destBlockSize, n-first), directed)
+}
+
+// LanesPerBlock is the number of destination lanes of one block of the
+// blocked sweep: lane l of block b holds destination b*LanesPerBlock+l.
+const LanesPerBlock = destBlockSize
+
+// SweepFullBlock runs the blocked backward sweep for destination block
+// b (see DestBlocks), fanning the products of that one pass out:
+// occupancies go to the worker's chunk sink (when wantOcc), distance
+// segments accumulate into sink's per-destination slots (when sink is
+// non-nil), and — when wantTrips — the block's minimal trips are
+// returned as LanesPerBlock per-destination slices whose ownership
+// passes to the caller; lane l, in departure-descending order, holds
+// exactly the trips a single-destination sweep of destination
+// b*LanesPerBlock+l would emit, in the same order, so concatenating
+// lanes block by block reproduces the destination-major trip order
+// without ever copying a trip. It is the work-item primitive of the
+// unified sweep engine for metric sets beyond pure occupancy; each
+// destination is swept exactly once regardless of how many products
+// are requested.
+func (w *Worker) SweepFullBlock(c *CSR, directed bool, b int, wantTrips, wantOcc bool, sink *DistSink) [LanesPerBlock][]Trip {
+	st := w.st
+	n := len(st.node)
+	first := b * destBlockSize
+	st.runFullBlock(c, int32(first), min(destBlockSize, n-first), directed, wantTrips, wantOcc, sink)
+	var lanes [LanesPerBlock][]Trip
+	if wantTrips {
+		for i := range st.tripsB {
+			lanes[i] = st.tripsB[i]
+			st.tripsB[i] = nil
+		}
+	}
+	return lanes
 }
 
 // TakeOccupancies drains the worker's occupancy sink: the accumulated
@@ -726,27 +987,11 @@ func (w *Worker) Release() {
 // DistancesCSR computes the mean distances (see Distances) on the CSR
 // graph.
 func DistancesCSR(cfg Config, c *CSR, kMin int64, durPlus int64) DistanceStats {
-	accs := make([]distAcc, cfg.N)
+	sink := NewDistSink(cfg.N, kMin, durPlus)
 	forEachDestCSR(cfg, func(dest int32, st *sweepState) {
-		acc := &accs[dest]
-		acc.durPlus = durPlus
-		acc.kMin = kMin
-		st.run(c, dest, cfg.Directed, nil, acc)
+		st.run(c, dest, cfg.Directed, nil, &sink.accs[dest])
 	})
-	var total distAcc
-	for i := range accs {
-		total.sumTime += accs[i].sumTime
-		total.sumHops += accs[i].sumHops
-		total.count += accs[i].count
-	}
-	if total.count == 0 {
-		return DistanceStats{}
-	}
-	return DistanceStats{
-		MeanTime: total.sumTime / float64(total.count),
-		MeanHops: total.sumHops / float64(total.count),
-		Count:    total.count,
-	}
+	return sink.Stats()
 }
 
 // CountReachablePairsCSR counts ordered pairs (u, v), u != v, joined by

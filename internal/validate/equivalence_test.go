@@ -1,0 +1,90 @@
+package validate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/linkstream"
+)
+
+func mixedStream(t testing.TB, n, perPair int, T int64, seed int64) *linkstream.Stream {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := linkstream.New()
+	s.EnsureNodes(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			for k := 0; k < perPair; k++ {
+				a, b := int32(u), int32(v)
+				if rng.Intn(2) == 0 {
+					a, b = b, a
+				}
+				if err := s.AddID(a, b, rng.Int63n(T)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// TestTransitionLossMatchesReference asserts the engine-backed curve
+// reproduces the seed implementation exactly on seeded workloads,
+// directed and undirected.
+func TestTransitionLossMatchesReference(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		for seed := int64(1); seed <= 3; seed++ {
+			s := mixedStream(t, 7, 2, 2500, seed)
+			grid := []int64{1, 17, 150, 2500}
+			want, err := TransitionLossCurveReference(s, grid, Options{Directed: directed, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := TransitionLossCurve(s, grid, Options{Directed: directed, Workers: 3, MaxInFlight: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("got %d points, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("directed=%v seed=%d point %d: %+v != %+v", directed, seed, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestElongationMatchesReference asserts the engine-backed curve
+// reproduces the seed implementation exactly. The reference runs with
+// Workers = 1, which fixes its trip enumeration to destination-major
+// order — the order the engine guarantees for any worker count — so
+// the floating-point sums must be bit-identical.
+func TestElongationMatchesReference(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		for seed := int64(1); seed <= 3; seed++ {
+			s := mixedStream(t, 7, 2, 2500, seed)
+			grid := []int64{1, 17, 150, 800, 2500}
+			want, err := ElongationCurveReference(s, grid, Options{Directed: directed, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4} {
+				got, err := ElongationCurve(s, grid, Options{Directed: directed, Workers: workers, MaxInFlight: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("got %d points, want %d", len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("directed=%v seed=%d workers=%d point %d: %+v != %+v",
+							directed, seed, workers, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -6,6 +6,12 @@
 //     that collapse inside one aggregation window (Figure 8 left), and
 //   - the mean elongation factor of the minimal trips of the aggregated
 //     series with respect to the original stream (Figure 8 right).
+//
+// Both measures are sweep-engine observers: the raw stream's minimal
+// trips are enumerated once per engine run (and shared between the two
+// observers), and the elongation observer consumes the per-period
+// minimal trips the engine's backward sweep already produces — so the
+// validation curves ride along any other sweep for free.
 package validate
 
 import (
@@ -13,7 +19,7 @@ import (
 	"sort"
 
 	"repro/internal/linkstream"
-	"repro/internal/series"
+	"repro/internal/sweep"
 	"repro/internal/temporal"
 )
 
@@ -21,6 +27,13 @@ import (
 type Options struct {
 	Directed bool
 	Workers  int
+	// MaxInFlight bounds the periods the sweep engine keeps resident;
+	// <= 0 selects the engine default.
+	MaxInFlight int
+}
+
+func (o Options) engine() sweep.Options {
+	return sweep.Options{Directed: o.Directed, Workers: o.Workers, MaxInFlight: o.MaxInFlight}
 }
 
 // LossPoint is the Figure 8 (left) value at one aggregation period.
@@ -34,9 +47,59 @@ type LossPoint struct {
 	Total int
 }
 
+// TransitionLossObserver computes the Figure 8 (left) curve from the
+// raw stream's shortest transitions, enumerated once in Begin; each
+// period is then a linear scan over the transition intervals.
+type TransitionLossObserver struct {
+	t0     int64
+	spans  []tripSpan
+	points []LossPoint
+}
+
+// NewTransitionLossObserver returns an empty transition-loss observer.
+func NewTransitionLossObserver() *TransitionLossObserver { return &TransitionLossObserver{} }
+
+// Needs implements sweep.Observer.
+func (o *TransitionLossObserver) Needs() sweep.Needs { return sweep.Needs{StreamTrips: true} }
+
+// Begin implements sweep.Observer.
+func (o *TransitionLossObserver) Begin(v *sweep.StreamView) error {
+	o.t0 = v.T0
+	o.spans = o.spans[:0]
+	for _, tr := range v.StreamTrips() {
+		// Shortest transitions are the minimal trips with exactly two
+		// hops (Definition 6).
+		if tr.Hops == 2 {
+			o.spans = append(o.spans, tripSpan{dep: tr.Dep, arr: tr.Arr})
+		}
+	}
+	o.points = make([]LossPoint, len(v.Grid))
+	return nil
+}
+
+// ObservePeriod implements sweep.Observer.
+func (o *TransitionLossObserver) ObservePeriod(p *sweep.Period) error {
+	lost := 0
+	for _, tr := range o.spans {
+		if (tr.dep-o.t0)/p.Delta == (tr.arr-o.t0)/p.Delta {
+			lost++
+		}
+	}
+	pt := LossPoint{Delta: p.Delta, Total: len(o.spans)}
+	if len(o.spans) > 0 {
+		pt.Lost = float64(lost) / float64(len(o.spans))
+	}
+	o.points[p.Index] = pt
+	return nil
+}
+
+// Points returns the loss curve in grid order. Valid after sweep.Run
+// returns without error.
+func (o *TransitionLossObserver) Points() []LossPoint { return o.points }
+
 // TransitionLossCurve computes the proportion of lost shortest
-// transitions for every period in grid. The stream's transitions are
-// enumerated once; each grid point is then a linear scan.
+// transitions for every period in grid, as one engine run with a
+// TransitionLossObserver.
 func TransitionLossCurve(s *linkstream.Stream, grid []int64, opt Options) ([]LossPoint, error) {
 	if s.NumEvents() == 0 {
 		return nil, errors.New("validate: stream has no events")
@@ -44,60 +107,116 @@ func TransitionLossCurve(s *linkstream.Stream, grid []int64, opt Options) ([]Los
 	if len(grid) == 0 {
 		return nil, errors.New("validate: empty grid")
 	}
-	t0, _, _ := s.Span()
-	cfg := temporal.Config{N: s.NumNodes(), Directed: opt.Directed, Workers: opt.Workers}
-	trans := temporal.ShortestTransitions(cfg, temporal.StreamLayers(s, opt.Directed))
-	points := make([]LossPoint, 0, len(grid))
-	for _, delta := range grid {
-		lost := 0
-		for _, tr := range trans {
-			if (tr.Dep-t0)/delta == (tr.Arr-t0)/delta {
-				lost++
-			}
-		}
-		p := LossPoint{Delta: delta, Total: len(trans)}
-		if len(trans) > 0 {
-			p.Lost = float64(lost) / float64(len(trans))
-		}
-		points = append(points, p)
+	obs := NewTransitionLossObserver()
+	if err := sweep.Run(s, grid, opt.engine(), obs); err != nil {
+		return nil, err
 	}
-	return points, nil
+	return obs.Points(), nil
 }
 
-// span is one minimal trip interval of the original stream.
-type span struct {
+// tripSpan is one minimal trip interval of the original stream.
+type tripSpan struct {
 	dep, arr int64
 }
 
 // pairIndex maps an ordered pair (u, v) to the minimal trips of the
 // stream between u and v, sorted by strictly increasing departure (and,
-// by non-nesting, strictly increasing arrival).
-type pairIndex map[uint64][]span
+// by non-nesting, strictly increasing arrival). For node counts up to
+// maxFlatPairNodes the spans live in one flat arena addressed by a
+// dense n×n offset table — the elongation scan queries the index once
+// per series trip, and an array lookup beats a hash probe by an order
+// of magnitude there. Larger graphs fall back to a map.
+type pairIndex struct {
+	n       int32
+	offsets []int32    // len n*n+1 in flat mode; nil in map mode
+	spans   []tripSpan // flat arena, grouped by pair, dep-ascending
+	byPair  map[uint64][]tripSpan
+}
+
+// maxFlatPairNodes bounds the dense offset table to ~16 MiB.
+const maxFlatPairNodes = 2048
 
 func pairKey(u, v int32) uint64 { return uint64(uint32(u))<<32 | uint64(uint32(v)) }
 
-func buildPairIndex(s *linkstream.Stream, opt Options) pairIndex {
-	cfg := temporal.Config{N: s.NumNodes(), Directed: opt.Directed, Workers: opt.Workers}
-	trips := temporal.CollectTrips(cfg, temporal.StreamLayers(s, opt.Directed))
-	idx := make(pairIndex)
-	for _, tr := range trips {
-		k := pairKey(tr.U, tr.V)
-		idx[k] = append(idx[k], span{dep: tr.Dep, arr: tr.Arr})
+func buildPairIndex(n int, trips []temporal.Trip) *pairIndex {
+	idx := &pairIndex{n: int32(n)}
+	if n > maxFlatPairNodes {
+		idx.byPair = make(map[uint64][]tripSpan)
+		for _, tr := range trips {
+			k := pairKey(tr.U, tr.V)
+			idx.byPair[k] = append(idx.byPair[k], tripSpan{dep: tr.Dep, arr: tr.Arr})
+		}
+		for k := range idx.byPair {
+			sp := idx.byPair[k]
+			sort.Slice(sp, func(i, j int) bool { return sp[i].dep < sp[j].dep })
+		}
+		return idx
 	}
-	for k := range idx {
-		sp := idx[k]
-		sort.Slice(sp, func(i, j int) bool { return sp[i].dep < sp[j].dep })
+	// Flat mode: counting pass, prefix sum, then a backward fill. The
+	// trip enumeration emits each pair's trips in strictly decreasing
+	// departure order (backward sweep, one destination per worker), so
+	// filling each pair's range back to front yields dep-ascending
+	// spans without any per-pair sort.
+	offsets := make([]int32, n*n+1)
+	for _, tr := range trips {
+		offsets[int(tr.U)*n+int(tr.V)+1]++
+	}
+	for i := 1; i <= n*n; i++ {
+		offsets[i] += offsets[i-1]
+	}
+	spans := make([]tripSpan, len(trips))
+	cursor := make([]int32, n*n)
+	for _, tr := range trips {
+		p := int(tr.U)*n + int(tr.V)
+		cursor[p]++
+		spans[int(offsets[p+1])-int(cursor[p])] = tripSpan{dep: tr.Dep, arr: tr.Arr}
+	}
+	idx.offsets, idx.spans = offsets, spans
+	// The backward fill relies on per-pair decreasing departures; guard
+	// the invariant (one linear pass) and restore it if an enumeration
+	// ever changes order.
+	for p := 0; p < n*n; p++ {
+		lo, hi := offsets[p], offsets[p+1]
+		for i := lo + 1; i < hi; i++ {
+			if spans[i].dep < spans[i-1].dep {
+				sp := spans[lo:hi]
+				sort.Slice(sp, func(i, j int) bool { return sp[i].dep < sp[j].dep })
+				break
+			}
+		}
 	}
 	return idx
+}
+
+// pair returns the dep-ascending spans of the ordered pair (u, v).
+func (idx *pairIndex) pair(u, v int32) []tripSpan {
+	if idx.offsets != nil {
+		if u < 0 || u >= idx.n || v < 0 || v >= idx.n {
+			return nil
+		}
+		p := int(u)*int(idx.n) + int(v)
+		return idx.spans[idx.offsets[p]:idx.offsets[p+1]]
+	}
+	return idx.byPair[pairKey(u, v)]
 }
 
 // minDurationWithin returns the smallest duration (arr - dep) among the
 // pair's stream trips fully contained in [a, b], and whether one exists.
 // Because any trip contains a minimal trip within its own interval,
 // searching minimal trips only is sufficient.
-func (idx pairIndex) minDurationWithin(u, v int32, a, b int64) (int64, bool) {
-	sp := idx[pairKey(u, v)]
-	lo := sort.Search(len(sp), func(i int) bool { return sp[i].dep >= a })
+func (idx *pairIndex) minDurationWithin(u, v int32, a, b int64) (int64, bool) {
+	sp := idx.pair(u, v)
+	// Manual binary search: this runs once per series trip, and the
+	// sort.Search closure overhead is measurable at that call rate.
+	lo, hi := 0, len(sp)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sp[mid].dep < a {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
 	best := int64(-1)
 	for i := lo; i < len(sp) && sp[i].arr <= b; i++ {
 		d := sp[i].arr - sp[i].dep
@@ -122,8 +241,78 @@ type ElongationPoint struct {
 	Unmatched int
 }
 
+// ElongationObserver computes the Figure 8 (right) curve: the pair
+// index over the raw stream's minimal trips is built once in Begin, and
+// each period scans the minimal trips of G∆ the engine's backward sweep
+// already produced.
+type ElongationObserver struct {
+	t0     int64
+	idx    *pairIndex
+	points []ElongationPoint
+}
+
+// NewElongationObserver returns an empty elongation observer.
+func NewElongationObserver() *ElongationObserver { return &ElongationObserver{} }
+
+// Needs implements sweep.Observer.
+func (o *ElongationObserver) Needs() sweep.Needs {
+	return sweep.Needs{StreamTrips: true, Trips: true}
+}
+
+// Begin implements sweep.Observer.
+func (o *ElongationObserver) Begin(v *sweep.StreamView) error {
+	o.t0 = v.T0
+	o.idx = buildPairIndex(v.N, v.StreamTrips())
+	o.points = make([]ElongationPoint, len(v.Grid))
+	return nil
+}
+
+// ObservePeriod implements sweep.Observer. It iterates the engine's
+// trip blocks in order, which is exactly the trip order of consecutive
+// single-destination sweeps, so the floating-point sum matches the
+// reference implementation bit for bit.
+func (o *ElongationObserver) ObservePeriod(p *sweep.Period) error {
+	pt := ElongationPoint{Delta: p.Delta}
+	sum := 0.0
+	for _, blk := range p.TripBlocks {
+		for _, tr := range blk {
+			if tr.Dep == tr.Arr {
+				continue // Definition 8 requires tu != tv
+			}
+			// Definition 8 confines the stream trip to the closed real
+			// interval spanned by the trip's windows; in discrete time
+			// the last instant of window arr is the instant before the
+			// next window starts (an event at the boundary already
+			// belongs to the next window).
+			a := o.t0 + tr.Dep*p.Delta
+			b := o.t0 + (tr.Arr+1)*p.Delta - 1
+			durL, ok := o.idx.minDurationWithin(tr.U, tr.V, a, b)
+			if !ok || durL <= 0 {
+				// Cannot happen for trips spanning >= 2 windows (the
+				// series trip implies a stream trip in the interval and
+				// minimality excludes instantaneous ones), but guard
+				// against inconsistent inputs rather than divide by 0.
+				pt.Unmatched++
+				continue
+			}
+			sum += float64(tr.Arr-tr.Dep+1) * float64(p.Delta) / float64(durL)
+			pt.Trips++
+		}
+	}
+	if pt.Trips > 0 {
+		pt.MeanElongation = sum / float64(pt.Trips)
+	}
+	o.points[p.Index] = pt
+	return nil
+}
+
+// Points returns the elongation curve in grid order. Valid after
+// sweep.Run returns without error.
+func (o *ElongationObserver) Points() []ElongationPoint { return o.points }
+
 // ElongationCurve computes the mean elongation factor of the minimal
-// trips of G∆ for every period in grid.
+// trips of G∆ for every period in grid, as one engine run with an
+// ElongationObserver.
 func ElongationCurve(s *linkstream.Stream, grid []int64, opt Options) ([]ElongationPoint, error) {
 	if s.NumEvents() == 0 {
 		return nil, errors.New("validate: stream has no events")
@@ -131,43 +320,9 @@ func ElongationCurve(s *linkstream.Stream, grid []int64, opt Options) ([]Elongat
 	if len(grid) == 0 {
 		return nil, errors.New("validate: empty grid")
 	}
-	idx := buildPairIndex(s, opt)
-	points := make([]ElongationPoint, 0, len(grid))
-	for _, delta := range grid {
-		g, err := series.Aggregate(s, delta, opt.Directed)
-		if err != nil {
-			return nil, err
-		}
-		cfg := temporal.Config{N: g.N, Directed: opt.Directed, Workers: opt.Workers}
-		trips := temporal.CollectTrips(cfg, temporal.SeriesLayers(g))
-		p := ElongationPoint{Delta: delta}
-		sum := 0.0
-		for _, tr := range trips {
-			if tr.Dep == tr.Arr {
-				continue // Definition 8 requires tu != tv
-			}
-			// Definition 8 confines the stream trip to the closed real
-			// interval spanned by the trip's windows; in discrete time
-			// the last instant of window arr is WindowEnd-1 (an event at
-			// WindowEnd itself already belongs to the next window).
-			a := g.WindowStart(tr.Dep)
-			b := g.WindowEnd(tr.Arr) - 1
-			durL, ok := idx.minDurationWithin(tr.U, tr.V, a, b)
-			if !ok || durL <= 0 {
-				// Cannot happen for windows spanning >= 2 windows (the
-				// series trip implies a stream trip in the interval and
-				// minimality excludes instantaneous ones), but guard
-				// against inconsistent inputs rather than divide by 0.
-				p.Unmatched++
-				continue
-			}
-			sum += float64(tr.Arr-tr.Dep+1) * float64(delta) / float64(durL)
-			p.Trips++
-		}
-		if p.Trips > 0 {
-			p.MeanElongation = sum / float64(p.Trips)
-		}
-		points = append(points, p)
+	obs := NewElongationObserver()
+	if err := sweep.Run(s, grid, opt.engine(), obs); err != nil {
+		return nil, err
 	}
-	return points, nil
+	return obs.Points(), nil
 }

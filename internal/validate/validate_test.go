@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/linkstream"
+	"repro/internal/temporal"
 )
 
 func chainStream(t *testing.T) *linkstream.Stream {
@@ -166,7 +167,8 @@ func TestValidateErrors(t *testing.T) {
 
 func TestPairIndexQueries(t *testing.T) {
 	s := chainStream(t)
-	idx := buildPairIndex(s, Options{Workers: 1})
+	cfg := temporal.Config{N: s.NumNodes(), Directed: false, Workers: 1}
+	idx := buildPairIndex(s.NumNodes(), temporal.CollectTrips(cfg, temporal.StreamLayers(s, false)))
 	a, _ := s.NodeID("a")
 	c, _ := s.NodeID("c")
 	// a->c minimal trip is (10, 20): duration 10.

@@ -17,11 +17,40 @@
 //	res, err := repro.SaturationScale(s, repro.Options{})
 //	fmt.Println("gamma:", res.Gamma, "seconds")
 //
-// The subpackages under internal/ expose the full machinery: aggregation
-// (internal/series), the temporal-path engine (internal/temporal), the
+// # The sweep engine and observers
+//
+// Every per-∆ analysis in the paper shares one shape: aggregate the
+// stream at each candidate period, run the temporal-path engine over
+// the layered graph, and feed what falls out to a metric. The unified
+// sweep engine (internal/sweep) runs that loop once: the stream is
+// sorted and canonicalised a single time, each period's layer arena is
+// built and swept exactly once, and the products of that single
+// backward sweep — minimal trips, occupancy rates, distance segments,
+// per-window snapshot statistics, the raw stream's minimal trips — fan
+// out to registered observers. The occupancy method
+// (NewOccupancyObserver), the classical Figure 2 properties
+// (NewClassicObserver), the Section 8 validation curves
+// (NewTransitionLossObserver, NewElongationObserver) and the distance
+// curves (NewDistanceObserver) are all such observers; MultiSweep runs
+// any combination of them — or custom ones — in one fused pass, so a
+// new metric is a ~50-line observer rather than a new sweep loop.
+//
+// Period scheduling is a bounded in-flight pipeline. At most
+// Options.MaxInFlight periods are resident at once (layer arena plus
+// product sinks): each period is built, swept by the shared worker
+// pool, scored by every observer and freed before the pipeline admits
+// another, so a sweep's peak memory is O(MaxInFlight × period
+// footprint) instead of O(grid × period footprint) — wide logarithmic
+// ∆ grids run over large streams in bounded space, at the cost of a
+// little scheduling slack (MaxInFlight ≥ 2 overlaps arena construction
+// with sweeping; 1 fully serialises).
+//
+// The subpackages under internal/ expose the full machinery:
+// aggregation (internal/series), the temporal-path engine
+// (internal/temporal), the sweep engine (internal/sweep), the
 // uniformity metrics (internal/dist), synthetic workloads
-// (internal/synth) and the figure harness (internal/figures). This root
-// package re-exports the surface most applications need.
+// (internal/synth) and the figure harness (internal/figures). This
+// root package re-exports the surface most applications need.
 package repro
 
 import (
@@ -31,6 +60,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/linkstream"
 	"repro/internal/series"
+	"repro/internal/sweep"
 	"repro/internal/temporal"
 	"repro/internal/validate"
 )
@@ -182,6 +212,79 @@ type AdaptiveAnalysis = adaptive.Analysis
 func AnalyzeAdaptive(s *Stream, cfg AdaptiveConfig) (*AdaptiveAnalysis, error) {
 	return adaptive.Analyze(s, cfg)
 }
+
+// SweepObserver consumes the products of a unified sweep-engine run;
+// see MultiSweep.
+type SweepObserver = sweep.Observer
+
+// SweepNeeds declares which engine products an observer consumes.
+type SweepNeeds = sweep.Needs
+
+// SweepStreamView is the stream-level context handed to a
+// SweepObserver's Begin.
+type SweepStreamView = sweep.StreamView
+
+// SweepPeriod is the per-period view handed to a SweepObserver's
+// ObservePeriod.
+type SweepPeriod = sweep.Period
+
+// SweepEngineOptions configures a MultiSweep run, including the
+// MaxInFlight bound on resident periods.
+type SweepEngineOptions = sweep.Options
+
+// MultiSweep runs the unified sweep engine over the candidate grid,
+// fanning every period's products to the registered observers in one
+// pass: the stream is sorted once, each period's layer arena is built
+// and swept exactly once, and at most opt.MaxInFlight periods are
+// resident at any moment. Use the New*Observer constructors for the
+// built-in metrics, or implement SweepObserver for custom ones.
+func MultiSweep(s *Stream, grid []int64, opt SweepEngineOptions, observers ...SweepObserver) error {
+	return sweep.Run(s, grid, opt, observers...)
+}
+
+// OccupancyObserver scores per-period occupancy distributions (the
+// occupancy method) inside a MultiSweep.
+type OccupancyObserver = core.OccupancyObserver
+
+// NewOccupancyObserver returns an occupancy-method observer scoring
+// with the given selectors (nil = M-K proximity only).
+func NewOccupancyObserver(sels []Selector) *OccupancyObserver {
+	return core.NewOccupancyObserver(sels)
+}
+
+// ClassicObserver collects the Figure 2 classical properties inside a
+// MultiSweep.
+type ClassicObserver = classic.Observer
+
+// NewClassicObserver returns a classical-properties observer.
+func NewClassicObserver() *ClassicObserver { return classic.NewObserver() }
+
+// TransitionLossObserver collects the Section 8 transition-loss curve
+// inside a MultiSweep.
+type TransitionLossObserver = validate.TransitionLossObserver
+
+// NewTransitionLossObserver returns a transition-loss observer.
+func NewTransitionLossObserver() *TransitionLossObserver {
+	return validate.NewTransitionLossObserver()
+}
+
+// ElongationObserver collects the Section 8 elongation curve inside a
+// MultiSweep.
+type ElongationObserver = validate.ElongationObserver
+
+// NewElongationObserver returns an elongation observer.
+func NewElongationObserver() *ElongationObserver { return validate.NewElongationObserver() }
+
+// DistancePoint is one period's mean temporal distances (Figure 2
+// bottom panels).
+type DistancePoint = sweep.DistancePoint
+
+// DistanceObserver collects the distance curves inside a MultiSweep,
+// from the same backward sweeps every other observer shares.
+type DistanceObserver = sweep.DistanceObserver
+
+// NewDistanceObserver returns a distance observer.
+func NewDistanceObserver() *DistanceObserver { return sweep.NewDistanceObserver() }
 
 // EarliestArrivals answers the forward query on an aggregated series:
 // departing from src at window startWindow or later, the earliest
