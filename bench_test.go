@@ -396,18 +396,42 @@ func BenchmarkSelectorScores(b *testing.B) {
 	}
 }
 
-// BenchmarkAdaptiveAnalysis measures the future-work extension: activity
-// segmentation plus per-segment saturation scales on a two-mode network.
-func BenchmarkAdaptiveAnalysis(b *testing.B) {
+// adaptiveBenchStream is the two-mode benchmark workload of the
+// adaptive analysis benchmarks.
+func adaptiveBenchStream(b *testing.B) *Stream {
+	b.Helper()
 	s, err := synth.TwoMode(synth.TwoModeConfig{
 		Nodes: 16, N1: 12, N2: 1, T1: 10_000, T2: 10_000, Alternations: 4, Seed: 8,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
+	return s
+}
+
+// BenchmarkAdaptiveAnalyze vs BenchmarkAdaptiveAnalyzeReference: the
+// fused windowed-engine adaptive analysis (one engine pass serving the
+// global sweep and every segment sweep) against the retained
+// per-segment implementation (one core.SaturationScale pass per
+// segment plus one global pass). Both compute bit-identical results —
+// the equivalence tests in internal/adaptive pin that — so the delta
+// is pure engine-pass overhead: repeated canonicalisation, worker-pool
+// spin-up, and the lost cross-segment parallelism.
+func BenchmarkAdaptiveAnalyze(b *testing.B) {
+	s := adaptiveBenchStream(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := adaptive.Analyze(s, adaptive.Config{GridPoints: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdaptiveAnalyzeReference(b *testing.B) {
+	s := adaptiveBenchStream(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adaptive.AnalyzeReference(s, adaptive.Config{GridPoints: 10}); err != nil {
 			b.Fatal(err)
 		}
 	}

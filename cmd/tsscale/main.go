@@ -74,10 +74,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	refine := fs.Int("refine", 4, "extra refinement points around the best period (0 = off)")
 	curve := fs.Bool("curve", false, "print the full proximity curve")
 	allSel := fs.Bool("all-selectors", false, "score with all five Section 7 metrics")
-	adaptiveMode := fs.Bool("adaptive", false, "also segment activity modes and report per-segment scales")
+	adaptiveMode := fs.Bool("adaptive", false,
+		"segment activity modes and determine per-segment scales; the global sweep, every segment sweep and any -metrics extras share one fused engine pass")
 	workers := fs.Int("workers", 0, "engine parallelism (0 = all CPUs)")
 	metricsSpec := fs.String("metrics", "occupancy",
-		"comma-separated metrics computed in one fused engine pass: occupancy,classic,distance,loss,elongation (occupancy always included; -refine only applies without extra metrics)")
+		"comma-separated metrics computed in one fused engine pass: occupancy,classic,distance,loss,elongation (occupancy always included; extra metrics see the unrefined grid)")
 	maxInFlight := fs.Int("max-inflight", 0, "max aggregation periods resident in the sweep engine (0 = engine default)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -116,32 +117,52 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	opt.Grid = core.LogGrid(lo, s.Duration(), *points)
 
 	var res core.Result
+	var analysis *adaptive.Analysis
 	var classicObs *classic.Observer
 	var distObs *sweep.DistanceObserver
 	var lossObs *validate.TransitionLossObserver
 	var elongObs *validate.ElongationObserver
-	if metrics.extras() {
+	var extraObs []sweep.Observer
+	if metrics.classic {
+		classicObs = classic.NewObserver()
+		extraObs = append(extraObs, classicObs)
+	}
+	if metrics.distance {
+		distObs = sweep.NewDistanceObserver()
+		extraObs = append(extraObs, distObs)
+	}
+	if metrics.loss {
+		lossObs = validate.NewTransitionLossObserver()
+		extraObs = append(extraObs, lossObs)
+	}
+	if metrics.elongation {
+		elongObs = validate.NewElongationObserver()
+		extraObs = append(extraObs, elongObs)
+	}
+	if *adaptiveMode {
+		// Fully fused: the global occupancy sweep, every per-segment
+		// sweep and all requested extra metrics fall out of one windowed
+		// engine pass per bisection round.
+		a, err := adaptive.AnalyzeWith(s, adaptive.Config{
+			Directed:    *directed,
+			Workers:     *workers,
+			GridPoints:  *points,
+			MinDelta:    lo,
+			Refine:      *refine,
+			Selectors:   opt.Selectors,
+			MaxInFlight: *maxInFlight,
+		}, extraObs...)
+		if err != nil {
+			return err
+		}
+		analysis = a
+		res = a.Global
+	} else if metrics.extras() {
 		// Fused mode: every requested curve falls out of one engine
 		// pass over the stream (one CSR build and one backward sweep
 		// per candidate period, shared by all observers).
 		occObs := core.NewOccupancyObserver(opt.Selectors)
-		observers := []sweep.Observer{occObs}
-		if metrics.classic {
-			classicObs = classic.NewObserver()
-			observers = append(observers, classicObs)
-		}
-		if metrics.distance {
-			distObs = sweep.NewDistanceObserver()
-			observers = append(observers, distObs)
-		}
-		if metrics.loss {
-			lossObs = validate.NewTransitionLossObserver()
-			observers = append(observers, lossObs)
-		}
-		if metrics.elongation {
-			elongObs = validate.NewElongationObserver()
-			observers = append(observers, elongObs)
-		}
+		observers := append([]sweep.Observer{occObs}, extraObs...)
 		err := sweep.Run(s, opt.Grid, sweep.Options{
 			Directed:    *directed,
 			Workers:     *workers,
@@ -189,13 +210,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, textplot.Table([]string{"selector", "period (s)", "period (h)"}, rows))
 	}
-	if *adaptiveMode {
-		a, err := adaptive.Analyze(s, adaptive.Config{
-			Directed: *directed, Workers: *workers, GridPoints: *points,
-		})
-		if err != nil {
-			return err
-		}
+	if analysis != nil {
+		a := analysis
 		fmt.Fprintf(stdout, "\nadaptive analysis: two-mode = %v, min per-segment gamma = %d s\n",
 			a.TwoMode, a.MinGamma)
 		rows := make([][]string, 0, len(a.Segments))
@@ -248,17 +264,27 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			[]string{"period (s)", "dtime (windows)", "dhops", "dabstime (h)", "finite triples"}, rows))
 	}
 	if lossObs != nil || elongObs != nil {
-		n := len(res.Points)
-		rows := make([][]string, 0, n)
+		// Both observers scored the same (unrefined) grid; label rows
+		// with their own deltas — res.Points may hold refined extras.
+		deltas := make([]int64, 0)
 		header := []string{"period (s)"}
 		if lossObs != nil {
 			header = append(header, "transitions lost")
+			for _, p := range lossObs.Points() {
+				deltas = append(deltas, p.Delta)
+			}
 		}
 		if elongObs != nil {
 			header = append(header, "mean elongation")
+			if lossObs == nil {
+				for _, p := range elongObs.Points() {
+					deltas = append(deltas, p.Delta)
+				}
+			}
 		}
-		for i := 0; i < n; i++ {
-			row := []string{fmt.Sprintf("%d", res.Points[i].Delta)}
+		rows := make([][]string, 0, len(deltas))
+		for i, delta := range deltas {
+			row := []string{fmt.Sprintf("%d", delta)}
 			if lossObs != nil {
 				row = append(row, fmt.Sprintf("%.1f%%", 100*lossObs.Points()[i].Lost))
 			}

@@ -120,3 +120,28 @@ func TestRunAdaptive(t *testing.T) {
 		t.Fatalf("missing adaptive output:\n%s", s)
 	}
 }
+
+// TestRunAdaptiveFusedMetrics covers -adaptive combined with -metrics
+// and the engine flags: the per-segment scales, the gamma line and
+// every extra curve come out of the fused windowed pass.
+func TestRunAdaptiveFusedMetrics(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-points", "8", "-adaptive", "-max-inflight", "2",
+		"-metrics", "classic,distance,loss,elongation", "-all-selectors", "-curve"},
+		strings.NewReader(streamText(t)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"saturation scale gamma =",
+		"adaptive analysis:",
+		"classical properties (Figure 2):",
+		"mean temporal distances:",
+		"validation (Section 8):",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in output:\n%s", want, s)
+		}
+	}
+}

@@ -2,6 +2,12 @@
 // conclusion: for a network alternating busy and quiet periods, a single
 // saturation scale favours the busy parts, so the library can segment
 // the activity modes and determine a scale for each part independently.
+//
+// The whole analysis — the global sweep and one sweep per detected
+// segment — is a single pass of the windowed sweep engine: the stream
+// is sorted once and every (segment, ∆) aggregation is built exactly
+// once, with all segments sharing one worker pool and one in-flight
+// bound (AdaptiveConfig.MaxInFlight).
 package main
 
 import (
@@ -25,12 +31,15 @@ func main() {
 	fmt.Printf("two-mode network: %d nodes, %d events, 5 alternations (30%% busy / 70%% quiet)\n\n",
 		s.NumNodes(), s.NumEvents())
 
-	a, err := repro.AnalyzeAdaptive(s, repro.AdaptiveConfig{Bins: 100, GridPoints: 20})
+	// One fused engine pass prices the global scale and every segment;
+	// MaxInFlight caps resident aggregations across all of them.
+	a, err := repro.AnalyzeAdaptive(s, repro.AdaptiveConfig{Bins: 100, GridPoints: 20, MaxInFlight: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("plain occupancy method (whole stream): gamma = %d s\n", a.GlobalGamma)
+	fmt.Printf("plain occupancy method (whole stream): gamma = %d s (score %.4f)\n",
+		a.GlobalGamma, a.Global.Score)
 	fmt.Printf("two activity modes detected: %v\n\n", a.TwoMode)
 	fmt.Printf("%-22s %-6s %8s %12s\n", "segment", "mode", "events", "gamma")
 	for _, seg := range a.Segments {

@@ -13,6 +13,22 @@
 // followed by a minimum-run merge, which recovers the two modes of the
 // paper's two-mode benchmark exactly and degrades gracefully on
 // homogeneous streams (a single segment).
+//
+// # The fused engine path
+//
+// Analyze determines every scale — the global one and one per
+// sufficiently populated segment — through the unified sweep engine's
+// windowed observer registration (sweep.RunWindowed): each analysis is
+// a resumable core.ScaleSearch, and each round batches the pending
+// sweep requests of all still-active searches into a single engine
+// pass. Per round, the stream is sorted and canonicalised once and all
+// segments' periods share one worker pool and one Config.MaxInFlight
+// in-flight bound; across the whole analysis each (segment, ∆) CSR
+// arena is built and swept exactly once, refinement included. The
+// default Refine == 0 configuration is exactly one engine pass —
+// instead of the one core.SaturationScale pass per segment the
+// reference implementation performs (retained as AnalyzeReference,
+// equivalence-tested bit for bit against Analyze).
 package adaptive
 
 import (
@@ -21,14 +37,17 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/linkstream"
+	"repro/internal/sweep"
 )
 
 // Config parameterises the adaptive analysis. The zero value picks
 // sensible defaults.
 type Config struct {
 	// Bins is the number of equal time bins used to estimate the
-	// activity profile (default 100).
+	// activity profile (default 100, capped at the stream's time span so
+	// no bin is ever empty by construction).
 	Bins int
 	// MinRunBins is the minimum number of consecutive same-mode bins
 	// for a segment; shorter runs are absorbed by their neighbours
@@ -40,9 +59,24 @@ type Config struct {
 	SeparationFactor float64
 	// GridPoints is the ∆-sweep resolution per segment (default 24).
 	GridPoints int
+	// MinDelta, when positive, is the smallest candidate period of the
+	// global sweep (default: the stream's resolution). Segment sweeps
+	// always start at their own resolution.
+	MinDelta int64
+	// Refine, when positive, adds that many refinement points around
+	// each search's best ∆ and re-sweeps once (see core.Options.Refine);
+	// refinement rounds batch across segments like initial rounds do.
+	Refine int
+	// Selectors are the uniformity measures scoring each ∆ (default:
+	// M-K proximity only). The first selector decides every γ.
+	Selectors []dist.Selector
 	// Directed and Workers are passed through to the occupancy method.
 	Directed bool
 	Workers  int
+	// MaxInFlight bounds how many aggregation periods the fused engine
+	// pass keeps resident at once, across all segments (<= 0 selects the
+	// engine default).
+	MaxInFlight int
 }
 
 func (c Config) withDefaults() Config {
@@ -61,11 +95,25 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// coreOptions builds the occupancy-method options of one scale search.
+func (c Config) coreOptions(grid []int64) core.Options {
+	return core.Options{
+		Directed:    c.Directed,
+		Workers:     c.Workers,
+		Selectors:   c.Selectors,
+		Refine:      c.Refine,
+		MaxInFlight: c.MaxInFlight,
+		Grid:        grid,
+	}
+}
+
 // Segment is one maximal run of bins sharing an activity mode.
 type Segment struct {
 	Start, End   int64 // raw time, [Start, End)
 	HighActivity bool
 	Events       int
+	// Bins is the number of activity-profile bins the segment spans.
+	Bins int
 	// Gamma is the per-segment saturation scale (filled by Analyze;
 	// 0 if the segment had too few events to analyse).
 	Gamma int64
@@ -73,13 +121,15 @@ type Segment struct {
 
 // Analysis is the outcome of the adaptive method.
 type Analysis struct {
-	// Segments partition the period of study.
+	// Segments partition the period of study [t0, t1+1).
 	Segments []Segment
 	// TwoMode reports whether two activity modes were detected; if
 	// false, Segments has a single entry covering the whole stream.
 	TwoMode bool
-	// GlobalGamma is the plain occupancy-method scale on the whole
-	// stream, for comparison.
+	// Global is the plain occupancy-method result on the whole stream,
+	// for comparison.
+	Global core.Result
+	// GlobalGamma is Global.Gamma, kept for convenience.
 	GlobalGamma int64
 	// MinGamma is the smallest per-segment scale — the conservative
 	// choice if the whole stream must use one window length.
@@ -89,14 +139,21 @@ type Analysis struct {
 // ErrNoEvents mirrors core.ErrNoEvents.
 var ErrNoEvents = errors.New("adaptive: stream has no events")
 
-// binCounts histograms the stream's events into cfg.Bins equal bins.
+// binCounts histograms the stream's events into up to bins equal time
+// bins. The bin count is capped at the stream's span and trailing bins
+// past the span are dropped, so every bin intersects the period of
+// study and the last bin's start lies strictly before its end.
 func binCounts(s *linkstream.Stream, bins int) (counts []int, t0 int64, binLen int64) {
 	start, end, _ := s.Span()
 	span := end - start + 1
+	if int64(bins) > span {
+		bins = int(span)
+	}
 	binLen = (span + int64(bins) - 1) / int64(bins)
 	if binLen < 1 {
 		binLen = 1
 	}
+	bins = int((span + binLen - 1) / binLen)
 	counts = make([]int, bins)
 	for _, e := range s.Events() {
 		i := int((e.T - start) / binLen)
@@ -151,13 +208,16 @@ func twoMeans(values []float64) (lo, hi float64, assign []bool) {
 }
 
 // Segments performs the activity segmentation without computing any
-// saturation scale.
+// saturation scale. The returned segments partition [t0, t1+1) exactly:
+// they are contiguous, the first starts at the first event time and the
+// last ends one past the last event time.
 func Segments(s *linkstream.Stream, cfg Config) ([]Segment, bool, error) {
 	if s.NumEvents() == 0 {
 		return nil, false, ErrNoEvents
 	}
 	cfg = cfg.withDefaults()
 	counts, t0, binLen := binCounts(s, cfg.Bins)
+	tEnd := t0 + s.Duration()
 	values := make([]float64, len(counts))
 	for i, c := range counts {
 		values[i] = float64(c)
@@ -165,8 +225,7 @@ func Segments(s *linkstream.Stream, cfg Config) ([]Segment, bool, error) {
 	lo, hi, assign := twoMeans(values)
 
 	wholeStream := func() []Segment {
-		start, end, _ := s.Span()
-		return []Segment{{Start: start, End: end + 1, Events: s.NumEvents(), HighActivity: true}}
+		return []Segment{{Start: t0, End: tEnd, Events: s.NumEvents(), HighActivity: true, Bins: len(counts)}}
 	}
 	if lo <= 0 && hi <= 0 {
 		return wholeStream(), false, nil
@@ -210,11 +269,18 @@ func Segments(s *linkstream.Stream, cfg Config) ([]Segment, bool, error) {
 			ev += counts[j]
 			j++
 		}
+		end := t0 + int64(j)*binLen
+		if end > tEnd {
+			// The last bin may overrun the period of study by the
+			// ceil-rounding slack; clamp so segments partition it.
+			end = tEnd
+		}
 		segs = append(segs, Segment{
 			Start:        t0 + int64(i)*binLen,
-			End:          t0 + int64(j)*binLen,
+			End:          end,
 			HighActivity: smoothed[i],
 			Events:       ev,
+			Bins:         j - i,
 		})
 		i = j
 	}
@@ -225,37 +291,117 @@ func Segments(s *linkstream.Stream, cfg Config) ([]Segment, bool, error) {
 // per-segment sweep is meaningful.
 const minSegmentEvents = 50
 
-// Analyze segments the stream and runs the occupancy method on the
-// whole stream and on every sufficiently populated segment.
+// Analyze segments the stream and determines the occupancy-method
+// scale of the whole stream and of every sufficiently populated
+// segment, all through fused engine passes: one sweep.RunWindowed call
+// serves every still-active search per round (a single call in the
+// default Refine == 0 configuration). See the package documentation
+// for the sharing guarantees and AnalyzeReference for the retained
+// per-segment implementation.
 func Analyze(s *linkstream.Stream, cfg Config) (*Analysis, error) {
+	return AnalyzeWith(s, cfg)
+}
+
+// participant is one scale search of the fused analysis: the global one
+// (seg == nil) or a segment's.
+type participant struct {
+	search *core.ScaleSearch
+	seg    *Segment
+	start  int64
+	end    int64
+	res    core.Result
+	done   bool
+}
+
+// AnalyzeWith is Analyze with extra observers attached to the global
+// scope's initial engine pass: they see the whole stream's view and
+// every period of the global candidate grid for free — the fused
+// analogue of registering them with sweep.Run — so callers (cmd/tsscale
+// -adaptive -metrics=...) collect classical, distance or validation
+// curves from the very pass that prices the global scale.
+func AnalyzeWith(s *linkstream.Stream, cfg Config, global ...sweep.Observer) (*Analysis, error) {
 	cfg = cfg.withDefaults()
 	segs, twoMode, err := Segments(s, cfg)
 	if err != nil {
 		return nil, err
 	}
-	opt := core.Options{Directed: cfg.Directed, Workers: cfg.Workers}
-	opt.Grid = core.LogGrid(s.Resolution(), s.Duration(), cfg.GridPoints)
-	global, err := core.SaturationScale(s, opt)
+	a := &Analysis{Segments: segs, TwoMode: twoMode}
+	s.Sort()
+	events := s.Events()
+
+	lo := cfg.MinDelta
+	if lo <= 0 {
+		lo = s.Resolution()
+	}
+	gsearch, err := core.NewScaleSearch(cfg.coreOptions(core.LogGrid(lo, s.Duration(), cfg.GridPoints)))
 	if err != nil {
 		return nil, err
 	}
-	a := &Analysis{Segments: segs, TwoMode: twoMode, GlobalGamma: global.Gamma}
-	a.MinGamma = global.Gamma
+	parts := make([]*participant, 0, len(a.Segments)+1)
+	parts = append(parts, &participant{search: gsearch})
 	for i := range a.Segments {
 		seg := &a.Segments[i]
-		sub := s.SliceTime(seg.Start, seg.End)
-		if sub.NumEvents() < minSegmentEvents {
+		sub := linkstream.WindowEvents(events, seg.Start, seg.End)
+		if len(sub) < minSegmentEvents {
 			continue
 		}
-		segOpt := core.Options{Directed: cfg.Directed, Workers: cfg.Workers}
-		segOpt.Grid = core.LogGrid(sub.Resolution(), sub.Duration(), cfg.GridPoints)
-		res, err := core.SaturationScale(sub, segOpt)
+		grid := core.LogGrid(linkstream.EventsResolution(sub), linkstream.EventsDuration(sub), cfg.GridPoints)
+		search, err := core.NewScaleSearch(cfg.coreOptions(grid))
 		if err != nil {
 			return nil, fmt.Errorf("adaptive: segment [%d,%d): %w", seg.Start, seg.End, err)
 		}
-		seg.Gamma = res.Gamma
-		if res.Gamma < a.MinGamma {
-			a.MinGamma = res.Gamma
+		parts = append(parts, &participant{search: search, seg: seg, start: seg.Start, end: seg.End})
+	}
+
+	engOpt := sweep.Options{Directed: cfg.Directed, Workers: cfg.Workers, MaxInFlight: cfg.MaxInFlight}
+	for round := 0; ; round++ {
+		batch := make([]sweep.SegmentObserver, 0, len(parts))
+		waiting := make([]*participant, 0, len(parts))
+		for _, p := range parts {
+			if p.done {
+				continue
+			}
+			grid, obs, ok := p.search.Next()
+			if !ok {
+				res, err := p.search.Result()
+				if err != nil {
+					return nil, err
+				}
+				p.res, p.done = res, true
+				continue
+			}
+			observers := []sweep.Observer{obs}
+			if p.seg == nil && round == 0 {
+				observers = append(observers, global...)
+			}
+			batch = append(batch, sweep.SegmentObserver{Start: p.start, End: p.end, Grid: grid, Observers: observers})
+			waiting = append(waiting, p)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		if err := sweep.RunWindowed(s, engOpt, batch...); err != nil {
+			return nil, err
+		}
+		for _, p := range waiting {
+			if err := p.search.Absorb(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for _, p := range parts {
+		if p.seg == nil {
+			a.Global = p.res
+			a.GlobalGamma = p.res.Gamma
+		} else {
+			p.seg.Gamma = p.res.Gamma
+		}
+	}
+	a.MinGamma = a.GlobalGamma
+	for _, seg := range a.Segments {
+		if seg.Gamma > 0 && seg.Gamma < a.MinGamma {
+			a.MinGamma = seg.Gamma
 		}
 	}
 	return a, nil

@@ -1,0 +1,188 @@
+package adaptive
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/linkstream"
+)
+
+// randomStream draws a workload whose shape is itself randomised —
+// node count, event count, time span, and a mixture of uniform and
+// bursty activity — so the segmentation invariants are exercised far
+// from the happy path (spans smaller than the bin count, single
+// timestamps, heavy bursts, quiet tails).
+func randomStream(t testing.TB, rng *rand.Rand) *linkstream.Stream {
+	t.Helper()
+	n := 2 + rng.Intn(10)
+	span := int64(1 + rng.Intn(20000))
+	events := 1 + rng.Intn(400)
+	bursty := rng.Intn(2) == 0
+	s := linkstream.New()
+	s.EnsureNodes(n)
+	for k := 0; k < events; k++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n - 1)
+		if v >= u {
+			v++
+		}
+		var tm int64
+		if bursty && rng.Intn(3) > 0 {
+			// Concentrate in the first tenth of the span.
+			tm = rng.Int63n(span/10 + 1)
+		} else {
+			tm = rng.Int63n(span)
+		}
+		if err := s.AddID(int32(u), int32(v), tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestSegmentsProperties checks the segmentation invariants on
+// randomised inputs with fixed seeds:
+//
+//  1. segments partition [t0, tEnd) — contiguous, first Start == t0,
+//     last End == tEnd, every Start < End;
+//  2. per-segment event counts are exact (each equals a brute-force
+//     count of the events in [Start, End)) and sum to the stream total;
+//  3. when more than one segment exists, every segment spans at least
+//     MinRunBins profile bins.
+func TestSegmentsProperties(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomStream(t, rng)
+		cfg := Config{
+			Bins:       10 + rng.Intn(200),
+			MinRunBins: 1 + rng.Intn(5),
+		}
+		segs, twoMode, err := Segments(s, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		t0, t1, _ := s.Span()
+		tEnd := t1 + 1
+
+		if segs[0].Start != t0 {
+			t.Fatalf("seed %d: first segment starts at %d, want %d", seed, segs[0].Start, t0)
+		}
+		if last := segs[len(segs)-1]; last.End != tEnd {
+			t.Fatalf("seed %d: last segment ends at %d, want %d", seed, last.End, tEnd)
+		}
+		totalEvents := 0
+		for i, seg := range segs {
+			if seg.Start >= seg.End {
+				t.Fatalf("seed %d: segment %d is empty in time: %+v", seed, i, seg)
+			}
+			if i > 0 && seg.Start != segs[i-1].End {
+				t.Fatalf("seed %d: segments %d and %d not contiguous: %+v", seed, i-1, i, segs)
+			}
+			want := 0
+			for _, e := range s.Events() {
+				if e.T >= seg.Start && e.T < seg.End {
+					want++
+				}
+			}
+			if seg.Events != want {
+				t.Fatalf("seed %d: segment %d claims %d events, brute force counts %d", seed, i, seg.Events, want)
+			}
+			totalEvents += seg.Events
+			if len(segs) > 1 && seg.Bins < cfg.MinRunBins {
+				t.Fatalf("seed %d: segment %d spans %d bins, want >= %d: %+v", seed, i, seg.Bins, cfg.MinRunBins, segs)
+			}
+		}
+		if totalEvents != s.NumEvents() {
+			t.Fatalf("seed %d: segment events sum to %d, stream has %d", seed, totalEvents, s.NumEvents())
+		}
+		if twoMode != (len(segs) > 1) {
+			t.Fatalf("seed %d: twoMode=%v with %d segments", seed, twoMode, len(segs))
+		}
+	}
+}
+
+// TestSegmentsHomogeneousProperty: a stream with identical activity in
+// every bin is never split — exactly one segment covering the whole
+// period of study.
+func TestSegmentsHomogeneousProperty(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		bins := 20 + rng.Intn(80)
+		perBin := 1 + rng.Intn(4)
+		binLen := int64(1 + rng.Intn(50))
+		s := linkstream.New()
+		s.EnsureNodes(n)
+		// Exactly perBin events in every length-binLen stretch.
+		for b := 0; b < bins; b++ {
+			for k := 0; k < perBin; k++ {
+				u := rng.Intn(n)
+				v := rng.Intn(n - 1)
+				if v >= u {
+					v++
+				}
+				if err := s.AddID(int32(u), int32(v), int64(b)*binLen+rng.Int63n(binLen)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		segs, twoMode, err := Segments(s, Config{Bins: bins})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if twoMode || len(segs) != 1 {
+			t.Fatalf("seed %d: homogeneous stream split into %d segments (twoMode=%v): %+v", seed, len(segs), twoMode, segs)
+		}
+		if segs[0].Events != s.NumEvents() {
+			t.Fatalf("seed %d: single segment holds %d events, want %d", seed, segs[0].Events, s.NumEvents())
+		}
+	}
+}
+
+// TestSegmentsTinySpan: spans smaller than the configured bin count
+// must still partition cleanly (the bin grid is capped at the span).
+func TestSegmentsTinySpan(t *testing.T) {
+	s := linkstream.New()
+	s.EnsureNodes(3)
+	for _, tm := range []int64{0, 1, 2, 3, 9} {
+		if err := s.AddID(0, 1, tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, _, err := Segments(s, Config{Bins: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segs[0].Start != 0 || segs[len(segs)-1].End != 10 {
+		t.Fatalf("segments do not cover [0, 10): %+v", segs)
+	}
+	total := 0
+	for i, seg := range segs {
+		if i > 0 && seg.Start != segs[i-1].End {
+			t.Fatalf("not contiguous: %+v", segs)
+		}
+		total += seg.Events
+	}
+	if total != 5 {
+		t.Fatalf("events sum to %d, want 5", total)
+	}
+}
+
+// TestSegmentsSingleTimestamp: a one-instant stream degenerates to a
+// single unit-length segment.
+func TestSegmentsSingleTimestamp(t *testing.T) {
+	s := linkstream.New()
+	s.EnsureNodes(4)
+	for i := 0; i < 60; i++ {
+		if err := s.AddID(int32(i%3), int32(3), 42); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, twoMode, err := Segments(s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twoMode || len(segs) != 1 || segs[0].Start != 42 || segs[0].End != 43 || segs[0].Events != 60 {
+		t.Fatalf("segments = %+v (twoMode=%v)", segs, twoMode)
+	}
+}

@@ -66,6 +66,17 @@ func (o Options) selectors() []dist.Selector {
 	return o.Selectors
 }
 
+// validateHistogramSelectors rejects selectors the fixed-bin histogram
+// backend cannot score; only the M-K proximity has a streamed form.
+func validateHistogramSelectors(sels []dist.Selector) error {
+	for _, sel := range sels {
+		if _, ok := sel.(dist.MKProximitySelector); !ok {
+			return fmt.Errorf("core: selector %s does not support the histogram backend", sel.Name())
+		}
+	}
+	return nil
+}
+
 // DefaultGridPoints is the number of candidate periods DefaultGrid
 // produces.
 const DefaultGridPoints = 48
@@ -274,10 +285,8 @@ func Sweep(s *linkstream.Stream, grid []int64, opt Options) ([]SweepPoint, error
 	}
 	sels := opt.selectors()
 	if opt.HistogramBins > 0 {
-		for _, sel := range sels {
-			if _, ok := sel.(dist.MKProximitySelector); !ok {
-				return nil, fmt.Errorf("core: selector %s does not support the histogram backend", sel.Name())
-			}
+		if err := validateHistogramSelectors(sels); err != nil {
+			return nil, err
 		}
 	}
 	for _, delta := range grid {
@@ -286,16 +295,21 @@ func Sweep(s *linkstream.Stream, grid []int64, opt Options) ([]SweepPoint, error
 		}
 	}
 	obs := NewOccupancyObserver(sels)
-	err := sweep.Run(s, grid, sweep.Options{
-		Directed:      opt.Directed,
-		Workers:       opt.Workers,
-		MaxInFlight:   opt.MaxInFlight,
-		HistogramBins: opt.HistogramBins,
-	}, obs)
-	if err != nil {
+	if err := sweep.Run(s, grid, opt.engineOptions(), obs); err != nil {
 		return nil, err
 	}
 	return obs.Points(), nil
+}
+
+// engineOptions translates the occupancy-method options into the sweep
+// engine's.
+func (o Options) engineOptions() sweep.Options {
+	return sweep.Options{
+		Directed:      o.Directed,
+		Workers:       o.Workers,
+		MaxInFlight:   o.MaxInFlight,
+		HistogramBins: o.HistogramBins,
+	}
 }
 
 // Best returns the index of the point maximising selector selIdx.
@@ -313,39 +327,19 @@ func Best(points []SweepPoint, selIdx int) int {
 
 // SaturationScale runs the occupancy method end to end: sweep the ∆
 // grid, optionally refine around the maximum, and return γ together
-// with the full score curve.
+// with the full score curve. It is SaturationScaleWith driven by plain
+// engine passes over the stream; the staged refinement means every
+// distinct ∆ is swept at most once.
 func SaturationScale(s *linkstream.Stream, opt Options) (Result, error) {
-	grid := opt.Grid
-	if len(grid) == 0 {
-		grid = DefaultGrid(s, DefaultGridPoints)
+	if s.NumEvents() == 0 {
+		return Result{}, ErrNoEvents
 	}
-	points, err := Sweep(s, grid, opt)
-	if err != nil {
-		return Result{}, err
+	if len(opt.Grid) == 0 {
+		opt.Grid = DefaultGrid(s, DefaultGridPoints)
 	}
-	sels := opt.selectors()
-	best := Best(points, 0)
-
-	if opt.Refine > 0 && len(points) > 1 {
-		lo := points[max(0, best-1)].Delta
-		hi := points[min(len(points)-1, best+1)].Delta
-		if hi > lo+1 {
-			refined := LogGrid(lo, hi, opt.Refine+2)
-			extra, err := Sweep(s, refined, opt)
-			if err != nil {
-				return Result{}, err
-			}
-			points = mergePoints(points, extra)
-			best = Best(points, 0)
-		}
-	}
-
-	return Result{
-		Gamma:    points[best].Delta,
-		Score:    points[best].Scores[0],
-		Selector: sels[0].Name(),
-		Points:   points,
-	}, nil
+	return SaturationScaleWith(opt, func(grid []int64, obs sweep.Observer) error {
+		return sweep.Run(s, grid, opt.engineOptions(), obs)
+	})
 }
 
 // mergePoints merges two sweeps, dropping duplicate deltas and keeping

@@ -1,0 +1,166 @@
+package core
+
+// This file implements the engine-backed bisection entry points of the
+// occupancy method: SaturationScale's sweep-then-refine loop factored
+// into a resumable state machine (ScaleSearch) whose engine passes are
+// supplied by the caller. A single search is SaturationScaleWith; many
+// concurrent searches — one per activity segment, as internal/adaptive
+// runs them — batch the requests of each round into one fused
+// sweep.RunWindowed pass, so every segment's grid flows through one
+// engine pipeline under the shared MaxInFlight bound.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/sweep"
+)
+
+// SweepRunner executes one engine pass: score every period of grid with
+// obs (registering it with sweep.Run, sweep.RunWindowed, or any other
+// scheduler). It is the pluggable sweep of SaturationScaleWith.
+type SweepRunner func(grid []int64, obs sweep.Observer) error
+
+// ScaleSearch is the occupancy method as a resumable bisection: it
+// emits sweep requests (a candidate grid plus an observer to score it
+// with) and absorbs the scored points until γ is determined, letting a
+// caller interleave or batch the engine passes of many searches.
+//
+// Protocol: call Next for the pending request; run any engine pass that
+// registers the returned observer over the returned grid; call Absorb.
+// Repeat until Next reports ok == false, then read Result. Each
+// distinct ∆ is swept at most once across all rounds — refinement grids
+// are deduplicated against every ∆ already scored, which the plain
+// SaturationScale never did (its refine pass rebuilt its grid
+// endpoints).
+type ScaleSearch struct {
+	opt     Options
+	sels    []dist.Selector
+	seen    map[int64]bool
+	points  []SweepPoint
+	cur     *OccupancyObserver
+	curGrid []int64
+	refined bool
+	done    bool
+}
+
+// NewScaleSearch validates opt and stages the initial sweep request.
+// Unlike SaturationScale, opt.Grid must be set explicitly — a search
+// has no stream to derive a default grid from.
+func NewScaleSearch(opt Options) (*ScaleSearch, error) {
+	if len(opt.Grid) == 0 {
+		return nil, errors.New("core: ScaleSearch needs an explicit candidate grid")
+	}
+	for _, delta := range opt.Grid {
+		if delta <= 0 {
+			return nil, fmt.Errorf("core: non-positive aggregation period %d", delta)
+		}
+	}
+	sels := opt.selectors()
+	if opt.HistogramBins > 0 {
+		if err := validateHistogramSelectors(sels); err != nil {
+			return nil, err
+		}
+	}
+	sc := &ScaleSearch{opt: opt, sels: sels, seen: make(map[int64]bool, len(opt.Grid)), curGrid: opt.Grid}
+	for _, d := range opt.Grid {
+		sc.seen[d] = true
+	}
+	return sc, nil
+}
+
+// Next returns the pending sweep request: the grid to sweep and the
+// observer to register for it. ok is false when the search is complete
+// (or a previous request has not been absorbed yet).
+func (sc *ScaleSearch) Next() (grid []int64, obs sweep.Observer, ok bool) {
+	if sc.done || sc.cur != nil || sc.curGrid == nil {
+		return nil, nil, false
+	}
+	sc.cur = NewOccupancyObserver(sc.sels)
+	return sc.curGrid, sc.cur, true
+}
+
+// Absorb folds the scored points of the last Next request into the
+// search and stages the refinement round when opt.Refine asks for one
+// and the maximum is not yet pinned to grid resolution.
+func (sc *ScaleSearch) Absorb() error {
+	if sc.cur == nil {
+		return errors.New("core: Absorb without a pending sweep request")
+	}
+	pts := sc.cur.Points()
+	sc.cur, sc.curGrid = nil, nil
+	if sc.points == nil {
+		sc.points = pts
+	} else {
+		sc.points = mergePoints(sc.points, pts)
+	}
+	if !sc.refined {
+		sc.refined = true
+		if sc.opt.Refine > 0 && len(sc.points) > 1 {
+			best := Best(sc.points, 0)
+			lo := sc.points[max(0, best-1)].Delta
+			hi := sc.points[min(len(sc.points)-1, best+1)].Delta
+			if hi > lo+1 {
+				var fresh []int64
+				for _, d := range LogGrid(lo, hi, sc.opt.Refine+2) {
+					if !sc.seen[d] {
+						sc.seen[d] = true
+						fresh = append(fresh, d)
+					}
+				}
+				if len(fresh) > 0 {
+					sc.curGrid = fresh
+					return nil
+				}
+			}
+		}
+	}
+	sc.done = true
+	return nil
+}
+
+// Done reports whether the search has converged.
+func (sc *ScaleSearch) Done() bool { return sc.done }
+
+// Result returns γ and the full score curve. It errors until the
+// search is complete.
+func (sc *ScaleSearch) Result() (Result, error) {
+	if !sc.done {
+		return Result{}, errors.New("core: scale search has pending sweep requests")
+	}
+	best := Best(sc.points, 0)
+	return Result{
+		Gamma:    sc.points[best].Delta,
+		Score:    sc.points[best].Scores[0],
+		Selector: sc.sels[0].Name(),
+		Points:   sc.points,
+	}, nil
+}
+
+// SaturationScaleWith runs the occupancy method's bisection through a
+// caller-supplied engine pass: every grid the search stages is handed
+// to run together with the observer that scores it. SaturationScale is
+// SaturationScaleWith over a plain sweep.Run; callers fusing several
+// analyses into shared engine passes (internal/adaptive) drive the
+// ScaleSearch protocol directly and batch the requests of concurrent
+// searches into single sweep.RunWindowed invocations.
+func SaturationScaleWith(opt Options, run SweepRunner) (Result, error) {
+	sc, err := NewScaleSearch(opt)
+	if err != nil {
+		return Result{}, err
+	}
+	for {
+		grid, obs, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if err := run(grid, obs); err != nil {
+			return Result{}, err
+		}
+		if err := sc.Absorb(); err != nil {
+			return Result{}, err
+		}
+	}
+	return sc.Result()
+}

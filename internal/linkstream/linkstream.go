@@ -159,6 +159,40 @@ func Canonical(events []Event) []Event {
 	return out
 }
 
+// WindowEvents returns the sub-slice of the time-sorted events with
+// start <= T < end — the same selection SliceTime makes, without
+// copying. Events must already be sorted by time.
+func WindowEvents(events []Event, start, end int64) []Event {
+	lo := sort.Search(len(events), func(i int) bool { return events[i].T >= start })
+	hi := sort.Search(len(events), func(i int) bool { return events[i].T >= end })
+	return events[lo:hi]
+}
+
+// EventsResolution is Stream.Resolution on a time-sorted event slice:
+// the smallest positive gap between consecutive timestamps, 1 when
+// there are fewer than two distinct ones.
+func EventsResolution(events []Event) int64 {
+	res := int64(math.MaxInt64)
+	for i := 1; i < len(events); i++ {
+		if d := events[i].T - events[i-1].T; d > 0 && d < res {
+			res = d
+		}
+	}
+	if res == math.MaxInt64 {
+		return 1
+	}
+	return res
+}
+
+// EventsDuration is Stream.Duration on a time-sorted event slice:
+// t1 - t0 + 1, or 0 for an empty slice.
+func EventsDuration(events []Event) int64 {
+	if len(events) == 0 {
+		return 0
+	}
+	return events[len(events)-1].T - events[0].T + 1
+}
+
 // Dedup removes exactly repeated events (same U, V and T). The stream is
 // sorted as a side effect. Events (u,v,t) and (v,u,t) are distinct unless
 // Normalize was called first.
@@ -189,11 +223,8 @@ func (s *Stream) Span() (t0, t1 int64, ok bool) {
 // Duration returns t1 - t0 + 1, the number of time units covered by the
 // stream (0 for an empty stream).
 func (s *Stream) Duration() int64 {
-	t0, t1, ok := s.Span()
-	if !ok {
-		return 0
-	}
-	return t1 - t0 + 1
+	s.Sort()
+	return EventsDuration(s.events)
 }
 
 // Resolution returns the smallest positive gap between two consecutive
@@ -202,16 +233,7 @@ func (s *Stream) Duration() int64 {
 // timestamps. The stream is sorted as a side effect.
 func (s *Stream) Resolution() int64 {
 	s.Sort()
-	res := int64(math.MaxInt64)
-	for i := 1; i < len(s.events); i++ {
-		if d := s.events[i].T - s.events[i-1].T; d > 0 && d < res {
-			res = d
-		}
-	}
-	if res == math.MaxInt64 {
-		return 1
-	}
-	return res
+	return EventsResolution(s.events)
 }
 
 // Clone returns a deep copy of the stream.
@@ -242,9 +264,7 @@ func (s *Stream) SliceTime(t0, t1 int64) *Stream {
 			c.index[k] = v
 		}
 	}
-	lo := sort.Search(len(s.events), func(i int) bool { return s.events[i].T >= t0 })
-	hi := sort.Search(len(s.events), func(i int) bool { return s.events[i].T >= t1 })
-	c.events = append([]Event(nil), s.events[lo:hi]...)
+	c.events = append([]Event(nil), WindowEvents(s.events, t0, t1)...)
 	return c
 }
 

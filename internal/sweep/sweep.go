@@ -19,11 +19,16 @@
 // O(MaxInFlight × period footprint) instead of O(grid × period
 // footprint) — the property that lets wide ∆ grids run over very large
 // streams.
+//
+// Observer registration is windowed (see SegmentObserver and
+// RunWindowed): one engine pass can serve several time windows of the
+// stream at once, each with its own candidate grid and observer set,
+// all sharing the sorted canonical event buffer, the worker pool and
+// the in-flight bound. Run is the single-window special case.
 package sweep
 
 import (
 	"errors"
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -194,12 +199,15 @@ type Observer interface {
 
 // Engine instrumentation: periodBuilds counts period CSR constructions
 // since the last ResetBuildStats; periodsAlive tracks the currently
-// resident periods and maxAlive their high-water mark. Tests use these
-// to assert the build-each-CSR-once and bounded-in-flight guarantees.
+// resident periods and maxAlive their high-water mark; engineRuns
+// counts engine passes (Run / RunWindowed invocations that reach the
+// sweep stage). Tests use these to assert the build-each-CSR-once,
+// bounded-in-flight and one-pass-per-analysis guarantees.
 var (
 	periodBuilds atomic.Int64
 	periodsAlive atomic.Int64
 	maxAlive     atomic.Int64
+	engineRuns   atomic.Int64
 )
 
 // ResetBuildStats zeroes the engine's build instrumentation.
@@ -207,6 +215,7 @@ func ResetBuildStats() {
 	periodBuilds.Store(0)
 	periodsAlive.Store(0)
 	maxAlive.Store(0)
+	engineRuns.Store(0)
 }
 
 // BuildStats returns how many period CSR arenas were built since the
@@ -215,84 +224,21 @@ func BuildStats() (builds, maxInFlight int64) {
 	return periodBuilds.Load(), maxAlive.Load()
 }
 
-// Run executes one engine pass: it validates the inputs, prepares the
-// shared stream view (plus the raw-stream trips if any observer needs
-// them), calls every observer's Begin, then pipelines the grid's
-// periods through the bounded in-flight scheduler, fanning each
-// period's products to every observer. The first error — from an
-// observer or the engine itself — aborts the run and is returned.
+// RunCount returns how many engine passes started since the last
+// ResetBuildStats. A fused multi-segment analysis performs one pass no
+// matter how many windows it serves; per-segment reference paths
+// perform one per window.
+func RunCount() int64 { return engineRuns.Load() }
+
+// Run executes one engine pass over the whole stream: it validates the
+// inputs, prepares the shared stream view (plus the raw-stream trips if
+// any observer needs them), calls every observer's Begin, then
+// pipelines the grid's periods through the bounded in-flight scheduler,
+// fanning each period's products to every observer. The first error —
+// from an observer or the engine itself — aborts the run and is
+// returned. Run is the single-window special case of RunWindowed.
 func Run(s *linkstream.Stream, grid []int64, opt Options, observers ...Observer) error {
-	if s.NumEvents() == 0 {
-		return ErrNoEvents
-	}
-	if len(grid) == 0 {
-		return errors.New("sweep: empty candidate grid")
-	}
-	for _, delta := range grid {
-		if delta <= 0 {
-			return fmt.Errorf("sweep: non-positive aggregation period %d", delta)
-		}
-	}
-	if len(observers) == 0 {
-		return errors.New("sweep: no observers registered")
-	}
-
-	s.Sort()
-	events := s.Events()
-	if !opt.Directed {
-		events = linkstream.Canonical(events)
-	}
-	var needs Needs
-	for _, o := range observers {
-		needs = needs.union(o.Needs())
-	}
-	v := &StreamView{
-		N:        s.NumNodes(),
-		Directed: opt.Directed,
-		T0:       events[0].T,
-		T1:       events[len(events)-1].T,
-		Grid:     grid,
-		Events:   events,
-	}
-	if needs.StreamTrips {
-		var scratch temporal.CSRScratch
-		streamCSR := temporal.BuildCSR(events, 0, 1, &scratch)
-		v.streamTrips = collectStreamTrips(streamCSR, v.N, opt)
-	}
-	for _, o := range observers {
-		if err := o.Begin(v); err != nil {
-			return err
-		}
-	}
-
-	if !needs.perPeriod() {
-		// Stream-level observers only: no CSR, no sweep — one cheap
-		// sequential pass over the grid.
-		for i, delta := range grid {
-			p := &Period{Index: i, Delta: delta, T0: v.T0, NumWindows: (v.T1-v.T0)/delta + 1}
-			for _, o := range observers {
-				if err := o.ObservePeriod(p); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
-
-	e := &engine{opt: opt, needs: needs, observers: observers, v: v}
-	e.workers = opt.Workers
-	if e.workers <= 0 {
-		e.workers = runtime.GOMAXPROCS(0)
-	}
-	e.blocks = temporal.DestBlocks(v.N)
-	e.histMode = opt.HistogramBins > 0 && needs.Occupancies
-	maxInFlight := opt.MaxInFlight
-	if maxInFlight <= 0 {
-		maxInFlight = DefaultMaxInFlight
-	}
-	e.sem = make(chan struct{}, maxInFlight)
-	e.tasks = make(chan task, 2*e.workers)
-	return e.run()
+	return RunWindowed(s, opt, SegmentObserver{Grid: grid, Observers: observers})
 }
 
 // collectStreamTrips enumerates the minimal trips of the raw stream
@@ -347,9 +293,22 @@ func collectStreamTrips(c *temporal.CSR, n int, opt Options) []temporal.Trip {
 // task.
 const statsBlock = -1
 
-// job is one in-flight period: its arena, its product sinks and the
-// completion accounting that decides when it can be finalised.
+// scope is the engine-internal state of one registered SegmentObserver:
+// its window's slice of the shared event buffer wrapped in a
+// StreamView, the union of its observers' needs, and whether its
+// occupancy products stream into histograms.
+type scope struct {
+	seg      SegmentObserver
+	needs    Needs
+	v        *StreamView
+	histMode bool
+}
+
+// job is one in-flight period: the scope that owns it, its arena, its
+// product sinks and the completion accounting that decides when it can
+// be finalised.
 type job struct {
+	sc         *scope
 	idx        int
 	delta      int64
 	numWindows int64
@@ -378,13 +337,11 @@ type task struct {
 }
 
 type engine struct {
-	opt       Options
-	needs     Needs
-	observers []Observer
-	v         *StreamView
-	workers   int
-	blocks    int
-	histMode  bool
+	opt     Options
+	scopes  []*scope
+	n       int // node count, shared by every scope
+	workers int
+	blocks  int
 
 	sem   chan struct{}
 	tasks chan task
@@ -419,56 +376,77 @@ func (e *engine) run() error {
 	return e.firstErr
 }
 
-// produce builds one CSR per period — each period exactly once — and
+// produce builds one CSR per (scope, period) — each exactly once — and
 // enqueues its tasks, blocking on the in-flight semaphore so no more
-// than MaxInFlight periods are ever resident.
+// than MaxInFlight periods are ever resident across all scopes. Scopes
+// without per-period needs are observed inline, without touching the
+// pipeline.
 func (e *engine) produce() {
 	defer close(e.tasks)
 	var scratch temporal.CSRScratch
-	for i, delta := range e.v.Grid {
-		if e.aborted.Load() {
-			return
-		}
-		e.sem <- struct{}{}
-		j := &job{idx: i, delta: delta, numWindows: (e.v.T1-e.v.T0)/delta + 1}
-		j.csr = temporal.BuildCSR(e.v.Events, e.v.T0, delta, &scratch)
-		periodBuilds.Add(1)
-		alive := periodsAlive.Add(1)
-		for {
-			m := maxAlive.Load()
-			if alive <= m || maxAlive.CompareAndSwap(m, alive) {
-				break
+	for _, sc := range e.scopes {
+		if !sc.needs.perPeriod() {
+			// Stream-level observers only: no CSR, no sweep — one cheap
+			// sequential pass over the scope's grid.
+			for i, delta := range sc.v.Grid {
+				if e.aborted.Load() {
+					return
+				}
+				p := &Period{Index: i, Delta: delta, T0: sc.v.T0, NumWindows: (sc.v.T1-sc.v.T0)/delta + 1}
+				for _, o := range sc.seg.Observers {
+					if err := o.ObservePeriod(p); err != nil {
+						e.fail(err)
+						return
+					}
+				}
 			}
-		}
-		ntasks := 0
-		if e.needs.sweeps() {
-			ntasks += e.blocks
-			if e.needs.Trips {
-				j.blockTrips = make([][]temporal.Trip, temporal.LanesPerBlock*e.blocks)
-			}
-			if e.needs.Distances {
-				j.sink = temporal.NewDistSink(e.v.N, 0, 1)
-			}
-			if e.histMode {
-				j.hist = dist.NewHistogram(e.opt.HistogramBins)
-			}
-		}
-		if e.needs.WindowStats {
-			ntasks++
-		}
-		if ntasks == 0 {
-			// Unreachable while perPeriod() gates the pipeline, but keep
-			// the accounting sound.
-			e.finalize(j)
 			continue
 		}
-		j.pending.Store(int32(ntasks))
-		if e.needs.WindowStats {
-			e.tasks <- task{j: j, block: statsBlock}
-		}
-		if e.needs.sweeps() {
-			for b := 0; b < e.blocks; b++ {
-				e.tasks <- task{j: j, block: b}
+		for i, delta := range sc.v.Grid {
+			if e.aborted.Load() {
+				return
+			}
+			e.sem <- struct{}{}
+			j := &job{sc: sc, idx: i, delta: delta, numWindows: (sc.v.T1-sc.v.T0)/delta + 1}
+			j.csr = temporal.BuildCSR(sc.v.Events, sc.v.T0, delta, &scratch)
+			periodBuilds.Add(1)
+			alive := periodsAlive.Add(1)
+			for {
+				m := maxAlive.Load()
+				if alive <= m || maxAlive.CompareAndSwap(m, alive) {
+					break
+				}
+			}
+			ntasks := 0
+			if sc.needs.sweeps() {
+				ntasks += e.blocks
+				if sc.needs.Trips {
+					j.blockTrips = make([][]temporal.Trip, temporal.LanesPerBlock*e.blocks)
+				}
+				if sc.needs.Distances {
+					j.sink = temporal.NewDistSink(e.n, 0, 1)
+				}
+				if sc.histMode {
+					j.hist = dist.NewHistogram(e.opt.HistogramBins)
+				}
+			}
+			if sc.needs.WindowStats {
+				ntasks++
+			}
+			if ntasks == 0 {
+				// Unreachable while perPeriod() gates the pipeline, but
+				// keep the accounting sound.
+				e.finalize(j)
+				continue
+			}
+			j.pending.Store(int32(ntasks))
+			if sc.needs.WindowStats {
+				e.tasks <- task{j: j, block: statsBlock}
+			}
+			if sc.needs.sweeps() {
+				for b := 0; b < e.blocks; b++ {
+					e.tasks <- task{j: j, block: b}
+				}
 			}
 		}
 	}
@@ -481,12 +459,9 @@ func (e *engine) produce() {
 // once, and a job never waits on a worker that is busy elsewhere.
 func (e *engine) worker() {
 	defer e.wg.Done()
-	w := temporal.NewWorker(e.v.N)
+	w := temporal.NewWorker(e.n)
 	defer w.Release()
 	var localHist *dist.Histogram
-	if e.histMode {
-		localHist = dist.NewHistogram(e.opt.HistogramBins)
-	}
 	var cur *job // job the worker's occupancy sink holds data for
 
 	flush := func() {
@@ -497,7 +472,10 @@ func (e *engine) worker() {
 		cur = nil
 		chunks, total := w.TakeOccupancies()
 		if total > 0 {
-			if e.histMode {
+			if j.sc.histMode {
+				if localHist == nil {
+					localHist = dist.NewHistogram(e.opt.HistogramBins)
+				}
 				for _, ch := range chunks {
 					localHist.AddAll(ch)
 				}
@@ -546,15 +524,16 @@ func (e *engine) worker() {
 		if t.block == statsBlock {
 			j.stats = e.windowStats(j)
 		} else {
-			if e.needs.Occupancies && cur != j {
+			needs := j.sc.needs
+			if needs.Occupancies && cur != j {
 				flush()
 				cur = j
 				j.contrib.Add(1)
 			}
-			if e.needs.Trips || e.needs.Distances {
+			if needs.Trips || needs.Distances {
 				lanes := w.SweepFullBlock(j.csr, e.opt.Directed, t.block,
-					e.needs.Trips, e.needs.Occupancies, j.sink)
-				if e.needs.Trips {
+					needs.Trips, needs.Occupancies, j.sink)
+				if needs.Trips {
 					copy(j.blockTrips[temporal.LanesPerBlock*t.block:], lanes[:])
 				}
 			} else {
@@ -577,10 +556,12 @@ func (e *engine) maybeFinalize(j *job) {
 	e.finalize(j)
 }
 
-// finalize assembles the period view, hands it to every observer and
-// releases everything the period held — arena, chunks, trips — before
-// freeing the in-flight slot. It runs on whichever worker completed the
-// period, so observer scoring overlaps other periods' sweeps.
+// finalize assembles the period view, hands it to the owning scope's
+// observers — the windowed routing: a period's products only ever reach
+// the segment that requested it — and releases everything the period
+// held (arena, chunks, trips) before freeing the in-flight slot. It
+// runs on whichever worker completed the period, so observer scoring
+// overlaps other periods' sweeps.
 func (e *engine) finalize(j *job) {
 	defer func() {
 		j.csr = nil
@@ -594,25 +575,26 @@ func (e *engine) finalize(j *job) {
 	if e.aborted.Load() {
 		return
 	}
-	p := &Period{Index: j.idx, Delta: j.delta, T0: e.v.T0, NumWindows: j.numWindows}
-	if e.needs.Trips {
+	sc := j.sc
+	p := &Period{Index: j.idx, Delta: j.delta, T0: sc.v.T0, NumWindows: j.numWindows}
+	if sc.needs.Trips {
 		p.TripBlocks = j.blockTrips
 	}
-	if e.needs.Occupancies {
-		if e.histMode {
+	if sc.needs.Occupancies {
+		if sc.histMode {
 			p.Histogram = j.hist
 		} else {
 			p.OccupancyChunks = j.chunks
 			p.OccupancyCount = j.occTotal
 		}
 	}
-	if e.needs.Distances {
+	if sc.needs.Distances {
 		p.Distances = j.sink.Stats()
 	}
-	if e.needs.WindowStats {
+	if sc.needs.WindowStats {
 		p.Windows = j.stats
 	}
-	for _, o := range e.observers {
+	for _, o := range sc.seg.Observers {
 		if err := o.ObservePeriod(p); err != nil {
 			e.fail(err)
 			break
@@ -634,7 +616,7 @@ func (e *engine) finalize(j *job) {
 // classic (Curve vs CurveReference) pin the two implementations
 // together; a change to either must keep them in lockstep.
 func (e *engine) windowStats(j *job) series.Stats {
-	c, n := j.csr, e.v.N
+	c, n := j.csr, e.n
 	st := series.Stats{Delta: j.delta, NumWindows: j.numWindows, NonEmptyWindows: c.NumLayers()}
 	if j.numWindows == 0 {
 		return st

@@ -1,0 +1,162 @@
+package sweep
+
+// This file implements windowed observer registration: one engine pass
+// over the stream can serve several time windows ("segments") at once,
+// each with its own candidate grid and observer set. The engine sorts
+// and canonicalises the event buffer exactly once, slices it per
+// segment by binary search (zero-copy sub-slices of the shared buffer),
+// and pipelines every (segment, ∆) period through the one bounded
+// in-flight scheduler and worker pool; finalize routes each period's
+// products to the owning segment's observers. This is what lets the
+// adaptive multi-segment analysis (internal/adaptive) run the global
+// sweep and every per-segment sweep in a single engine pass instead of
+// one core.SaturationScale pass per segment.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"repro/internal/linkstream"
+	"repro/internal/temporal"
+)
+
+// SegmentObserver scopes a set of observers to one time window of the
+// stream with its own candidate grid — the unit of windowed observer
+// registration. Registered with RunWindowed, its observers see exactly
+// the analysis they would see from Run on the window's sub-stream: the
+// StreamView handed to Begin holds the window's slice of the shared
+// sorted canonical event buffer (T0/T1 are the slice's first and last
+// event times, so window partitions anchor at the segment's own first
+// event), and every ObservePeriod receives products computed from that
+// slice alone. Periods are routed to the owning segment by period
+// interval: a (segment, ∆) period's products reach only the segment
+// that requested it.
+type SegmentObserver struct {
+	// Start, End bound the segment's events to the raw-time window
+	// [Start, End). Start >= End — e.g. the zero value — selects the
+	// whole stream.
+	Start, End int64
+	// Grid is the segment's candidate aggregation periods.
+	Grid []int64
+	// Observers receive the segment's stream view and period products.
+	Observers []Observer
+}
+
+// windowed reports whether the segment restricts the stream at all.
+func (seg SegmentObserver) windowed() bool { return seg.Start < seg.End }
+
+// RunWindowed executes one engine pass serving every registered
+// segment: the stream is sorted and canonicalised once, each
+// (segment, ∆) CSR arena is built and swept exactly once, and at most
+// Options.MaxInFlight periods are resident at any moment across all
+// segments. Each segment's observers receive exactly what a Run over
+// the segment's sub-stream would hand them (bit for bit — the
+// engine-products brute-force tests pin this), so fusing N windowed
+// sweeps into one pass never changes any result, only the number of
+// passes over the stream. The first error aborts the run.
+func RunWindowed(s *linkstream.Stream, opt Options, segments ...SegmentObserver) error {
+	if s.NumEvents() == 0 {
+		return ErrNoEvents
+	}
+	if len(segments) == 0 {
+		return errors.New("sweep: no segments registered")
+	}
+	for _, seg := range segments {
+		if len(seg.Grid) == 0 {
+			return errors.New("sweep: empty candidate grid")
+		}
+		for _, delta := range seg.Grid {
+			if delta <= 0 {
+				return fmt.Errorf("sweep: non-positive aggregation period %d", delta)
+			}
+		}
+		if len(seg.Observers) == 0 {
+			return errors.New("sweep: no observers registered")
+		}
+	}
+
+	s.Sort()
+	events := s.Events()
+	if !opt.Directed {
+		events = linkstream.Canonical(events)
+	}
+	engineRuns.Add(1)
+
+	scopes := make([]*scope, 0, len(segments))
+	var scratch temporal.CSRScratch
+	for _, seg := range segments {
+		sub := events
+		if seg.windowed() {
+			sub = linkstream.WindowEvents(events, seg.Start, seg.End)
+		}
+		if len(sub) == 0 {
+			return fmt.Errorf("sweep: segment [%d, %d) has no events", seg.Start, seg.End)
+		}
+		var needs Needs
+		for _, o := range seg.Observers {
+			needs = needs.union(o.Needs())
+		}
+		v := &StreamView{
+			N:        s.NumNodes(),
+			Directed: opt.Directed,
+			T0:       sub[0].T,
+			T1:       sub[len(sub)-1].T,
+			Grid:     seg.Grid,
+			Events:   sub,
+		}
+		if needs.StreamTrips {
+			segCSR := temporal.BuildCSR(sub, 0, 1, &scratch)
+			v.streamTrips = collectStreamTrips(segCSR, v.N, opt)
+		}
+		scopes = append(scopes, &scope{
+			seg:      seg,
+			needs:    needs,
+			v:        v,
+			histMode: opt.HistogramBins > 0 && needs.Occupancies,
+		})
+	}
+	for _, sc := range scopes {
+		for _, o := range sc.seg.Observers {
+			if err := o.Begin(sc.v); err != nil {
+				return err
+			}
+		}
+	}
+
+	anyPerPeriod := false
+	for _, sc := range scopes {
+		if sc.needs.perPeriod() {
+			anyPerPeriod = true
+			break
+		}
+	}
+	if !anyPerPeriod {
+		// Stream-level observers only: no CSR, no sweep, no workers.
+		for _, sc := range scopes {
+			for i, delta := range sc.v.Grid {
+				p := &Period{Index: i, Delta: delta, T0: sc.v.T0, NumWindows: (sc.v.T1-sc.v.T0)/delta + 1}
+				for _, o := range sc.seg.Observers {
+					if err := o.ObservePeriod(p); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	e := &engine{opt: opt, scopes: scopes, n: s.NumNodes()}
+	e.workers = opt.Workers
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	e.blocks = temporal.DestBlocks(e.n)
+	maxInFlight := opt.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	e.sem = make(chan struct{}, maxInFlight)
+	e.tasks = make(chan task, 2*e.workers)
+	return e.run()
+}

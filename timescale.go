@@ -205,12 +205,26 @@ type AdaptiveConfig = adaptive.Config
 // AdaptiveAnalysis is the outcome of AnalyzeAdaptive.
 type AdaptiveAnalysis = adaptive.Analysis
 
+// AdaptiveSegment is one activity segment of an AdaptiveAnalysis.
+type AdaptiveSegment = adaptive.Segment
+
 // AnalyzeAdaptive separates high- and low-activity periods of the
 // stream and determines a saturation scale for each part independently,
 // as the paper's conclusion proposes for strongly heterogeneous
-// streams.
+// streams. The global sweep and every per-segment sweep run as one
+// fused engine pass per analysis round (see MultiSweepWindowed) — the
+// stream is sorted once and each (segment, ∆) arena is built exactly
+// once, no matter how many segments the stream splits into.
 func AnalyzeAdaptive(s *Stream, cfg AdaptiveConfig) (*AdaptiveAnalysis, error) {
 	return adaptive.Analyze(s, cfg)
+}
+
+// AnalyzeAdaptiveWith is AnalyzeAdaptive with extra observers attached
+// to the global scope's initial engine pass: they receive the whole
+// stream's view and every period of the global candidate grid from the
+// same pass that prices the global scale.
+func AnalyzeAdaptiveWith(s *Stream, cfg AdaptiveConfig, global ...SweepObserver) (*AdaptiveAnalysis, error) {
+	return adaptive.AnalyzeWith(s, cfg, global...)
 }
 
 // SweepObserver consumes the products of a unified sweep-engine run;
@@ -240,6 +254,39 @@ type SweepEngineOptions = sweep.Options
 // built-in metrics, or implement SweepObserver for custom ones.
 func MultiSweep(s *Stream, grid []int64, opt SweepEngineOptions, observers ...SweepObserver) error {
 	return sweep.Run(s, grid, opt, observers...)
+}
+
+// SegmentObserver scopes a set of observers to one time window of the
+// stream with its own candidate grid — the unit of windowed observer
+// registration for MultiSweepWindowed. A Start >= End window (the zero
+// value) selects the whole stream.
+type SegmentObserver = sweep.SegmentObserver
+
+// MultiSweepWindowed runs one engine pass serving several time windows
+// at once: each SegmentObserver's observers see exactly what a
+// MultiSweep over the window's sub-stream would hand them, while the
+// sort/canonicalise work, the worker pool and the MaxInFlight bound are
+// shared by every window.
+func MultiSweepWindowed(s *Stream, opt SweepEngineOptions, segments ...SegmentObserver) error {
+	return sweep.RunWindowed(s, opt, segments...)
+}
+
+// SweepRunner executes one engine pass for SaturationScaleWith: score
+// every period of grid with obs.
+type SweepRunner = core.SweepRunner
+
+// ScaleSearch is the occupancy method as a resumable bisection,
+// letting a caller batch the engine passes of many concurrent searches
+// (see core.ScaleSearch for the protocol).
+type ScaleSearch = core.ScaleSearch
+
+// NewScaleSearch stages a scale search over opt.Grid.
+func NewScaleSearch(opt Options) (*ScaleSearch, error) { return core.NewScaleSearch(opt) }
+
+// SaturationScaleWith runs the occupancy method's sweep-then-refine
+// bisection through a caller-supplied engine pass.
+func SaturationScaleWith(opt Options, run SweepRunner) (Result, error) {
+	return core.SaturationScaleWith(opt, run)
 }
 
 // OccupancyObserver scores per-period occupancy distributions (the
