@@ -293,6 +293,77 @@ func BenchmarkMultiSweepSeparateWrappers(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamingTrips vs BenchmarkStreamingTripsReference: the
+// streaming raw-stream trip pipeline feeding the Section 8 validation
+// observers (per-destination runs merged into the incremental pair
+// index, two-hop spans kept, per-period scans sharded across the worker
+// pool) against the retained eager path (flat stream trip slice,
+// whole-period TripBlocks, sequential scan). Results are bit-identical;
+// the delta is residency: the streaming run's peak trip allocations
+// scale with the in-flight runs (lanes recycled block by block), not
+// with the stream's total trip population.
+func BenchmarkStreamingTrips(b *testing.B) {
+	s := irvineStream(b)
+	grid := core.LogGrid(3600, s.Duration(), 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loss := validate.NewTransitionLossObserver()
+		elong := validate.NewElongationObserver()
+		if err := sweep.Run(s, grid, sweep.Options{MaxInFlight: 2}, loss, elong); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamingTripsReference(b *testing.B) {
+	s := irvineStream(b)
+	grid := core.LogGrid(3600, s.Duration(), 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loss := validate.NewTransitionLossObserverReference()
+		elong := validate.NewElongationObserverReference()
+		if err := sweep.Run(s, grid, sweep.Options{MaxInFlight: 2}, loss, elong); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWindowedDedup vs BenchmarkWindowedDedupSeparatePasses: two
+// scopes requesting the same window and grid (the homogeneous-stream
+// shape: single activity segment == global scope). The fused run builds
+// each period's CSR once and fans it to both scopes; the separate
+// passes pay every build and sweep twice.
+func BenchmarkWindowedDedup(b *testing.B) {
+	s := irvineStream(b)
+	t0, t1, _ := s.Span()
+	grid := core.LogGrid(3600, s.Duration(), 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		occA := core.NewOccupancyObserver(nil)
+		occB := core.NewOccupancyObserver(nil)
+		err := sweep.RunWindowed(s, sweep.Options{},
+			sweep.SegmentObserver{Grid: grid, Observers: []sweep.Observer{occA}},
+			sweep.SegmentObserver{Start: t0, End: t1 + 1, Grid: grid, Observers: []sweep.Observer{occB}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWindowedDedupSeparatePasses(b *testing.B) {
+	s := irvineStream(b)
+	grid := core.LogGrid(3600, s.Duration(), 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for pass := 0; pass < 2; pass++ {
+			occ := core.NewOccupancyObserver(nil)
+			if err := sweep.Run(s, grid, sweep.Options{}, occ); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // --- Microbenchmarks of the hot paths ---
 
 // BenchmarkEngineMinimalTrips measures the backward DP sweep alone.

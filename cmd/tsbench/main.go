@@ -12,9 +12,10 @@
 // Without -input it shells out to `go test -run ^$ -bench ... -benchmem`
 // in the module root, which therefore requires the go toolchain on
 // PATH. With -against, the run is diffed against a baseline report:
-// every benchmark present in both is printed with its ns/op delta, and
-// with -gate N the command fails if any shared benchmark regressed by
-// more than N percent — the regression gate CI runs on every push.
+// every benchmark present in both is printed with its ns/op and
+// allocs/op deltas, and with -gate N the command fails if any shared
+// benchmark regressed by more than N percent on either axis — the
+// regression gate CI runs on every push.
 package main
 
 import (
@@ -62,7 +63,7 @@ func run(args []string, stdout io.Writer) error {
 	out := fs.String("o", "", "output JSON file (default: stdout)")
 	input := fs.String("input", "", "parse an existing `go test -bench` output file instead of running")
 	against := fs.String("against", "", "baseline JSON report to diff the results against")
-	gate := fs.Float64("gate", 0, "with -against: fail if any shared benchmark's ns/op regressed by more than this percentage")
+	gate := fs.Float64("gate", 0, "with -against: fail if any shared benchmark's ns/op or allocs/op regressed by more than this percentage")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -133,10 +134,14 @@ func loadReport(path string) (*Report, error) {
 	return rep, nil
 }
 
-// diffReports prints the ns/op delta of every benchmark present in
-// both reports and, when gatePct > 0, fails if any regressed by more
-// than gatePct percent. Benchmarks present on only one side are listed
-// but never gated.
+// diffReports prints the ns/op and allocs/op deltas of every benchmark
+// present in both reports and, when gatePct > 0, fails if any regressed
+// by more than gatePct percent on either axis. Allocation counts are
+// only gated when the baseline recorded a non-zero count (a 0 -> N
+// change is reported, not gated: the percentage is undefined and such
+// jumps come from new instrumentation, which the ns/op gate already
+// covers). Benchmarks present on only one side are listed but never
+// gated.
 func diffReports(stdout io.Writer, base, cur *Report, gatePct float64) error {
 	baseByName := make(map[string]Result, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
@@ -147,7 +152,7 @@ func diffReports(stdout io.Writer, base, cur *Report, gatePct float64) error {
 	for _, r := range cur.Benchmarks {
 		b, ok := baseByName[r.Name]
 		if !ok {
-			fmt.Fprintf(stdout, "%-44s %12.0f ns/op  (new)\n", r.Name, r.NsPerOp)
+			fmt.Fprintf(stdout, "%-44s %12.0f ns/op %10d allocs/op  (new)\n", r.Name, r.NsPerOp, r.AllocsPerOp)
 			continue
 		}
 		shared++
@@ -155,20 +160,29 @@ func diffReports(stdout io.Writer, base, cur *Report, gatePct float64) error {
 		status := ""
 		if gatePct > 0 && delta > gatePct {
 			status = "  REGRESSED"
-			regressed = append(regressed, fmt.Sprintf("%s (%+.1f%%)", r.Name, delta))
+			regressed = append(regressed, fmt.Sprintf("%s (ns/op %+.1f%%)", r.Name, delta))
 		}
-		fmt.Fprintf(stdout, "%-44s %12.0f -> %12.0f ns/op  %+7.1f%%%s\n",
-			r.Name, b.NsPerOp, r.NsPerOp, delta, status)
+		allocs := fmt.Sprintf("allocs %d -> %d", b.AllocsPerOp, r.AllocsPerOp)
+		if b.AllocsPerOp > 0 {
+			adelta := 100 * float64(r.AllocsPerOp-b.AllocsPerOp) / float64(b.AllocsPerOp)
+			allocs += fmt.Sprintf(" (%+.1f%%)", adelta)
+			if gatePct > 0 && adelta > gatePct {
+				status = "  REGRESSED"
+				regressed = append(regressed, fmt.Sprintf("%s (allocs/op %+.1f%%)", r.Name, adelta))
+			}
+		}
+		fmt.Fprintf(stdout, "%-44s %12.0f -> %12.0f ns/op  %+7.1f%%  %s%s\n",
+			r.Name, b.NsPerOp, r.NsPerOp, delta, allocs, status)
 	}
 	if shared == 0 {
 		return fmt.Errorf("no shared benchmarks between the reports")
 	}
 	if len(regressed) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed beyond the ±%.0f%% gate: %s",
+		return fmt.Errorf("%d regression(s) beyond the ±%.0f%% gate: %s",
 			len(regressed), gatePct, strings.Join(regressed, ", "))
 	}
 	if gatePct > 0 {
-		fmt.Fprintf(stdout, "all %d shared benchmarks within the ±%.0f%% gate\n", shared, gatePct)
+		fmt.Fprintf(stdout, "all %d shared benchmarks within the ±%.0f%% gate (ns/op and allocs/op)\n", shared, gatePct)
 	}
 	return nil
 }

@@ -91,6 +91,41 @@ func TestDiffReportsGate(t *testing.T) {
 	}
 }
 
+func TestDiffReportsAllocGate(t *testing.T) {
+	base := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 40},
+		{Name: "BenchmarkZeroBase", NsPerOp: 100, AllocsPerOp: 0},
+	}}
+	cur := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 80},       // allocs +100%: regression
+		{Name: "BenchmarkZeroBase", NsPerOp: 100, AllocsPerOp: 7}, // 0 -> 7: reported, not gated
+	}}
+	var out strings.Builder
+	err := diffReports(&out, base, cur, 25)
+	if err == nil {
+		t.Fatal("a +100% allocs/op regression must trip the ±25% gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkA") || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("gate error %v should name BenchmarkA's allocs/op", err)
+	}
+	if strings.Contains(err.Error(), "BenchmarkZeroBase") {
+		t.Fatalf("zero-alloc baselines must not be alloc-gated: %v", err)
+	}
+	if !strings.Contains(out.String(), "allocs 40 -> 80") {
+		t.Fatalf("diff output missing the alloc delta:\n%s", out.String())
+	}
+
+	// Alloc improvements never trip the gate.
+	out.Reset()
+	cur.Benchmarks[0].AllocsPerOp = 10
+	if err := diffReports(&out, base, cur, 25); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(ns/op and allocs/op)") {
+		t.Fatalf("missing gate summary:\n%s", out.String())
+	}
+}
+
 func TestParseLineRejectsGarbage(t *testing.T) {
 	for _, line := range []string{
 		"BenchmarkFoo",

@@ -80,6 +80,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	metricsSpec := fs.String("metrics", "occupancy",
 		"comma-separated metrics computed in one fused engine pass: occupancy,classic,distance,loss,elongation (occupancy always included; extra metrics see the unrefined grid)")
 	maxInFlight := fs.Int("max-inflight", 0, "max aggregation periods resident in the sweep engine (0 = engine default)")
+	engineStats := fs.Bool("engine-stats", false,
+		"print the engine's build instrumentation after the run (period CSR builds, dedup hits, stream enumerations, peak resident periods)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,6 +118,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	opt.Grid = core.LogGrid(lo, s.Duration(), *points)
 
+	if *engineStats {
+		sweep.ResetBuildStats()
+	}
 	var res core.Result
 	var analysis *adaptive.Analysis
 	var classicObs *classic.Observer
@@ -310,6 +315,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			Title:  "M-K proximity vs aggregation period",
 			XLabel: "period (h)", YLabel: "proximity", LogX: true, Height: 14,
 		}, textplot.Series{Name: "proximity", Marker: '+', Points: pts}))
+	}
+	if *engineStats {
+		// With -adaptive, the dedup count exposes the homogeneous-stream
+		// case: a single activity segment coincides with the global
+		// scope, so every period is built once and fanned to both.
+		builds, maxResident := sweep.BuildStats()
+		fmt.Fprintf(stdout, "\nengine: %d period CSR builds (+%d deduplicated), %d stream trip enumerations, peak %d periods resident\n",
+			builds, sweep.DedupCount(), sweep.StreamBuildCount(), maxResident)
 	}
 	return nil
 }

@@ -45,6 +45,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	metricsSpec := fs.String("metrics", "loss,elongation",
 		"comma-separated validation metrics to compute: loss,elongation")
 	maxInFlight := fs.Int("max-inflight", 0, "max aggregation periods resident in the sweep engine (0 = engine default)")
+	engineStats := fs.Bool("engine-stats", false,
+		"print the engine's build instrumentation after the run (period CSR builds, dedup hits, stream enumerations, peak resident periods)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,6 +100,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		elongObs = validate.NewElongationObserver()
 		observers = append(observers, elongObs)
 	}
+	if *engineStats {
+		sweep.ResetBuildStats()
+	}
 	err := sweep.Run(s, grid, sweep.Options{
 		Directed:    *directed,
 		Workers:     *workers,
@@ -144,5 +149,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if wantLoss {
 		fmt.Fprintf(stdout, "\nshortest transitions in the stream: %d\n", lossObs.Points()[0].Total)
 	}
+	if *engineStats {
+		printEngineStats(stdout)
+	}
 	return nil
+}
+
+// printEngineStats reports the engine's build instrumentation for the
+// run: how many period CSR arenas were built, how many coinciding
+// (window, ∆) jobs were served by an existing build, how many
+// raw-stream trip enumerations ran, and the in-flight high-water mark.
+func printEngineStats(stdout io.Writer) {
+	builds, maxResident := sweep.BuildStats()
+	fmt.Fprintf(stdout, "\nengine: %d period CSR builds (+%d deduplicated), %d stream trip enumerations, peak %d periods resident\n",
+		builds, sweep.DedupCount(), sweep.StreamBuildCount(), maxResident)
 }

@@ -29,6 +29,13 @@
 // instead of the one core.SaturationScale pass per segment the
 // reference implementation performs (retained as AnalyzeReference,
 // equivalence-tested bit for bit against Analyze).
+//
+// Coinciding scopes deduplicate inside the engine: on a homogeneous
+// stream the single activity segment covers exactly the global scope
+// with an identical candidate grid, so every (window, ∆) period is
+// built and swept once and its products fan to both searches
+// (sweep.DedupCount instruments it; the result is bit-identical to two
+// separate sweeps).
 package adaptive
 
 import (

@@ -150,6 +150,52 @@ func TestAnalyzeOneEnginePass(t *testing.T) {
 	}
 }
 
+// TestAnalyzeHomogeneousDedup pins the (window, ∆) dedup on the case
+// the engine optimises for: a homogeneous stream's single activity
+// segment covers exactly the global scope with the same grid, so the
+// fused pass builds each period's CSR once and fans it to both scopes —
+// half the builds of the pre-dedup engine — while the per-segment gamma
+// stays bit-identical to the global one.
+func TestAnalyzeHomogeneousDedup(t *testing.T) {
+	s, err := synth.TimeUniform(synth.TimeUniformConfig{
+		Nodes: 10, LinksPerPair: 8, T: 10_000, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{GridPoints: 12}
+	want, err := AnalyzeReference(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := core.LogGrid(s.Resolution(), s.Duration(), cfg.withDefaults().GridPoints)
+	sweep.ResetBuildStats()
+	got, err := Analyze(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TwoMode || len(got.Segments) != 1 {
+		t.Fatalf("uniform stream misclassified: %+v", got.Segments)
+	}
+	if runs := sweep.RunCount(); runs != 1 {
+		t.Fatalf("Analyze performed %d engine passes, want 1", runs)
+	}
+	if builds, _ := sweep.BuildStats(); builds != int64(len(grid)) {
+		t.Fatalf("homogeneous Analyze built %d period CSRs, want %d (global and segment scopes coincide)",
+			builds, len(grid))
+	}
+	if d := sweep.DedupCount(); d != int64(len(grid)) {
+		t.Fatalf("DedupCount = %d, want %d", d, len(grid))
+	}
+	if got.Segments[0].Gamma != got.GlobalGamma {
+		t.Fatalf("deduplicated scopes diverged: segment gamma %d, global %d",
+			got.Segments[0].Gamma, got.GlobalGamma)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("dedup changed the analysis:\n got %+v\nwant %+v", got, want)
+	}
+}
+
 // TestAnalyzeWithGlobalObservers checks the extra observers of
 // AnalyzeWith see the whole stream and exactly the global grid.
 func TestAnalyzeWithGlobalObservers(t *testing.T) {

@@ -7,7 +7,11 @@ package core
 // concurrent searches — one per activity segment, as internal/adaptive
 // runs them — batch the requests of each round into one fused
 // sweep.RunWindowed pass, so every segment's grid flows through one
-// engine pipeline under the shared MaxInFlight bound.
+// engine pipeline under the shared MaxInFlight bound. Batched searches
+// whose windows and candidate periods coincide (a homogeneous stream's
+// single segment against the global search) are deduplicated by the
+// engine itself: one (window, ∆) CSR build serves every search that
+// requested it, bit-identically.
 
 import (
 	"errors"

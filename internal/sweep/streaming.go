@@ -1,0 +1,153 @@
+package sweep
+
+// This file implements the bounded streaming enumeration behind
+// Needs.StreamTripRuns: the raw stream's minimal trips are produced by
+// the blocked lane sweep, parallel over destination blocks, and
+// delivered to consumers as per-destination runs in strictly increasing
+// destination order — the same order the eager collection concatenates —
+// without ever materialising the flat trip slice. Blocks that complete
+// ahead of the delivery cursor wait in a reorder window bounded by
+// Options.MaxInFlight, so peak trip residency scales with the in-flight
+// runs, not with the stream's total trip population.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/temporal"
+)
+
+// streamTripRuns sweeps every destination block of the raw-stream CSR
+// and hands each destination's run to deliver, in increasing
+// destination order (empty runs are skipped). Delivery is serialised;
+// run memory is recycled as soon as deliver returns. The first deliver
+// error stops the enumeration and is returned.
+func streamTripRuns(c *temporal.CSR, n int, opt Options, deliver func(dest int32, run []temporal.Trip) error) error {
+	blocks := temporal.DestBlocks(n)
+	inFlight := opt.MaxInFlight
+	if inFlight <= 0 {
+		inFlight = DefaultMaxInFlight
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > blocks {
+		workers = blocks
+	}
+	// Workers beyond the reorder window would only queue on it.
+	if workers > inFlight {
+		workers = inFlight
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	deliverBlock := func(b int, lanes [][]temporal.Trip) error {
+		for l, run := range lanes {
+			d := b*temporal.LanesPerBlock + l
+			if d >= n {
+				break
+			}
+			if len(run) == 0 {
+				continue
+			}
+			if err := deliver(int32(d), run); err != nil {
+				return err
+			}
+		}
+		temporal.RecycleTrips(lanes...)
+		return nil
+	}
+
+	if workers == 1 {
+		// Sequential: sweep, deliver, recycle — one block resident.
+		wk := temporal.NewWorker(n)
+		defer wk.Release()
+		for b := 0; b < blocks; b++ {
+			lanes := wk.SweepFullBlock(c, opt.Directed, b, true, false, nil)
+			if err := deliverBlock(b, lanes[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu      sync.Mutex
+		ready   = make([][temporal.LanesPerBlock][]temporal.Trip, blocks)
+		has     = make([]bool, blocks)
+		cursor  int
+		sem     = make(chan struct{}, inFlight)
+		next    atomic.Int64
+		aborted atomic.Bool
+		errMu   sync.Mutex
+		first   error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if first == nil {
+			first = err
+		}
+		errMu.Unlock()
+		aborted.Store(true)
+	}
+	// drain advances the delivery cursor over the completed contiguous
+	// prefix; called under mu. After an abort it keeps advancing —
+	// recycling, not delivering — so blocked producers always regain
+	// their semaphore slots.
+	drain := func() {
+		for cursor < blocks && has[cursor] {
+			lanes := ready[cursor]
+			ready[cursor] = [temporal.LanesPerBlock][]temporal.Trip{}
+			if aborted.Load() {
+				temporal.RecycleTrips(lanes[:]...)
+			} else if err := deliverBlock(cursor, lanes[:]); err != nil {
+				fail(err)
+			}
+			cursor++
+			<-sem
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wk := temporal.NewWorker(n)
+			defer wk.Release()
+			for {
+				if aborted.Load() {
+					// Stop claiming; blocks already claimed have been
+					// (or will be) stored, so drain never stalls.
+					return
+				}
+				// Acquire the reorder slot before claiming a block, so
+				// every claimed block's producer already owns a slot and
+				// the delivery cursor can never starve behind a claimant
+				// waiting on the window.
+				sem <- struct{}{}
+				b := int(next.Add(1) - 1)
+				if b >= blocks {
+					<-sem
+					return
+				}
+				var lanes [temporal.LanesPerBlock][]temporal.Trip
+				if !aborted.Load() {
+					lanes = wk.SweepFullBlock(c, opt.Directed, b, true, false, nil)
+				}
+				mu.Lock()
+				ready[b] = lanes
+				has[b] = true
+				drain()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	errMu.Lock()
+	defer errMu.Unlock()
+	return first
+}

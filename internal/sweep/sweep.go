@@ -29,7 +29,6 @@ package sweep
 
 import (
 	"errors"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -83,28 +82,50 @@ type Needs struct {
 	// properties.
 	WindowStats bool
 	// StreamTrips requests StreamView.StreamTrips, the minimal trips of
-	// the raw stream (computed once per run, before any period).
+	// the raw stream, collected eagerly into one flat slice before any
+	// Begin. This is the retained eager path; observers that can score
+	// trips incrementally should declare StreamTripRuns instead, which
+	// never materialises the full trip population.
 	StreamTrips bool
+	// StreamTripRuns requests the streaming raw-stream trip pipeline:
+	// the observer (which must implement TripRunObserver) receives the
+	// stream's minimal trips as per-destination runs in strictly
+	// increasing destination order, after Begin and before any period.
+	// Runs are recycled as soon as every consumer has seen them, so at
+	// most Options.MaxInFlight destination blocks of trips are resident
+	// at once — O(in-flight runs), not O(total trips).
+	StreamTripRuns bool
+	// TripShards requests sharded per-period trip scoring: the observer
+	// (which must implement ShardedTripObserver) gets a fresh TripShard
+	// per period, fed one destination block of minimal trips at a time
+	// on whichever worker swept the block. Unless some observer also
+	// declares Trips, the period's trips are recycled block by block and
+	// never held whole.
+	TripShards bool
 }
 
 func (n Needs) union(o Needs) Needs {
 	return Needs{
-		Trips:       n.Trips || o.Trips,
-		Occupancies: n.Occupancies || o.Occupancies,
-		Distances:   n.Distances || o.Distances,
-		WindowStats: n.WindowStats || o.WindowStats,
-		StreamTrips: n.StreamTrips || o.StreamTrips,
+		Trips:          n.Trips || o.Trips,
+		Occupancies:    n.Occupancies || o.Occupancies,
+		Distances:      n.Distances || o.Distances,
+		WindowStats:    n.WindowStats || o.WindowStats,
+		StreamTrips:    n.StreamTrips || o.StreamTrips,
+		StreamTripRuns: n.StreamTripRuns || o.StreamTripRuns,
+		TripShards:     n.TripShards || o.TripShards,
 	}
 }
 
 // perPeriod reports whether any per-period product requires building
 // the period's CSR at all.
 func (n Needs) perPeriod() bool {
-	return n.Trips || n.Occupancies || n.Distances || n.WindowStats
+	return n.Trips || n.Occupancies || n.Distances || n.WindowStats || n.TripShards
 }
 
 // sweeps reports whether the backward temporal-path sweep must run.
-func (n Needs) sweeps() bool { return n.Trips || n.Occupancies || n.Distances }
+func (n Needs) sweeps() bool {
+	return n.Trips || n.Occupancies || n.Distances || n.TripShards
+}
 
 // StreamView is the stream-level context handed to Observer.Begin: the
 // sorted (and, for undirected runs, canonicalised) event buffer shared
@@ -164,6 +185,10 @@ type Period struct {
 	// Windows holds the classical per-snapshot statistics. Populated
 	// for Needs.WindowStats.
 	Windows series.Stats
+	// Shard is the receiving observer's own per-period TripShard, set
+	// only while a ShardedTripObserver's ObservePeriod runs. Every
+	// block has been observed by the time it is handed back.
+	Shard TripShard
 }
 
 // Trips concatenates TripBlocks into one flat destination-ordered
@@ -197,17 +222,64 @@ type Observer interface {
 	ObservePeriod(p *Period) error
 }
 
+// TripRunObserver is the streaming consumer of the raw stream's minimal
+// trips; observers declaring Needs.StreamTripRuns must implement it.
+// The engine calls, in order: Begin, then ObserveTripRun once per
+// destination with at least one trip (destinations strictly increasing,
+// each run in the departure-descending order of the backward sweep —
+// per (source, destination) pair, trips arrive in strictly decreasing
+// departure order), then FinishTripRuns, and only then any
+// ObservePeriod. A run's memory is recycled when the call returns;
+// consumers keep what they score, never the slice.
+type TripRunObserver interface {
+	Observer
+	ObserveTripRun(dest int32, run []temporal.Trip) error
+	FinishTripRuns() error
+}
+
+// TripShard is the per-period state of a sharded trip observer: the
+// engine feeds it one destination block of the period's minimal trips
+// at a time, on whichever worker swept the block, so a huge trip
+// population is scored in parallel without ever being held whole.
+// ObserveTripBlock is called exactly once per block, concurrently for
+// different blocks; lanes has temporal.LanesPerBlock entries and lane l
+// holds destination block*LanesPerBlock+l's trips in the same
+// departure-descending order a single-destination sweep would emit.
+// Shards that accumulate floating-point sums should keep one partial
+// per lane and fold them in lane order inside ObservePeriod — that
+// makes the result bit-for-bit independent of worker count and
+// scheduling.
+type TripShard interface {
+	ObserveTripBlock(block int, lanes [][]temporal.Trip) error
+}
+
+// ShardedTripObserver is an Observer whose per-period trip scan is
+// sharded across the worker pool; observers declaring Needs.TripShards
+// must implement it. NewTripShard is called once per period, before any
+// of its blocks sweep; the shard then receives every block and is
+// finally handed back through Period.Shard in ObservePeriod.
+type ShardedTripObserver interface {
+	Observer
+	NewTripShard(delta int64, blocks int) TripShard
+}
+
 // Engine instrumentation: periodBuilds counts period CSR constructions
 // since the last ResetBuildStats; periodsAlive tracks the currently
 // resident periods and maxAlive their high-water mark; engineRuns
 // counts engine passes (Run / RunWindowed invocations that reach the
-// sweep stage). Tests use these to assert the build-each-CSR-once,
-// bounded-in-flight and one-pass-per-analysis guarantees.
+// sweep stage); periodDedups counts (window, ∆) jobs that joined an
+// already-scheduled coinciding job instead of building their own CSR;
+// streamBuilds counts raw-stream trip enumerations (one per distinct
+// event window that requested stream trips). Tests use these to assert
+// the build-each-CSR-once, bounded-in-flight, one-pass-per-analysis and
+// dedup guarantees.
 var (
 	periodBuilds atomic.Int64
 	periodsAlive atomic.Int64
 	maxAlive     atomic.Int64
 	engineRuns   atomic.Int64
+	periodDedups atomic.Int64
+	streamBuilds atomic.Int64
 )
 
 // ResetBuildStats zeroes the engine's build instrumentation.
@@ -216,6 +288,8 @@ func ResetBuildStats() {
 	periodsAlive.Store(0)
 	maxAlive.Store(0)
 	engineRuns.Store(0)
+	periodDedups.Store(0)
+	streamBuilds.Store(0)
 }
 
 // BuildStats returns how many period CSR arenas were built since the
@@ -230,6 +304,18 @@ func BuildStats() (builds, maxInFlight int64) {
 // perform one per window.
 func RunCount() int64 { return engineRuns.Load() }
 
+// DedupCount returns how many (window, ∆) period jobs were served by a
+// coinciding job's single CSR build instead of building their own,
+// since the last ResetBuildStats. BuildStats().builds + DedupCount() is
+// the total number of (segment, ∆) periods observed.
+func DedupCount() int64 { return periodDedups.Load() }
+
+// StreamBuildCount returns how many raw-stream trip enumerations ran
+// since the last ResetBuildStats: one per distinct event window whose
+// observers requested stream trips (eagerly or as runs), however many
+// segments share that window.
+func StreamBuildCount() int64 { return streamBuilds.Load() }
+
 // Run executes one engine pass over the whole stream: it validates the
 // inputs, prepares the shared stream view (plus the raw-stream trips if
 // any observer needs them), calls every observer's Begin, then
@@ -241,76 +327,55 @@ func Run(s *linkstream.Stream, grid []int64, opt Options, observers ...Observer)
 	return RunWindowed(s, opt, SegmentObserver{Grid: grid, Observers: observers})
 }
 
-// collectStreamTrips enumerates the minimal trips of the raw stream
-// with the blocked (LanesPerBlock destinations per layer pass) sweep,
-// parallel over destination blocks. The result is in destination-major
-// order regardless of worker count, so every observer sees the same
-// deterministic trip sequence.
-func collectStreamTrips(c *temporal.CSR, n int, opt Options) []temporal.Trip {
-	blocks := temporal.DestBlocks(n)
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > blocks {
-		workers = blocks
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	lanes := make([][]temporal.Trip, temporal.LanesPerBlock*blocks)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			w := temporal.NewWorker(n)
-			defer w.Release()
-			for {
-				b := int(next.Add(1) - 1)
-				if b >= blocks {
-					return
-				}
-				bl := w.SweepFullBlock(c, opt.Directed, b, true, false, nil)
-				copy(lanes[temporal.LanesPerBlock*b:], bl[:])
-			}
-		}()
-	}
-	wg.Wait()
-	total := 0
-	for _, l := range lanes {
-		total += len(l)
-	}
-	out := make([]temporal.Trip, 0, total)
-	for _, l := range lanes {
-		out = append(out, l...)
-	}
-	return out
-}
-
 // statsBlock is the pseudo block index of a period's window-statistics
 // task.
 const statsBlock = -1
 
 // scope is the engine-internal state of one registered SegmentObserver:
 // its window's slice of the shared event buffer wrapped in a
-// StreamView, the union of its observers' needs, and whether its
+// StreamView, the union of its observers' needs, the slice bounds in
+// the shared buffer (the dedup key of its periods), and whether its
 // occupancy products stream into histograms.
 type scope struct {
 	seg      SegmentObserver
 	needs    Needs
 	v        *StreamView
+	lo, hi   int // bounds of v.Events in the shared sorted buffer
 	histMode bool
 }
 
-// job is one in-flight period: the scope that owns it, its arena, its
+// jobTarget is one (scope, grid index) a period job serves.
+type jobTarget struct {
+	sc  *scope
+	idx int
+}
+
+// specKey identifies coinciding period jobs: same event window of the
+// shared buffer, same aggregation period.
+type specKey struct {
+	lo, hi int
+	delta  int64
+}
+
+// jobSpec is one deduplicated period job: the targets whose (window, ∆)
+// coincide, with the union of their needs. One CSR is built and swept
+// for the spec; finalize fans its products to every target.
+type jobSpec struct {
+	delta    int64
+	targets  []jobTarget
+	needs    Needs
+	histMode bool
+}
+
+// view returns the representative stream view of the spec (all targets
+// share the same event slice, T0 and T1).
+func (sp *jobSpec) view() *StreamView { return sp.targets[0].sc.v }
+
+// job is one in-flight period: the spec that owns it, its arena, its
 // product sinks and the completion accounting that decides when it can
 // be finalised.
 type job struct {
-	sc         *scope
-	idx        int
-	delta      int64
+	spec       *jobSpec
 	numWindows int64
 	csr        *temporal.CSR
 
@@ -329,6 +394,12 @@ type job struct {
 	blockTrips [][]temporal.Trip  // one slot per (block, lane), written lock-free
 	sink       *temporal.DistSink // per-destination slots, written lock-free
 	stats      series.Stats       // written by the stats task
+
+	// shards flattens every target observer's TripShard for the block
+	// fan-out; targetShards maps them back per (target, observer) for
+	// finalize (nil rows/entries for non-sharded observers).
+	shards       []TripShard
+	targetShards [][]TripShard
 }
 
 type task struct {
@@ -339,6 +410,7 @@ type task struct {
 type engine struct {
 	opt     Options
 	scopes  []*scope
+	specs   []*jobSpec
 	n       int // node count, shared by every scope
 	workers int
 	blocks  int
@@ -376,77 +448,92 @@ func (e *engine) run() error {
 	return e.firstErr
 }
 
-// produce builds one CSR per (scope, period) — each exactly once — and
-// enqueues its tasks, blocking on the in-flight semaphore so no more
-// than MaxInFlight periods are ever resident across all scopes. Scopes
-// without per-period needs are observed inline, without touching the
-// pipeline.
+// produce observes the inline (stream-level only) scopes, then builds
+// one CSR per deduplicated (window, ∆) spec — each exactly once, fanned
+// to every target — and enqueues its tasks, blocking on the in-flight
+// semaphore so no more than MaxInFlight periods are ever resident
+// across all scopes.
 func (e *engine) produce() {
 	defer close(e.tasks)
-	var scratch temporal.CSRScratch
 	for _, sc := range e.scopes {
-		if !sc.needs.perPeriod() {
-			// Stream-level observers only: no CSR, no sweep — one cheap
-			// sequential pass over the scope's grid.
-			for i, delta := range sc.v.Grid {
-				if e.aborted.Load() {
-					return
-				}
-				p := &Period{Index: i, Delta: delta, T0: sc.v.T0, NumWindows: (sc.v.T1-sc.v.T0)/delta + 1}
-				for _, o := range sc.seg.Observers {
-					if err := o.ObservePeriod(p); err != nil {
-						e.fail(err)
-						return
-					}
-				}
-			}
+		if sc.needs.perPeriod() {
 			continue
 		}
+		// Stream-level observers only: no CSR, no sweep — one cheap
+		// sequential pass over the scope's grid.
 		for i, delta := range sc.v.Grid {
 			if e.aborted.Load() {
 				return
 			}
-			e.sem <- struct{}{}
-			j := &job{sc: sc, idx: i, delta: delta, numWindows: (sc.v.T1-sc.v.T0)/delta + 1}
-			j.csr = temporal.BuildCSR(sc.v.Events, sc.v.T0, delta, &scratch)
-			periodBuilds.Add(1)
-			alive := periodsAlive.Add(1)
-			for {
-				m := maxAlive.Load()
-				if alive <= m || maxAlive.CompareAndSwap(m, alive) {
-					break
+			p := &Period{Index: i, Delta: delta, T0: sc.v.T0, NumWindows: (sc.v.T1-sc.v.T0)/delta + 1}
+			for _, o := range sc.seg.Observers {
+				if err := o.ObservePeriod(p); err != nil {
+					e.fail(err)
+					return
 				}
 			}
-			ntasks := 0
-			if sc.needs.sweeps() {
-				ntasks += e.blocks
-				if sc.needs.Trips {
-					j.blockTrips = make([][]temporal.Trip, temporal.LanesPerBlock*e.blocks)
-				}
-				if sc.needs.Distances {
-					j.sink = temporal.NewDistSink(e.n, 0, 1)
-				}
-				if sc.histMode {
-					j.hist = dist.NewHistogram(e.opt.HistogramBins)
+		}
+	}
+	var scratch temporal.CSRScratch
+	for _, sp := range e.specs {
+		if e.aborted.Load() {
+			return
+		}
+		e.sem <- struct{}{}
+		v := sp.view()
+		j := &job{spec: sp, numWindows: (v.T1-v.T0)/sp.delta + 1}
+		j.csr = temporal.BuildCSR(v.Events, v.T0, sp.delta, &scratch)
+		periodBuilds.Add(1)
+		alive := periodsAlive.Add(1)
+		for {
+			m := maxAlive.Load()
+			if alive <= m || maxAlive.CompareAndSwap(m, alive) {
+				break
+			}
+		}
+		ntasks := 0
+		if sp.needs.sweeps() {
+			ntasks += e.blocks
+			if sp.needs.Trips {
+				j.blockTrips = make([][]temporal.Trip, temporal.LanesPerBlock*e.blocks)
+			}
+			if sp.needs.Distances {
+				j.sink = temporal.NewDistSink(e.n, 0, 1)
+			}
+			if sp.histMode {
+				j.hist = dist.NewHistogram(e.opt.HistogramBins)
+			}
+			if sp.needs.TripShards {
+				for _, tgt := range sp.targets {
+					var row []TripShard
+					for _, o := range tgt.sc.seg.Observers {
+						var sh TripShard
+						if so, ok := o.(ShardedTripObserver); ok && o.Needs().TripShards {
+							sh = so.NewTripShard(sp.delta, e.blocks)
+							j.shards = append(j.shards, sh)
+						}
+						row = append(row, sh)
+					}
+					j.targetShards = append(j.targetShards, row)
 				}
 			}
-			if sc.needs.WindowStats {
-				ntasks++
-			}
-			if ntasks == 0 {
-				// Unreachable while perPeriod() gates the pipeline, but
-				// keep the accounting sound.
-				e.finalize(j)
-				continue
-			}
-			j.pending.Store(int32(ntasks))
-			if sc.needs.WindowStats {
-				e.tasks <- task{j: j, block: statsBlock}
-			}
-			if sc.needs.sweeps() {
-				for b := 0; b < e.blocks; b++ {
-					e.tasks <- task{j: j, block: b}
-				}
+		}
+		if sp.needs.WindowStats {
+			ntasks++
+		}
+		if ntasks == 0 {
+			// Unreachable while perPeriod() gates the pipeline, but
+			// keep the accounting sound.
+			e.finalize(j)
+			continue
+		}
+		j.pending.Store(int32(ntasks))
+		if sp.needs.WindowStats {
+			e.tasks <- task{j: j, block: statsBlock}
+		}
+		if sp.needs.sweeps() {
+			for b := 0; b < e.blocks; b++ {
+				e.tasks <- task{j: j, block: b}
 			}
 		}
 	}
@@ -472,7 +559,7 @@ func (e *engine) worker() {
 		cur = nil
 		chunks, total := w.TakeOccupancies()
 		if total > 0 {
-			if j.sc.histMode {
+			if j.spec.histMode {
 				if localHist == nil {
 					localHist = dist.NewHistogram(e.opt.HistogramBins)
 				}
@@ -524,17 +611,34 @@ func (e *engine) worker() {
 		if t.block == statsBlock {
 			j.stats = e.windowStats(j)
 		} else {
-			needs := j.sc.needs
+			needs := j.spec.needs
 			if needs.Occupancies && cur != j {
 				flush()
 				cur = j
 				j.contrib.Add(1)
 			}
-			if needs.Trips || needs.Distances {
+			wantTrips := needs.Trips || needs.TripShards
+			if wantTrips || needs.Distances {
 				lanes := w.SweepFullBlock(j.csr, e.opt.Directed, t.block,
-					needs.Trips, needs.Occupancies, j.sink)
+					wantTrips, needs.Occupancies, j.sink)
+				if len(j.shards) > 0 {
+					// Sharded scoring runs right here, on the sweeping
+					// worker, so a period's trip scans parallelise
+					// across blocks like the sweeps themselves do.
+					ls := lanes[:]
+					for _, sh := range j.shards {
+						if err := sh.ObserveTripBlock(t.block, ls); err != nil {
+							e.fail(err)
+							break
+						}
+					}
+				}
 				if needs.Trips {
 					copy(j.blockTrips[temporal.LanesPerBlock*t.block:], lanes[:])
+				} else if wantTrips {
+					// Shard-only trips: scored above, released block by
+					// block — the period never holds its trips whole.
+					temporal.RecycleTrips(lanes[:]...)
 				}
 			} else {
 				// Pure occupancy: the 4-lane blocked sweep.
@@ -556,12 +660,14 @@ func (e *engine) maybeFinalize(j *job) {
 	e.finalize(j)
 }
 
-// finalize assembles the period view, hands it to the owning scope's
-// observers — the windowed routing: a period's products only ever reach
-// the segment that requested it — and releases everything the period
-// held (arena, chunks, trips) before freeing the in-flight slot. It
-// runs on whichever worker completed the period, so observer scoring
-// overlaps other periods' sweeps.
+// finalize assembles the period view and hands it to every target
+// scope's observers in registration order — the windowed routing: a
+// period's products only ever reach the segments that requested it,
+// and coinciding (window, ∆) targets share the one set of products —
+// then releases everything the period held (arena, chunks, trips)
+// before freeing the in-flight slot. It runs on whichever worker
+// completed the period, so observer scoring overlaps other periods'
+// sweeps.
 func (e *engine) finalize(j *job) {
 	defer func() {
 		j.csr = nil
@@ -569,40 +675,57 @@ func (e *engine) finalize(j *job) {
 		j.blockTrips = nil
 		j.sink = nil
 		j.hist = nil
+		j.shards = nil
+		j.targetShards = nil
 		periodsAlive.Add(-1)
 		<-e.sem
 	}()
 	if e.aborted.Load() {
 		return
 	}
-	sc := j.sc
-	p := &Period{Index: j.idx, Delta: j.delta, T0: sc.v.T0, NumWindows: j.numWindows}
-	if sc.needs.Trips {
-		p.TripBlocks = j.blockTrips
+	sp := j.spec
+	var distStats temporal.DistanceStats
+	if sp.needs.Distances {
+		distStats = j.sink.Stats()
 	}
-	if sc.needs.Occupancies {
-		if sc.histMode {
-			p.Histogram = j.hist
-		} else {
-			p.OccupancyChunks = j.chunks
-			p.OccupancyCount = j.occTotal
+	for ti, tgt := range sp.targets {
+		sc := tgt.sc
+		p := &Period{Index: tgt.idx, Delta: sp.delta, T0: sc.v.T0, NumWindows: j.numWindows}
+		if sc.needs.Trips {
+			p.TripBlocks = j.blockTrips
+		}
+		if sc.needs.Occupancies {
+			if sc.histMode {
+				p.Histogram = j.hist
+			} else {
+				p.OccupancyChunks = j.chunks
+				p.OccupancyCount = j.occTotal
+			}
+		}
+		if sc.needs.Distances {
+			p.Distances = distStats
+		}
+		if sc.needs.WindowStats {
+			p.Windows = j.stats
+		}
+		for oi, o := range sc.seg.Observers {
+			p.Shard = nil
+			if j.targetShards != nil {
+				p.Shard = j.targetShards[ti][oi]
+			}
+			if err := o.ObservePeriod(p); err != nil {
+				e.fail(err)
+				return
+			}
 		}
 	}
-	if sc.needs.Distances {
-		p.Distances = j.sink.Stats()
-	}
-	if sc.needs.WindowStats {
-		p.Windows = j.stats
-	}
-	for _, o := range sc.seg.Observers {
-		if err := o.ObservePeriod(p); err != nil {
-			e.fail(err)
-			break
-		}
-	}
-	if p.OccupancyChunks != nil {
-		temporal.RecycleOccupancies(p.OccupancyChunks)
+	if j.chunks != nil && !sp.histMode {
+		temporal.RecycleOccupancies(j.chunks)
 		j.chunks = nil
+	}
+	if j.blockTrips != nil {
+		temporal.RecycleTrips(j.blockTrips...)
+		j.blockTrips = nil
 	}
 }
 
@@ -617,7 +740,7 @@ func (e *engine) finalize(j *job) {
 // together; a change to either must keep them in lockstep.
 func (e *engine) windowStats(j *job) series.Stats {
 	c, n := j.csr, e.n
-	st := series.Stats{Delta: j.delta, NumWindows: j.numWindows, NonEmptyWindows: c.NumLayers()}
+	st := series.Stats{Delta: j.spec.delta, NumWindows: j.numWindows, NonEmptyWindows: c.NumLayers()}
 	if j.numWindows == 0 {
 		return st
 	}

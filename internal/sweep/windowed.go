@@ -11,11 +11,20 @@ package sweep
 // adaptive multi-segment analysis (internal/adaptive) run the global
 // sweep and every per-segment sweep in a single engine pass instead of
 // one core.SaturationScale pass per segment.
+//
+// Coinciding work is deduplicated at two levels. Segments whose event
+// windows coincide share one raw-stream trip enumeration (one stream
+// CSR, one blocked sweep, every consumer fed from it), and (window, ∆)
+// period jobs that coincide across segments — e.g. a homogeneous
+// stream's single activity segment versus the global scope — build one
+// CSR and run one backward sweep whose products fan out to every
+// requesting segment. DedupCount and StreamBuildCount instrument both.
 
 import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 
 	"repro/internal/linkstream"
 	"repro/internal/temporal"
@@ -30,7 +39,7 @@ import (
 // event times, so window partitions anchor at the segment's own first
 // event), and every ObservePeriod receives products computed from that
 // slice alone. Periods are routed to the owning segment by period
-// interval: a (segment, ∆) period's products reach only the segment
+// interval: a (segment, ∆) period's products reach only the segments
 // that requested it.
 type SegmentObserver struct {
 	// Start, End bound the segment's events to the raw-time window
@@ -46,15 +55,26 @@ type SegmentObserver struct {
 // windowed reports whether the segment restricts the stream at all.
 func (seg SegmentObserver) windowed() bool { return seg.Start < seg.End }
 
+// streamGroup collects the scopes whose event windows coincide: they
+// share one raw-stream trip enumeration. lanes caches the eager
+// per-destination lanes when a member also needs the flat collection,
+// so streaming consumers replay them instead of sweeping twice.
+type streamGroup struct {
+	lo, hi int
+	scopes []*scope
+	lanes  [][]temporal.Trip
+}
+
 // RunWindowed executes one engine pass serving every registered
-// segment: the stream is sorted and canonicalised once, each
-// (segment, ∆) CSR arena is built and swept exactly once, and at most
-// Options.MaxInFlight periods are resident at any moment across all
-// segments. Each segment's observers receive exactly what a Run over
-// the segment's sub-stream would hand them (bit for bit — the
-// engine-products brute-force tests pin this), so fusing N windowed
-// sweeps into one pass never changes any result, only the number of
-// passes over the stream. The first error aborts the run.
+// segment: the stream is sorted and canonicalised once, each distinct
+// (window, ∆) CSR arena is built and swept exactly once — segments
+// requesting the same window and period share the one build, see
+// DedupCount — and at most Options.MaxInFlight periods are resident at
+// any moment across all segments. Each segment's observers receive
+// exactly what a Run over the segment's sub-stream would hand them (bit
+// for bit — the engine-products brute-force tests pin this), so fusing
+// N windowed sweeps into one pass never changes any result, only the
+// number of passes over the stream. The first error aborts the run.
 func RunWindowed(s *linkstream.Stream, opt Options, segments ...SegmentObserver) error {
 	if s.NumEvents() == 0 {
 		return ErrNoEvents
@@ -74,6 +94,19 @@ func RunWindowed(s *linkstream.Stream, opt Options, segments ...SegmentObserver)
 		if len(seg.Observers) == 0 {
 			return errors.New("sweep: no observers registered")
 		}
+		for _, o := range seg.Observers {
+			n := o.Needs()
+			if n.StreamTripRuns {
+				if _, ok := o.(TripRunObserver); !ok {
+					return fmt.Errorf("sweep: observer %T declares Needs.StreamTripRuns but does not implement TripRunObserver", o)
+				}
+			}
+			if n.TripShards {
+				if _, ok := o.(ShardedTripObserver); !ok {
+					return fmt.Errorf("sweep: observer %T declares Needs.TripShards but does not implement ShardedTripObserver", o)
+				}
+			}
+		}
 	}
 
 	s.Sort()
@@ -82,14 +115,18 @@ func RunWindowed(s *linkstream.Stream, opt Options, segments ...SegmentObserver)
 		events = linkstream.Canonical(events)
 	}
 	engineRuns.Add(1)
+	n := s.NumNodes()
 
 	scopes := make([]*scope, 0, len(segments))
-	var scratch temporal.CSRScratch
+	groups := make([]*streamGroup, 0, 1)
+	groupAt := make(map[[2]int]*streamGroup)
 	for _, seg := range segments {
-		sub := events
+		lo, hi := 0, len(events)
 		if seg.windowed() {
-			sub = linkstream.WindowEvents(events, seg.Start, seg.End)
+			lo = sort.Search(len(events), func(i int) bool { return events[i].T >= seg.Start })
+			hi = sort.Search(len(events), func(i int) bool { return events[i].T >= seg.End })
 		}
+		sub := events[lo:hi]
 		if len(sub) == 0 {
 			return fmt.Errorf("sweep: segment [%d, %d) has no events", seg.Start, seg.End)
 		}
@@ -97,25 +134,72 @@ func RunWindowed(s *linkstream.Stream, opt Options, segments ...SegmentObserver)
 		for _, o := range seg.Observers {
 			needs = needs.union(o.Needs())
 		}
-		v := &StreamView{
-			N:        s.NumNodes(),
-			Directed: opt.Directed,
-			T0:       sub[0].T,
-			T1:       sub[len(sub)-1].T,
-			Grid:     seg.Grid,
-			Events:   sub,
-		}
-		if needs.StreamTrips {
-			segCSR := temporal.BuildCSR(sub, 0, 1, &scratch)
-			v.streamTrips = collectStreamTrips(segCSR, v.N, opt)
-		}
-		scopes = append(scopes, &scope{
-			seg:      seg,
-			needs:    needs,
-			v:        v,
+		sc := &scope{
+			seg:   seg,
+			needs: needs,
+			lo:    lo,
+			hi:    hi,
+			v: &StreamView{
+				N:        n,
+				Directed: opt.Directed,
+				T0:       sub[0].T,
+				T1:       sub[len(sub)-1].T,
+				Grid:     seg.Grid,
+				Events:   sub,
+			},
 			histMode: opt.HistogramBins > 0 && needs.Occupancies,
-		})
+		}
+		scopes = append(scopes, sc)
+		if needs.StreamTrips || needs.StreamTripRuns {
+			g := groupAt[[2]int{lo, hi}]
+			if g == nil {
+				g = &streamGroup{lo: lo, hi: hi}
+				groupAt[[2]int{lo, hi}] = g
+				groups = append(groups, g)
+			}
+			g.scopes = append(g.scopes, sc)
+		}
 	}
+
+	// Eager raw-stream trips (Needs.StreamTrips) are collected before
+	// Begin — observers read StreamView.StreamTrips there — with one
+	// enumeration per distinct window, shared by every scope of the
+	// group. The lanes are kept when the group also has streaming
+	// consumers, so the later run delivery replays them for free.
+	cfg := temporal.Config{N: n, Directed: opt.Directed, Workers: opt.Workers}
+	var scratch temporal.CSRScratch
+	for _, g := range groups {
+		eager, streaming := false, false
+		for _, sc := range g.scopes {
+			eager = eager || sc.needs.StreamTrips
+			streaming = streaming || sc.needs.StreamTripRuns
+		}
+		if !eager {
+			continue
+		}
+		c := temporal.BuildCSR(events[g.lo:g.hi], 0, 1, &scratch)
+		streamBuilds.Add(1)
+		lanes := temporal.CollectTripLanes(cfg, c)
+		total := 0
+		for _, l := range lanes {
+			total += len(l)
+		}
+		flat := make([]temporal.Trip, 0, total)
+		for _, l := range lanes {
+			flat = append(flat, l...)
+		}
+		for _, sc := range g.scopes {
+			if sc.needs.StreamTrips {
+				sc.v.streamTrips = flat
+			}
+		}
+		if streaming {
+			g.lanes = lanes
+		} else {
+			temporal.RecycleTrips(lanes...)
+		}
+	}
+
 	for _, sc := range scopes {
 		for _, o := range sc.seg.Observers {
 			if err := o.Begin(sc.v); err != nil {
@@ -124,14 +208,86 @@ func RunWindowed(s *linkstream.Stream, opt Options, segments ...SegmentObserver)
 		}
 	}
 
-	anyPerPeriod := false
-	for _, sc := range scopes {
-		if sc.needs.perPeriod() {
-			anyPerPeriod = true
-			break
+	// Streaming raw-stream trip runs (Needs.StreamTripRuns) are
+	// delivered after Begin and before any period: per-destination runs
+	// in strictly increasing destination order, recycled as soon as
+	// every consumer of the group has seen them. Without an eager
+	// collection to replay, the enumeration itself is streamed — at most
+	// MaxInFlight destination blocks of trips are ever resident.
+	for _, g := range groups {
+		var consumers []TripRunObserver
+		for _, sc := range g.scopes {
+			for _, o := range sc.seg.Observers {
+				if o.Needs().StreamTripRuns {
+					consumers = append(consumers, o.(TripRunObserver))
+				}
+			}
+		}
+		if len(consumers) == 0 {
+			continue
+		}
+		deliver := func(dest int32, run []temporal.Trip) error {
+			for _, c := range consumers {
+				if err := c.ObserveTripRun(dest, run); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if g.lanes != nil {
+			for d, run := range g.lanes {
+				if len(run) == 0 {
+					continue
+				}
+				if err := deliver(int32(d), run); err != nil {
+					return err
+				}
+			}
+			temporal.RecycleTrips(g.lanes...)
+			g.lanes = nil
+		} else {
+			c := temporal.BuildCSR(events[g.lo:g.hi], 0, 1, &scratch)
+			streamBuilds.Add(1)
+			if err := streamTripRuns(c, n, opt, deliver); err != nil {
+				return err
+			}
+		}
+		for _, c := range consumers {
+			if err := c.FinishTripRuns(); err != nil {
+				return err
+			}
 		}
 	}
-	if !anyPerPeriod {
+
+	// Deduplicate coinciding (window, ∆) jobs: scopes sharing the same
+	// event window and candidate period become targets of one job whose
+	// needs are the union of theirs. Scopes without per-period needs are
+	// observed inline by produce and never enter the pipeline.
+	specs := make([]*jobSpec, 0)
+	specAt := make(map[specKey]*jobSpec)
+	for _, sc := range scopes {
+		if !sc.needs.perPeriod() {
+			continue
+		}
+		for i, delta := range sc.v.Grid {
+			k := specKey{lo: sc.lo, hi: sc.hi, delta: delta}
+			sp := specAt[k]
+			if sp == nil {
+				sp = &jobSpec{delta: delta}
+				specAt[k] = sp
+				specs = append(specs, sp)
+			} else {
+				periodDedups.Add(1)
+			}
+			sp.targets = append(sp.targets, jobTarget{sc: sc, idx: i})
+			sp.needs = sp.needs.union(sc.needs)
+		}
+	}
+	for _, sp := range specs {
+		sp.histMode = opt.HistogramBins > 0 && sp.needs.Occupancies
+	}
+
+	if len(specs) == 0 {
 		// Stream-level observers only: no CSR, no sweep, no workers.
 		for _, sc := range scopes {
 			for i, delta := range sc.v.Grid {
@@ -146,7 +302,7 @@ func RunWindowed(s *linkstream.Stream, opt Options, segments ...SegmentObserver)
 		return nil
 	}
 
-	e := &engine{opt: opt, scopes: scopes, n: s.NumNodes()}
+	e := &engine{opt: opt, scopes: scopes, specs: specs, n: n}
 	e.workers = opt.Workers
 	if e.workers <= 0 {
 		e.workers = runtime.GOMAXPROCS(0)

@@ -286,6 +286,34 @@ func (st *sweepState) takeOcc() (chunks [][]float64, total int) {
 // of chunks per call.
 var chunkPool sync.Pool
 
+// tripLanePool recycles per-destination trip buffers (the lanes of the
+// blocked sweep). Streaming consumers hand lanes back with RecycleTrips
+// as soon as they have scored them, so a long enumeration's steady-state
+// allocation count is bounded by the number of in-flight lanes, not by
+// the total trip population.
+var tripLanePool sync.Pool
+
+// getTripLane returns a pooled zero-length trip buffer, or nil (append
+// allocates on first use).
+func getTripLane() []Trip {
+	if v := tripLanePool.Get(); v != nil {
+		return v.([]Trip)[:0]
+	}
+	return nil
+}
+
+// RecycleTrips returns per-destination trip slices — SweepFullBlock
+// lanes, engine TripBlocks, stream trip runs — to the lane pool. The
+// caller must not touch a slice after recycling it; consumers that keep
+// trips must copy them out first.
+func RecycleTrips(lanes ...[]Trip) {
+	for _, l := range lanes {
+		if cap(l) > 0 {
+			tripLanePool.Put(l[:0])
+		}
+	}
+}
+
 func newChunk() []float64 {
 	if v := chunkPool.Get(); v != nil {
 		return v.([]float64)[:0]
@@ -567,10 +595,18 @@ func (st *sweepState) runFullBlock(c *CSR, first int32, ndests int, directed boo
 	for i := range nodeB {
 		nodeB[i] = unreachPacked
 	}
-	// Lane sinks start nil each block (the previous block's were handed
-	// to the caller) and grow by append: for pointer-free elements the
-	// growth path never zeroes memory, which beats any presized make —
-	// makeslice clears its whole capacity.
+	// Lane sinks start empty each block (the previous block's were
+	// handed to the caller): recycled buffers come back through the lane
+	// pool with their capacity intact, and the append growth path never
+	// zeroes memory — both beat a presized make, which clears its whole
+	// capacity.
+	if wantTrips {
+		for l := 0; l < ndests; l++ {
+			if st.tripsB[l] == nil {
+				st.tripsB[l] = getTripLane()
+			}
+		}
+	}
 	keys, off, ends := c.Keys, c.Off, c.Ends
 	var recip []float64
 	if wantOcc {
@@ -742,53 +778,74 @@ func forEachDestCSR(cfg Config, fn func(dest int32, st *sweepState)) {
 	wg.Wait()
 }
 
-// CollectTripsCSR returns every minimal trip of the CSR graph, parallel
-// over destinations; the order of the result is unspecified. Trips
-// accumulate into one arena per worker, not one slice per destination.
+// CollectTripsCSR returns every minimal trip of the CSR graph in
+// destination-major order — destinations in increasing id, departures
+// strictly decreasing per (source, destination) — for any worker count.
+// It runs the same blocked lane sweep as the unified engine (LanesPerBlock
+// destinations per layer pass, parallel over destination blocks), so the
+// reference and engine trip producers share one relax loop; lanes are
+// concatenated in block order, which reproduces the order consecutive
+// single-destination sweeps would emit.
 func CollectTripsCSR(cfg Config, c *CSR) []Trip {
+	lanes := CollectTripLanes(cfg, c)
+	total := 0
+	for _, l := range lanes {
+		total += len(l)
+	}
+	out := make([]Trip, 0, total)
+	for _, l := range lanes {
+		out = append(out, l...)
+	}
+	RecycleTrips(lanes...)
+	return out
+}
+
+// CollectTripLanes enumerates every minimal trip of the CSR graph with
+// the blocked lane sweep, parallel over destination blocks, and returns
+// the per-destination lanes: lane d holds destination d's trips in
+// departure-descending order, so iterating lanes front to back visits
+// the exact destination-major order of CollectTripsCSR without one flat
+// copy. Ownership of the lanes passes to the caller; hand them back
+// with RecycleTrips when done.
+func CollectTripLanes(cfg Config, c *CSR) [][]Trip {
+	blocks := DestBlocks(cfg.N)
 	w := cfg.workers()
-	if w > cfg.N {
-		w = cfg.N
+	if w > blocks {
+		w = blocks
 	}
 	if w < 1 {
 		w = 1
 	}
-	parts := make([][]Trip, w)
+	lanes := make([][]Trip, LanesPerBlock*blocks)
+	if w == 1 {
+		wk := NewWorker(cfg.N)
+		defer wk.Release()
+		for b := 0; b < blocks; b++ {
+			bl := wk.SweepFullBlock(c, cfg.Directed, b, true, false, nil)
+			copy(lanes[LanesPerBlock*b:], bl[:])
+		}
+		return lanes[:cfg.N]
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
 		wg.Add(1)
-		go func(slot int) {
+		go func() {
 			defer wg.Done()
-			st := getSweepState(cfg.N)
-			st.trips = st.trips[:0]
+			wk := NewWorker(cfg.N)
+			defer wk.Release()
 			for {
-				d := next.Add(1) - 1
-				if d >= int64(cfg.N) {
-					break
+				b := int(next.Add(1) - 1)
+				if b >= blocks {
+					return
 				}
-				dest := int32(d)
-				st.run(c, dest, cfg.Directed, func(u int32, dep, arr int64, hops int32) {
-					st.trips = append(st.trips, Trip{U: u, V: dest, Dep: dep, Arr: arr, Hops: hops})
-				}, nil)
+				bl := wk.SweepFullBlock(c, cfg.Directed, b, true, false, nil)
+				copy(lanes[LanesPerBlock*b:], bl[:])
 			}
-			// Hand the arena over rather than copying it; the pooled
-			// state starts a fresh one next time.
-			parts[slot] = st.trips
-			st.trips = nil
-			putSweepState(st)
-		}(i)
+		}()
 	}
 	wg.Wait()
-	total := 0
-	for _, p := range parts {
-		total += len(p)
-	}
-	out := make([]Trip, 0, total)
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out
+	return lanes[:cfg.N]
 }
 
 // DestBlocks returns the number of destination blocks the blocked

@@ -7,11 +7,17 @@
 //   - the mean elongation factor of the minimal trips of the aggregated
 //     series with respect to the original stream (Figure 8 right).
 //
-// Both measures are sweep-engine observers: the raw stream's minimal
-// trips are enumerated once per engine run (and shared between the two
-// observers), and the elongation observer consumes the per-period
-// minimal trips the engine's backward sweep already produces — so the
-// validation curves ride along any other sweep for free.
+// Both measures are sweep-engine observers built on the engine's
+// streaming trip pipeline: the raw stream's minimal trips arrive as
+// per-destination runs (shared between the two observers, never
+// materialised as one flat slice), the transition-loss observer keeps
+// only the two-hop spans, and the elongation observer merges each run
+// into an incremental pair index. The elongation observer's per-period
+// scan is sharded across the engine's worker pool as per-block partial
+// sums combined in block order, so its result is bit-for-bit identical
+// for any worker count — and to the retained eager reference
+// implementations (TransitionLossObserverReference,
+// ElongationObserverReference, *CurveReference).
 package validate
 
 import (
@@ -48,8 +54,10 @@ type LossPoint struct {
 }
 
 // TransitionLossObserver computes the Figure 8 (left) curve from the
-// raw stream's shortest transitions, enumerated once in Begin; each
-// period is then a linear scan over the transition intervals.
+// raw stream's shortest transitions. It consumes the engine's streaming
+// trip runs, keeping only the two-hop spans, so the full stream trip
+// population is never resident; each period is then a linear scan over
+// the transition intervals.
 type TransitionLossObserver struct {
 	t0     int64
 	spans  []tripSpan
@@ -60,37 +68,53 @@ type TransitionLossObserver struct {
 func NewTransitionLossObserver() *TransitionLossObserver { return &TransitionLossObserver{} }
 
 // Needs implements sweep.Observer.
-func (o *TransitionLossObserver) Needs() sweep.Needs { return sweep.Needs{StreamTrips: true} }
+func (o *TransitionLossObserver) Needs() sweep.Needs { return sweep.Needs{StreamTripRuns: true} }
 
 // Begin implements sweep.Observer.
 func (o *TransitionLossObserver) Begin(v *sweep.StreamView) error {
 	o.t0 = v.T0
 	o.spans = o.spans[:0]
-	for _, tr := range v.StreamTrips() {
-		// Shortest transitions are the minimal trips with exactly two
-		// hops (Definition 6).
-		if tr.Hops == 2 {
-			o.spans = append(o.spans, tripSpan{dep: tr.Dep, arr: tr.Arr})
-		}
-	}
 	o.points = make([]LossPoint, len(v.Grid))
 	return nil
 }
 
+// ObserveTripRun implements sweep.TripRunObserver: shortest transitions
+// are the minimal trips with exactly two hops (Definition 6), collected
+// run by run in the same destination-major order an eager scan of the
+// flat trip slice would visit.
+func (o *TransitionLossObserver) ObserveTripRun(dest int32, run []temporal.Trip) error {
+	for _, tr := range run {
+		if tr.Hops == 2 {
+			o.spans = append(o.spans, tripSpan{dep: tr.Dep, arr: tr.Arr})
+		}
+	}
+	return nil
+}
+
+// FinishTripRuns implements sweep.TripRunObserver.
+func (o *TransitionLossObserver) FinishTripRuns() error { return nil }
+
 // ObservePeriod implements sweep.Observer.
 func (o *TransitionLossObserver) ObservePeriod(p *sweep.Period) error {
+	o.points[p.Index] = lossPoint(o.spans, o.t0, p.Delta)
+	return nil
+}
+
+// lossPoint scores one period's transition loss over the stream's
+// shortest-transition spans; shared by the streaming observer and the
+// eager reference.
+func lossPoint(spans []tripSpan, t0, delta int64) LossPoint {
 	lost := 0
-	for _, tr := range o.spans {
-		if (tr.dep-o.t0)/p.Delta == (tr.arr-o.t0)/p.Delta {
+	for _, tr := range spans {
+		if (tr.dep-t0)/delta == (tr.arr-t0)/delta {
 			lost++
 		}
 	}
-	pt := LossPoint{Delta: p.Delta, Total: len(o.spans)}
-	if len(o.spans) > 0 {
-		pt.Lost = float64(lost) / float64(len(o.spans))
+	pt := LossPoint{Delta: delta, Total: len(spans)}
+	if len(spans) > 0 {
+		pt.Lost = float64(lost) / float64(len(spans))
 	}
-	o.points[p.Index] = pt
-	return nil
+	return pt
 }
 
 // Points returns the loss curve in grid order. Valid after sweep.Run
@@ -123,9 +147,11 @@ type tripSpan struct {
 // stream between u and v, sorted by strictly increasing departure (and,
 // by non-nesting, strictly increasing arrival). For node counts up to
 // maxFlatPairNodes the spans live in one flat arena addressed by a
-// dense n×n offset table — the elongation scan queries the index once
-// per series trip, and an array lookup beats a hash probe by an order
-// of magnitude there. Larger graphs fall back to a map.
+// dense n×n offset table, laid out destination-major (pair (u, v) at
+// slot v·n+u) so an incremental build can append each destination's
+// region as its run arrives — the elongation scan queries the index
+// once per series trip, and an array lookup beats a hash probe by an
+// order of magnitude there. Larger graphs fall back to a map.
 type pairIndex struct {
 	n       int32
 	offsets []int32    // len n*n+1 in flat mode; nil in map mode
@@ -137,6 +163,23 @@ type pairIndex struct {
 const maxFlatPairNodes = 2048
 
 func pairKey(u, v int32) uint64 { return uint64(uint32(u))<<32 | uint64(uint32(v)) }
+
+// guardSorted verifies the per-pair dep-ascending invariant of the flat
+// arena (one linear pass) and restores it if an enumeration order
+// change ever violates it.
+func (idx *pairIndex) guardSorted() {
+	n := int(idx.n)
+	for p := 0; p < n*n; p++ {
+		lo, hi := idx.offsets[p], idx.offsets[p+1]
+		for i := lo + 1; i < hi; i++ {
+			if idx.spans[i].dep < idx.spans[i-1].dep {
+				sp := idx.spans[lo:hi]
+				sort.Slice(sp, func(i, j int) bool { return sp[i].dep < sp[j].dep })
+				break
+			}
+		}
+	}
+}
 
 func buildPairIndex(n int, trips []temporal.Trip) *pairIndex {
 	idx := &pairIndex{n: int32(n)}
@@ -154,12 +197,12 @@ func buildPairIndex(n int, trips []temporal.Trip) *pairIndex {
 	}
 	// Flat mode: counting pass, prefix sum, then a backward fill. The
 	// trip enumeration emits each pair's trips in strictly decreasing
-	// departure order (backward sweep, one destination per worker), so
-	// filling each pair's range back to front yields dep-ascending
-	// spans without any per-pair sort.
+	// departure order (backward sweep, destination-major), so filling
+	// each pair's range back to front yields dep-ascending spans without
+	// any per-pair sort.
 	offsets := make([]int32, n*n+1)
 	for _, tr := range trips {
-		offsets[int(tr.U)*n+int(tr.V)+1]++
+		offsets[int(tr.V)*n+int(tr.U)+1]++
 	}
 	for i := 1; i <= n*n; i++ {
 		offsets[i] += offsets[i-1]
@@ -167,23 +210,115 @@ func buildPairIndex(n int, trips []temporal.Trip) *pairIndex {
 	spans := make([]tripSpan, len(trips))
 	cursor := make([]int32, n*n)
 	for _, tr := range trips {
-		p := int(tr.U)*n + int(tr.V)
+		p := int(tr.V)*n + int(tr.U)
 		cursor[p]++
 		spans[int(offsets[p+1])-int(cursor[p])] = tripSpan{dep: tr.Dep, arr: tr.Arr}
 	}
 	idx.offsets, idx.spans = offsets, spans
-	// The backward fill relies on per-pair decreasing departures; guard
-	// the invariant (one linear pass) and restore it if an enumeration
-	// ever changes order.
-	for p := 0; p < n*n; p++ {
-		lo, hi := offsets[p], offsets[p+1]
-		for i := lo + 1; i < hi; i++ {
-			if spans[i].dep < spans[i-1].dep {
-				sp := spans[lo:hi]
-				sort.Slice(sp, func(i, j int) bool { return sp[i].dep < sp[j].dep })
+	idx.guardSorted()
+	return idx
+}
+
+// pairIndexBuilder assembles a pairIndex incrementally from the
+// engine's streaming trip runs: runs arrive in strictly increasing
+// destination order and, within a run, in the enumeration's decreasing
+// per-pair departure order, so each destination's contiguous region of
+// the destination-major arena is finalised — counted, prefix-summed and
+// back-filled — the moment its run is delivered. The flat trip slice
+// the eager build consumes never exists.
+type pairIndexBuilder struct {
+	idx      *pairIndex
+	nextDest int32
+	cnt      []int32 // per-source span counts of the current run
+}
+
+func newPairIndexBuilder(n int) *pairIndexBuilder {
+	idx := &pairIndex{n: int32(n)}
+	b := &pairIndexBuilder{idx: idx}
+	if n > maxFlatPairNodes {
+		idx.byPair = make(map[uint64][]tripSpan)
+	} else {
+		idx.offsets = make([]int32, n*n+1)
+		b.cnt = make([]int32, n)
+	}
+	return b
+}
+
+// addRun merges one destination's minimal trips. Runs must arrive with
+// strictly increasing dest; every trip's V equals dest.
+func (b *pairIndexBuilder) addRun(dest int32, run []temporal.Trip) {
+	idx := b.idx
+	if idx.offsets == nil {
+		for _, tr := range run {
+			k := pairKey(tr.U, tr.V)
+			idx.byPair[k] = append(idx.byPair[k], tripSpan{dep: tr.Dep, arr: tr.Arr})
+		}
+		b.nextDest = dest + 1
+		return
+	}
+	n := int(idx.n)
+	base := int32(len(idx.spans))
+	// Destinations skipped since the last run had no trips: their pairs
+	// are empty ranges at the current arena end.
+	for p := int(b.nextDest) * n; p < int(dest)*n; p++ {
+		idx.offsets[p] = base
+	}
+	for _, tr := range run {
+		b.cnt[tr.U]++
+	}
+	off := base
+	row := int(dest) * n
+	for u := 0; u < n; u++ {
+		idx.offsets[row+u] = off
+		off += b.cnt[u]
+	}
+	need := len(idx.spans) + len(run)
+	if cap(idx.spans) < need {
+		grown := make([]tripSpan, len(idx.spans), max(need, 2*cap(idx.spans)))
+		copy(grown, idx.spans)
+		idx.spans = grown
+	}
+	idx.spans = idx.spans[:need]
+	// Back-fill each pair's range: departures arrive strictly
+	// decreasing per pair, so the counters walk each range back to
+	// front and land on dep-ascending spans — zeroing cnt on the way.
+	for _, tr := range run {
+		b.cnt[tr.U]--
+		idx.spans[int(idx.offsets[row+int(tr.U)])+int(b.cnt[tr.U])] = tripSpan{dep: tr.Dep, arr: tr.Arr}
+	}
+	b.nextDest = dest + 1
+}
+
+// finish seals the index: remaining (trip-less) destinations get empty
+// ranges, the invariant guard runs, and the builder must not be reused.
+func (b *pairIndexBuilder) finish() *pairIndex {
+	idx := b.idx
+	if idx.offsets != nil {
+		n := int(idx.n)
+		total := int32(len(idx.spans))
+		for p := int(b.nextDest) * n; p <= n*n; p++ {
+			idx.offsets[p] = total
+		}
+		idx.guardSorted()
+		return idx
+	}
+	for k, sp := range idx.byPair {
+		// Each pair's spans came from one run, dep-descending; reverse
+		// in place to the dep-ascending query order.
+		for i, j := 0, len(sp)-1; i < j; i, j = i+1, j-1 {
+			sp[i], sp[j] = sp[j], sp[i]
+		}
+		sorted := true
+		for i := 1; i < len(sp); i++ {
+			if sp[i].dep < sp[i-1].dep {
+				sorted = false
 				break
 			}
 		}
+		if !sorted {
+			sort.Slice(sp, func(i, j int) bool { return sp[i].dep < sp[j].dep })
+		}
+		idx.byPair[k] = sp
 	}
 	return idx
 }
@@ -194,7 +329,7 @@ func (idx *pairIndex) pair(u, v int32) []tripSpan {
 		if u < 0 || u >= idx.n || v < 0 || v >= idx.n {
 			return nil
 		}
-		p := int(u)*int(idx.n) + int(v)
+		p := int(v)*int(idx.n) + int(u)
 		return idx.spans[idx.offsets[p]:idx.offsets[p+1]]
 	}
 	return idx.byPair[pairKey(u, v)]
@@ -241,41 +376,84 @@ type ElongationPoint struct {
 	Unmatched int
 }
 
-// ElongationObserver computes the Figure 8 (right) curve: the pair
-// index over the raw stream's minimal trips is built once in Begin, and
-// each period scans the minimal trips of G∆ the engine's backward sweep
-// already produced.
+// ElongationObserver computes the Figure 8 (right) curve. The pair
+// index over the raw stream's minimal trips is built incrementally from
+// the engine's streaming trip runs (never holding the flat trip slice),
+// and each period's scan over the minimal trips of G∆ is sharded across
+// the engine's worker pool: every destination block is scored on the
+// worker that swept it, into per-lane partial sums that ObservePeriod
+// folds in lane order — bit-for-bit deterministic for any worker count
+// and identical to the eager ElongationObserverReference.
 type ElongationObserver struct {
-	t0     int64
-	idx    *pairIndex
-	points []ElongationPoint
+	t0      int64
+	builder *pairIndexBuilder
+	idx     *pairIndex
+	points  []ElongationPoint
 }
 
 // NewElongationObserver returns an empty elongation observer.
 func NewElongationObserver() *ElongationObserver { return &ElongationObserver{} }
 
-// Needs implements sweep.Observer.
+// Needs implements sweep.Observer: streaming stream-trip runs for the
+// pair index, sharded per-period trip scoring for the scan.
 func (o *ElongationObserver) Needs() sweep.Needs {
-	return sweep.Needs{StreamTrips: true, Trips: true}
+	return sweep.Needs{StreamTripRuns: true, TripShards: true}
 }
 
 // Begin implements sweep.Observer.
 func (o *ElongationObserver) Begin(v *sweep.StreamView) error {
 	o.t0 = v.T0
-	o.idx = buildPairIndex(v.N, v.StreamTrips())
+	o.builder = newPairIndexBuilder(v.N)
+	o.idx = nil
 	o.points = make([]ElongationPoint, len(v.Grid))
 	return nil
 }
 
-// ObservePeriod implements sweep.Observer. It iterates the engine's
-// trip blocks in order, which is exactly the trip order of consecutive
-// single-destination sweeps, so the floating-point sum matches the
-// reference implementation bit for bit.
-func (o *ElongationObserver) ObservePeriod(p *sweep.Period) error {
-	pt := ElongationPoint{Delta: p.Delta}
-	sum := 0.0
-	for _, blk := range p.TripBlocks {
-		for _, tr := range blk {
+// ObserveTripRun implements sweep.TripRunObserver: each destination's
+// run is merged into the incremental pair index the moment it arrives.
+func (o *ElongationObserver) ObserveTripRun(dest int32, run []temporal.Trip) error {
+	o.builder.addRun(dest, run)
+	return nil
+}
+
+// FinishTripRuns implements sweep.TripRunObserver.
+func (o *ElongationObserver) FinishTripRuns() error {
+	o.idx = o.builder.finish()
+	o.builder = nil
+	return nil
+}
+
+// elongPartial is one destination lane's share of a period's elongation
+// scan.
+type elongPartial struct {
+	sum       float64
+	trips     int
+	unmatched int
+}
+
+// elongShard is the per-period state of the sharded elongation scan:
+// one partial per destination lane, written only by the worker that
+// sweeps the lane's block.
+type elongShard struct {
+	o        *ElongationObserver
+	delta    int64
+	partials []elongPartial
+}
+
+// NewTripShard implements sweep.ShardedTripObserver.
+func (o *ElongationObserver) NewTripShard(delta int64, blocks int) sweep.TripShard {
+	return &elongShard{o: o, delta: delta, partials: make([]elongPartial, blocks*temporal.LanesPerBlock)}
+}
+
+// ObserveTripBlock scores one destination block of the period's minimal
+// trips against the stream pair index, accumulating per-lane partials.
+func (s *elongShard) ObserveTripBlock(block int, lanes [][]temporal.Trip) error {
+	for l, lane := range lanes {
+		if len(lane) == 0 {
+			continue
+		}
+		pa := &s.partials[block*temporal.LanesPerBlock+l]
+		for _, tr := range lane {
 			if tr.Dep == tr.Arr {
 				continue // Definition 8 requires tu != tv
 			}
@@ -284,19 +462,39 @@ func (o *ElongationObserver) ObservePeriod(p *sweep.Period) error {
 			// the last instant of window arr is the instant before the
 			// next window starts (an event at the boundary already
 			// belongs to the next window).
-			a := o.t0 + tr.Dep*p.Delta
-			b := o.t0 + (tr.Arr+1)*p.Delta - 1
-			durL, ok := o.idx.minDurationWithin(tr.U, tr.V, a, b)
+			a := s.o.t0 + tr.Dep*s.delta
+			b := s.o.t0 + (tr.Arr+1)*s.delta - 1
+			durL, ok := s.o.idx.minDurationWithin(tr.U, tr.V, a, b)
 			if !ok || durL <= 0 {
 				// Cannot happen for trips spanning >= 2 windows (the
 				// series trip implies a stream trip in the interval and
 				// minimality excludes instantaneous ones), but guard
 				// against inconsistent inputs rather than divide by 0.
-				pt.Unmatched++
+				pa.unmatched++
 				continue
 			}
-			sum += float64(tr.Arr-tr.Dep+1) * float64(p.Delta) / float64(durL)
-			pt.Trips++
+			pa.sum += float64(tr.Arr-tr.Dep+1) * float64(s.delta) / float64(durL)
+			pa.trips++
+		}
+	}
+	return nil
+}
+
+// ObservePeriod implements sweep.Observer: it folds the shard's
+// per-lane partial sums in lane (= destination) order, which is exactly
+// the floating-point summation order of a sequential destination-major
+// scan folding per-destination subtotals — so the mean matches the
+// eager reference bit for bit regardless of how blocks were scheduled.
+func (o *ElongationObserver) ObservePeriod(p *sweep.Period) error {
+	sh := p.Shard.(*elongShard)
+	pt := ElongationPoint{Delta: p.Delta}
+	sum := 0.0
+	for i := range sh.partials {
+		pa := &sh.partials[i]
+		pt.Unmatched += pa.unmatched
+		if pa.trips > 0 {
+			sum += pa.sum
+			pt.Trips += pa.trips
 		}
 	}
 	if pt.Trips > 0 {

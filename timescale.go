@@ -45,6 +45,33 @@
 // little scheduling slack (MaxInFlight ≥ 2 overlaps arena construction
 // with sweeping; 1 fully serialises).
 //
+// # The streaming trip pipeline
+//
+// Observers that consume the raw stream's minimal trips have two
+// registration modes. The eager mode (SweepNeeds.StreamTrips) hands
+// Begin one flat slice of every trip — simple, but its residency is
+// O(total trips), and for long streams the trip population, not the
+// sweep, bounds memory. The streaming mode (SweepNeeds.StreamTripRuns,
+// observers implementing SweepTripRunObserver) instead delivers the
+// enumeration as per-destination runs in strictly increasing
+// destination order: each run is scored and recycled before the next
+// block of destinations is swept, so at most MaxInFlight destination
+// blocks of trips ever exist at once. The Section 8 validation
+// observers are built on it — the transition-loss observer keeps only
+// the two-hop spans, and the elongation observer merges each run into
+// an incremental pair index — with the eager implementations retained
+// as bit-exact references.
+//
+// Per-period trip scans shard the same way: a SweepShardedTripObserver
+// (SweepNeeds.TripShards) receives one SweepTripShard per period, fed
+// one destination block at a time on the worker that swept it, with
+// per-lane partial sums folded in lane order — bit-for-bit identical
+// results for any worker count, without the period ever holding its
+// trips whole. Coinciding work across windowed segments is
+// deduplicated automatically: segments requesting the same (window, ∆)
+// share one layer arena and one backward sweep, and segments sharing an
+// event window share one raw-stream trip enumeration.
+//
 // The subpackages under internal/ expose the full machinery:
 // aggregation (internal/series), the temporal-path engine
 // (internal/temporal), the sweep engine (internal/sweep), the
@@ -241,6 +268,21 @@ type SweepStreamView = sweep.StreamView
 // SweepPeriod is the per-period view handed to a SweepObserver's
 // ObservePeriod.
 type SweepPeriod = sweep.Period
+
+// SweepTripRunObserver is the streaming consumer of the raw stream's
+// minimal trips: per-destination runs in strictly increasing
+// destination order, recycled as soon as the call returns. Declare
+// SweepNeeds.StreamTripRuns to receive them.
+type SweepTripRunObserver = sweep.TripRunObserver
+
+// SweepTripShard is the per-period state of a sharded trip scan; the
+// engine feeds it one destination block of minimal trips at a time on
+// the worker that swept the block.
+type SweepTripShard = sweep.TripShard
+
+// SweepShardedTripObserver is an observer whose per-period trip scan is
+// sharded across the engine's worker pool (SweepNeeds.TripShards).
+type SweepShardedTripObserver = sweep.ShardedTripObserver
 
 // SweepEngineOptions configures a MultiSweep run, including the
 // MaxInFlight bound on resident periods.
