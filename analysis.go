@@ -1,0 +1,393 @@
+package repro
+
+// This file implements the plan/run lifecycle, the package's single
+// execution path: NewAnalysis freezes a request — metrics, candidate
+// grids, windows, refinement policy, engine budgets — into an immutable
+// Plan, and Plan.Run(ctx) executes it as fused sweep-engine passes with
+// context cancellation, progress streaming and per-run engine
+// statistics. Every deprecated entry point (SaturationScale, Sweep,
+// MultiSweep, MultiSweepWindowed, ClassicProperties, TransitionLoss,
+// Elongation, AnalyzeAdaptive) is a thin wrapper over a Plan, pinned
+// bit-exact by the equivalence tests in analysis_equiv_test.go.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/adaptive"
+	"repro/internal/classic"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/linkstream"
+	"repro/internal/sweep"
+	"repro/internal/validate"
+)
+
+// ErrNoEvents is returned when an analysis is requested over a stream
+// with no events.
+var ErrNoEvents = errors.New("repro: stream has no events")
+
+// Plan is an immutable, validated analysis request: which metrics to
+// compute, over which candidate grids and windows, under which
+// refinement policy and engine budgets. Build one with NewAnalysis and
+// execute it with Run; a Plan can be Run any number of times (each Run
+// is an independent execution reading the stream's current contents).
+type Plan struct {
+	s   *Stream
+	cfg planConfig
+}
+
+// NewAnalysis builds an analysis plan over the stream. The zero-option
+// plan is the paper's default analysis: the occupancy method over a
+// logarithmic candidate grid spanning the stream's resolution to its
+// whole period of study, undirected, M-K proximity selection, no
+// refinement. Options compose freely — e.g.
+//
+//	plan, err := repro.NewAnalysis(s,
+//	    repro.WithMetrics(repro.MetricOccupancy, repro.MetricTransitionLoss),
+//	    repro.WithRefine(4),
+//	    repro.WithMaxInFlight(4),
+//	    repro.WithProgress(func(ev repro.ProgressEvent) { ... }),
+//	)
+//	report, err := plan.Run(ctx)
+//
+// Every metric, window and custom observer of one plan shares a single
+// fused engine pass per bisection round: the stream is sorted once,
+// each distinct (window, ∆) aggregation is built and swept exactly
+// once, and at most the configured MaxInFlight periods are resident at
+// any moment.
+func NewAnalysis(s *Stream, opts ...Option) (*Plan, error) {
+	if s == nil {
+		return nil, errors.New("repro: nil stream")
+	}
+	cfg := planConfig{}
+	cfg.metrics[MetricOccupancy] = true // default metric set
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if s.NumEvents() == 0 {
+		return nil, ErrNoEvents
+	}
+	if cfg.gridSet && len(cfg.grid) == 0 {
+		return nil, errors.New("repro: empty candidate grid")
+	}
+	if cfg.adaptive != nil {
+		switch {
+		case len(cfg.windows) > 0:
+			return nil, errors.New("repro: WithAdaptive and WithWindows cannot be combined: the adaptive segmentation chooses its own windows")
+		case len(cfg.segments) > 0:
+			return nil, errors.New("repro: WithAdaptive and WithSegments cannot be combined")
+		case cfg.gridSet:
+			return nil, errors.New("repro: WithAdaptive derives its own candidate grids; shape them with WithGridPoints and WithMinDelta instead of WithGrid")
+		case cfg.histogramBins > 0:
+			return nil, errors.New("repro: WithAdaptive does not support the histogram backend")
+		}
+	}
+	if !cfg.gridSet {
+		lo := cfg.minDelta
+		if lo <= 0 {
+			lo = s.Resolution()
+		}
+		points := cfg.gridPoints
+		if points <= 0 {
+			points = core.DefaultGridPoints
+		}
+		cfg.grid = core.LogGrid(lo, s.Duration(), points)
+	}
+	if cfg.histogramBins > 0 && cfg.metricOn(MetricOccupancy) {
+		for _, sel := range cfg.selectors {
+			if _, ok := sel.(dist.MKProximitySelector); !ok {
+				return nil, fmt.Errorf("repro: selector %s does not support the histogram backend", sel.Name())
+			}
+		}
+	}
+	if cfg.adaptive == nil && !cfg.anyMetric() && len(cfg.observers) == 0 && len(cfg.segments) == 0 {
+		return nil, errors.New("repro: analysis plan computes nothing: select metrics, observers or segments")
+	}
+	if len(cfg.windows) > 0 && !cfg.anyMetric() {
+		return nil, errors.New("repro: plan windows need at least one metric")
+	}
+	return &Plan{s: s, cfg: cfg}, nil
+}
+
+// Run executes the plan and returns its Report. An already-cancelled
+// ctx returns ctx.Err() immediately, before the stream is even sorted;
+// a ctx cancelled mid-run aborts the engine at its next scheduling
+// point — in-flight periods drain, pooled buffers are recycled, the
+// worker pools exit before Run returns, and results of periods whose
+// observers already ran are simply discarded with the Report.
+func (p *Plan) Run(ctx context.Context) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if p.cfg.adaptive != nil {
+		return p.runAdaptive(ctx)
+	}
+	return p.runStandard(ctx)
+}
+
+// metricObservers is the per-scope set of built-in curve observers a
+// plan registers (the occupancy metric is driven separately, through
+// core.ScaleSearch, because only it refines).
+type metricObservers struct {
+	cls   *ClassicObserver
+	dst   *DistanceObserver
+	loss  *TransitionLossObserver
+	elong *ElongationObserver
+}
+
+// newMetricObservers returns fresh observers for the plan's non-occupancy
+// metrics, plus the registration list in a fixed order.
+func (p *Plan) newMetricObservers() (metricObservers, []sweep.Observer) {
+	var mo metricObservers
+	var obs []sweep.Observer
+	if p.cfg.metricOn(MetricClassic) {
+		mo.cls = classic.NewObserver()
+		obs = append(obs, mo.cls)
+	}
+	if p.cfg.metricOn(MetricDistance) {
+		mo.dst = sweep.NewDistanceObserver()
+		obs = append(obs, mo.dst)
+	}
+	if p.cfg.metricOn(MetricTransitionLoss) {
+		mo.loss = validate.NewTransitionLossObserver()
+		obs = append(obs, mo.loss)
+	}
+	if p.cfg.metricOn(MetricElongation) {
+		mo.elong = validate.NewElongationObserver()
+		obs = append(obs, mo.elong)
+	}
+	return mo, obs
+}
+
+// curves collects the observers' results after a successful run.
+func (mo metricObservers) curves() Curves {
+	var cv Curves
+	if mo.cls != nil {
+		cv.Classic = mo.cls.Points()
+	}
+	if mo.dst != nil {
+		cv.Distance = mo.dst.Points()
+	}
+	if mo.loss != nil {
+		cv.TransitionLoss = mo.loss.Points()
+	}
+	if mo.elong != nil {
+		cv.Elongation = mo.elong.Points()
+	}
+	return cv
+}
+
+// coreOptions maps the plan's configuration onto the occupancy-method
+// options of one scale search over grid.
+func (p *Plan) coreOptions(grid []int64) core.Options {
+	return core.Options{
+		Directed:      p.cfg.directed,
+		Workers:       p.cfg.workers,
+		Selectors:     p.cfg.selectors,
+		Refine:        p.cfg.refine,
+		HistogramBins: p.cfg.histogramBins,
+		MaxInFlight:   p.cfg.maxInFlight,
+		Grid:          grid,
+	}
+}
+
+// scopeRun is the per-scope execution state of a standard (non-adaptive)
+// run: the global scope or one plan window.
+type scopeRun struct {
+	window   *Window // nil for the global scope
+	start    int64   // engine window bounds; 0,0 selects the whole stream
+	end      int64
+	grid     []int64 // round-0 grid for scopes without a search
+	search   *core.ScaleSearch
+	mo       metricObservers
+	extraObs []sweep.Observer // round-0 co-observers (metrics + custom)
+	res      core.Result
+	hasRes   bool
+	done     bool
+}
+
+// runStandard executes the plan's scopes — the global analysis, every
+// window, every raw segment — as one fused engine pass per bisection
+// round: round 0 carries every scope's grid plus all curve observers
+// and raw segments, later rounds only the still-refining occupancy
+// searches.
+func (p *Plan) runStandard(ctx context.Context) (*Report, error) {
+	c := &p.cfg
+	var stats EngineStats
+	engOpt := sweep.Options{
+		Directed:      c.directed,
+		Workers:       c.workers,
+		MaxInFlight:   c.maxInFlight,
+		HistogramBins: c.histogramBins,
+		Stats:         &stats,
+	}
+
+	var runs []*scopeRun
+	if c.anyMetric() || len(c.observers) > 0 {
+		sr := &scopeRun{grid: c.grid}
+		if c.metricOn(MetricOccupancy) {
+			search, err := core.NewScaleSearch(p.coreOptions(c.grid))
+			if err != nil {
+				return nil, err
+			}
+			sr.search = search
+		}
+		mo, mobs := p.newMetricObservers()
+		sr.mo = mo
+		sr.extraObs = append(mobs, c.observers...)
+		runs = append(runs, sr)
+	}
+	if len(c.windows) > 0 {
+		// Window grids default to the window's own resolution and span,
+		// exactly like the adaptive per-segment grids.
+		p.s.Sort()
+		events := p.s.Events()
+		for i := range c.windows {
+			w := &c.windows[i]
+			grid := w.Grid
+			if len(grid) == 0 {
+				sub := linkstream.WindowEvents(events, w.Start, w.End)
+				if len(sub) == 0 {
+					return nil, fmt.Errorf("repro: window [%d, %d) has no events", w.Start, w.End)
+				}
+				points := c.gridPoints
+				if points <= 0 {
+					points = core.DefaultGridPoints
+				}
+				grid = core.LogGrid(linkstream.EventsResolution(sub), linkstream.EventsDuration(sub), points)
+			}
+			sr := &scopeRun{window: w, start: w.Start, end: w.End, grid: grid}
+			if c.metricOn(MetricOccupancy) {
+				search, err := core.NewScaleSearch(p.coreOptions(grid))
+				if err != nil {
+					return nil, fmt.Errorf("repro: window [%d, %d): %w", w.Start, w.End, err)
+				}
+				sr.search = search
+			}
+			mo, mobs := p.newMetricObservers()
+			sr.mo = mo
+			sr.extraObs = mobs
+			runs = append(runs, sr)
+		}
+	}
+
+	for pass := 0; ; pass++ {
+		batch := make([]sweep.SegmentObserver, 0, len(runs)+len(c.segments))
+		waiting := make([]*scopeRun, 0, len(runs))
+		for _, sr := range runs {
+			if sr.done {
+				continue
+			}
+			var observers []sweep.Observer
+			grid := sr.grid
+			if sr.search != nil {
+				g, obs, ok := sr.search.Next()
+				if !ok {
+					res, err := sr.search.Result()
+					if err != nil {
+						return nil, err
+					}
+					sr.res, sr.hasRes, sr.done = res, true, true
+					continue
+				}
+				grid = g
+				observers = append(observers, obs)
+			}
+			if pass == 0 {
+				observers = append(observers, sr.extraObs...)
+			}
+			if len(observers) == 0 {
+				sr.done = true
+				continue
+			}
+			batch = append(batch, sweep.SegmentObserver{Start: sr.start, End: sr.end, Grid: grid, Observers: observers})
+			waiting = append(waiting, sr)
+		}
+		if pass == 0 {
+			batch = append(batch, c.segments...)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		if c.progress != nil {
+			round := pass
+			engOpt.Progress = func(ev ProgressEvent) {
+				ev.Pass = round
+				c.progress(ev)
+			}
+		}
+		if err := sweep.RunWindowed(ctx, p.s, engOpt, batch...); err != nil {
+			return nil, err
+		}
+		for _, sr := range waiting {
+			if sr.search != nil {
+				if err := sr.search.Absorb(); err != nil {
+					return nil, err
+				}
+			} else {
+				sr.done = true
+			}
+		}
+	}
+
+	rep := &Report{stats: stats}
+	for _, sr := range runs {
+		cv := sr.mo.curves()
+		if sr.hasRes {
+			cv.Occupancy = sr.res.Points
+		}
+		if sr.window == nil {
+			rep.global = cv
+			rep.scale, rep.hasScale = sr.res, sr.hasRes
+		} else {
+			rep.windows = append(rep.windows, WindowReport{
+				Start: sr.window.Start, End: sr.window.End,
+				Scale: sr.res, Curves: cv,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// runAdaptive executes the plan through the activity-segmented
+// analysis: segmentation, the global scale search, one search per
+// sufficiently populated segment, and the plan's other metrics and
+// custom observers attached to the global scope — all fused per round.
+func (p *Plan) runAdaptive(ctx context.Context) (*Report, error) {
+	c := &p.cfg
+	var stats EngineStats
+	acfg := *c.adaptive
+	acfg.Directed = c.directed
+	acfg.Workers = c.workers
+	acfg.MaxInFlight = c.maxInFlight
+	acfg.Selectors = c.selectors
+	acfg.Refine = c.refine
+	acfg.GridPoints = c.gridPoints
+	acfg.MinDelta = c.minDelta
+	acfg.Stats = &stats
+	acfg.Progress = c.progress
+	mo, mobs := p.newMetricObservers()
+	a, err := adaptive.AnalyzeWith(ctx, p.s, acfg, append(mobs, c.observers...)...)
+	if err != nil {
+		return nil, err
+	}
+	cv := mo.curves()
+	cv.Occupancy = a.Global.Points
+	return &Report{
+		scale:    a.Global,
+		hasScale: true,
+		global:   cv,
+		adaptive: a,
+		stats:    stats,
+	}, nil
+}

@@ -1,0 +1,223 @@
+package repro
+
+// Equivalence pins for the API redesign: every deprecated wrapper must
+// be bit-exact with (a) the internal implementation it used to call
+// directly and (b) its Plan/Run replacement. Together with the
+// internal packages' own *Reference equivalence suites, this chains
+// the new single execution path all the way back to the seed
+// implementations.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/adaptive"
+	"repro/internal/classic"
+	"repro/internal/core"
+	"repro/internal/sweep"
+	"repro/internal/validate"
+)
+
+func TestSaturationScaleWrapperEquivalence(t *testing.T) {
+	s := uniformWorkload(t)
+	for _, opt := range []Options{
+		{},
+		{Grid: LogGrid(1, 50_000, 12), Refine: 4},
+		{Grid: LogGrid(1, 50_000, 9), Directed: true, Workers: 3},
+		{Grid: LogGrid(1, 50_000, 9), Selectors: AllSelectors(), MaxInFlight: 2},
+	} {
+		want, err := core.SaturationScale(context.Background(), s, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SaturationScale(s, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("SaturationScale wrapper diverged for %+v:\n got %+v\nwant %+v", opt, got, want)
+		}
+
+		// And against the explicit plan.
+		opts := optionsFromCore(opt)
+		if len(opt.Grid) > 0 {
+			opts = append(opts, WithGrid(opt.Grid...))
+		}
+		plan, err := NewAnalysis(s, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := plan.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, ok := rep.Scale()
+		if !ok || !reflect.DeepEqual(res, want) {
+			t.Fatalf("plan scale diverged for %+v", opt)
+		}
+	}
+}
+
+func TestSweepWrapperEquivalence(t *testing.T) {
+	s := uniformWorkload(t)
+	grid := LogGrid(1, 50_000, 10)
+	for _, opt := range []Options{
+		{},
+		{Selectors: AllSelectors()},
+		{Directed: true, Workers: 2, MaxInFlight: 1},
+		{HistogramBins: 512},
+	} {
+		want, err := core.Sweep(context.Background(), s, grid, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Sweep(s, grid, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Sweep wrapper diverged for %+v", opt)
+		}
+	}
+}
+
+func TestCurveWrapperEquivalence(t *testing.T) {
+	s := uniformWorkload(t)
+	grid := LogGrid(1, 50_000, 8)
+	for _, directed := range []bool{false, true} {
+		wantClassic, err := classic.Curve(context.Background(), s, grid, classic.Options{Directed: directed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotClassic, err := ClassicProperties(s, grid, directed, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotClassic, wantClassic) {
+			t.Fatalf("ClassicProperties diverged (directed=%v)", directed)
+		}
+
+		wantLoss, err := validate.TransitionLossCurve(context.Background(), s, grid, validate.Options{Directed: directed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotLoss, err := TransitionLoss(s, grid, directed, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotLoss, wantLoss) {
+			t.Fatalf("TransitionLoss diverged (directed=%v)", directed)
+		}
+
+		wantElong, err := validate.ElongationCurve(context.Background(), s, grid, validate.Options{Directed: directed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotElong, err := Elongation(s, grid, directed, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotElong, wantElong) {
+			t.Fatalf("Elongation diverged (directed=%v)", directed)
+		}
+	}
+}
+
+func TestAnalyzeAdaptiveWrapperEquivalence(t *testing.T) {
+	s := twoModeWorkload(t)
+	for _, cfg := range []AdaptiveConfig{
+		{},
+		{Bins: 60, GridPoints: 10, MaxInFlight: 2},
+		{GridPoints: 8, Refine: 2, Workers: 3},
+	} {
+		want, err := adaptive.Analyze(context.Background(), s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AnalyzeAdaptive(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("AnalyzeAdaptive wrapper diverged for %+v:\n got %+v\nwant %+v", cfg, got, want)
+		}
+	}
+}
+
+func TestMultiSweepWrapperEquivalence(t *testing.T) {
+	s := uniformWorkload(t)
+	grid := LogGrid(1, 50_000, 8)
+
+	build := func() []SweepObserver {
+		return []SweepObserver{
+			NewOccupancyObserver(nil),
+			NewClassicObserver(),
+			NewTransitionLossObserver(),
+			NewElongationObserver(),
+			NewDistanceObserver(),
+		}
+	}
+	wantObs := build()
+	if err := sweep.Run(context.Background(), s, grid, SweepEngineOptions{MaxInFlight: 2}, wantObs...); err != nil {
+		t.Fatal(err)
+	}
+	gotObs := build()
+	var stats EngineStats
+	if err := MultiSweep(s, grid, SweepEngineOptions{MaxInFlight: 2, Stats: &stats}, gotObs...); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Passes != 1 || stats.Builds != int64(len(grid)) {
+		t.Fatalf("wrapper did not surface engine stats: %+v", stats)
+	}
+	for i := range wantObs {
+		want := observerPoints(t, wantObs[i])
+		got := observerPoints(t, gotObs[i])
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("MultiSweep wrapper diverged for observer %d (%T)", i, wantObs[i])
+		}
+	}
+
+	// Windowed: one whole-stream segment and one windowed segment.
+	t0, t1, _ := s.Span()
+	mid := (t0 + t1) / 2
+	segs := func(obs []SweepObserver) []SegmentObserver {
+		return []SegmentObserver{
+			{Grid: grid, Observers: []SweepObserver{obs[0], obs[1]}},
+			{Start: t0, End: mid, Grid: grid[:5], Observers: []SweepObserver{obs[2], obs[3], obs[4]}},
+		}
+	}
+	wantObs = build()
+	if err := sweep.RunWindowed(context.Background(), s, SweepEngineOptions{}, segs(wantObs)...); err != nil {
+		t.Fatal(err)
+	}
+	gotObs = build()
+	if err := MultiSweepWindowed(s, SweepEngineOptions{}, segs(gotObs)...); err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantObs {
+		if !reflect.DeepEqual(observerPoints(t, gotObs[i]), observerPoints(t, wantObs[i])) {
+			t.Fatalf("MultiSweepWindowed wrapper diverged for observer %d (%T)", i, wantObs[i])
+		}
+	}
+}
+
+// observerPoints extracts the typed curve of any built-in observer.
+func observerPoints(t *testing.T, o SweepObserver) any {
+	t.Helper()
+	switch obs := o.(type) {
+	case *OccupancyObserver:
+		return obs.Points()
+	case *ClassicObserver:
+		return obs.Points()
+	case *TransitionLossObserver:
+		return obs.Points()
+	case *ElongationObserver:
+		return obs.Points()
+	case *DistanceObserver:
+		return obs.Points()
+	default:
+		t.Fatalf("unknown observer type %T", o)
+		return nil
+	}
+}

@@ -8,6 +8,8 @@ package repro
 // DESIGN.md §6.
 
 import (
+	"context"
+
 	"io"
 	"testing"
 
@@ -156,7 +158,7 @@ func BenchmarkAblationSweepSequential(b *testing.B) {
 	grid := core.LogGrid(3600, s.Duration(), 6)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Sweep(s, grid, core.Options{Workers: 1}); err != nil {
+		if _, err := core.Sweep(context.Background(), s, grid, core.Options{Workers: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -167,7 +169,7 @@ func BenchmarkAblationSweepParallel(b *testing.B) {
 	grid := core.LogGrid(3600, s.Duration(), 6)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Sweep(s, grid, core.Options{}); err != nil {
+		if _, err := core.Sweep(context.Background(), s, grid, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -181,7 +183,7 @@ func BenchmarkAblationMKExact(b *testing.B) {
 	grid := core.LogGrid(3600, s.Duration(), 6)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Sweep(s, grid, core.Options{}); err != nil {
+		if _, err := core.Sweep(context.Background(), s, grid, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -192,7 +194,7 @@ func BenchmarkAblationMKHistogram(b *testing.B) {
 	grid := core.LogGrid(3600, s.Duration(), 6)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Sweep(s, grid, core.Options{HistogramBins: 2048}); err != nil {
+		if _, err := core.Sweep(context.Background(), s, grid, core.Options{HistogramBins: 2048}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -204,7 +206,7 @@ func BenchmarkAblationGridCoarseRefined(b *testing.B) {
 	s := irvineStream(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := core.SaturationScale(s, core.Options{
+		_, err := core.SaturationScale(context.Background(), s, core.Options{
 			Grid: core.LogGrid(3600, s.Duration(), 8), Refine: 6,
 		})
 		if err != nil {
@@ -217,7 +219,7 @@ func BenchmarkAblationGridDense(b *testing.B) {
 	s := irvineStream(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := core.SaturationScale(s, core.Options{
+		_, err := core.SaturationScale(context.Background(), s, core.Options{
 			Grid: core.LogGrid(3600, s.Duration(), 14),
 		})
 		if err != nil {
@@ -247,7 +249,30 @@ func BenchmarkMultiSweepAllMetrics(b *testing.B) {
 		cls := classic.NewObserver()
 		loss := validate.NewTransitionLossObserver()
 		elong := validate.NewElongationObserver()
-		if err := sweep.Run(s, grid, sweep.Options{}, occ, cls, loss, elong); err != nil {
+		if err := sweep.Run(context.Background(), s, grid, sweep.Options{}, occ, cls, loss, elong); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanRunAllMetrics is the plan/run lifecycle computing the
+// same four curves as BenchmarkMultiSweepAllMetrics: one NewAnalysis
+// plan, one fused Plan.Run pass. CI pairs the two (tsbench -pair), so
+// the plan path may never regress against the raw engine entry point
+// it wraps.
+func BenchmarkPlanRunAllMetrics(b *testing.B) {
+	s := irvineStream(b)
+	grid := core.LogGrid(3600, s.Duration(), 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := NewAnalysis(s,
+			WithMetrics(MetricOccupancy, MetricClassic, MetricTransitionLoss, MetricElongation),
+			WithGrid(grid...),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := plan.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -278,16 +303,16 @@ func BenchmarkMultiSweepSeparateWrappers(b *testing.B) {
 	grid := core.LogGrid(3600, s.Duration(), 6)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Sweep(s, grid, core.Options{}); err != nil {
+		if _, err := core.Sweep(context.Background(), s, grid, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := classic.Curve(s, grid, classic.Options{}); err != nil {
+		if _, err := classic.Curve(context.Background(), s, grid, classic.Options{}); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := validate.TransitionLossCurve(s, grid, validate.Options{}); err != nil {
+		if _, err := validate.TransitionLossCurve(context.Background(), s, grid, validate.Options{}); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := validate.ElongationCurve(s, grid, validate.Options{}); err != nil {
+		if _, err := validate.ElongationCurve(context.Background(), s, grid, validate.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -309,7 +334,7 @@ func BenchmarkStreamingTrips(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		loss := validate.NewTransitionLossObserver()
 		elong := validate.NewElongationObserver()
-		if err := sweep.Run(s, grid, sweep.Options{MaxInFlight: 2}, loss, elong); err != nil {
+		if err := sweep.Run(context.Background(), s, grid, sweep.Options{MaxInFlight: 2}, loss, elong); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -322,7 +347,7 @@ func BenchmarkStreamingTripsReference(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		loss := validate.NewTransitionLossObserverReference()
 		elong := validate.NewElongationObserverReference()
-		if err := sweep.Run(s, grid, sweep.Options{MaxInFlight: 2}, loss, elong); err != nil {
+		if err := sweep.Run(context.Background(), s, grid, sweep.Options{MaxInFlight: 2}, loss, elong); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -341,7 +366,7 @@ func BenchmarkWindowedDedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		occA := core.NewOccupancyObserver(nil)
 		occB := core.NewOccupancyObserver(nil)
-		err := sweep.RunWindowed(s, sweep.Options{},
+		err := sweep.RunWindowed(context.Background(), s, sweep.Options{},
 			sweep.SegmentObserver{Grid: grid, Observers: []sweep.Observer{occA}},
 			sweep.SegmentObserver{Start: t0, End: t1 + 1, Grid: grid, Observers: []sweep.Observer{occB}})
 		if err != nil {
@@ -357,7 +382,7 @@ func BenchmarkWindowedDedupSeparatePasses(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for pass := 0; pass < 2; pass++ {
 			occ := core.NewOccupancyObserver(nil)
-			if err := sweep.Run(s, grid, sweep.Options{}, occ); err != nil {
+			if err := sweep.Run(context.Background(), s, grid, sweep.Options{}, occ); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -492,7 +517,7 @@ func BenchmarkAdaptiveAnalyze(b *testing.B) {
 	s := adaptiveBenchStream(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := adaptive.Analyze(s, adaptive.Config{GridPoints: 10}); err != nil {
+		if _, err := adaptive.Analyze(context.Background(), s, adaptive.Config{GridPoints: 10}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -64,6 +64,9 @@ func run(args []string, stdout io.Writer) error {
 	input := fs.String("input", "", "parse an existing `go test -bench` output file instead of running")
 	against := fs.String("against", "", "baseline JSON report to diff the results against")
 	gate := fs.Float64("gate", 0, "with -against: fail if any shared benchmark's ns/op or allocs/op regressed by more than this percentage")
+	var pairs pairList
+	fs.Var(&pairs, "pair",
+		"intra-report gate NEW=BASE (repeatable): fail if benchmark NEW exceeds BASE by more than -gate percent on ns/op or allocs/op within this run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,6 +114,11 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "wrote %d benchmark results to %s\n", len(report.Benchmarks), *out)
 	}
+	if len(pairs) > 0 {
+		if err := gatePairs(stdout, report, pairs, *gate); err != nil {
+			return err
+		}
+	}
 	if *against == "" {
 		return nil
 	}
@@ -122,6 +130,68 @@ func run(args []string, stdout io.Writer) error {
 }
 
 // loadReport reads a JSON report previously written by tsbench.
+// pairList collects repeated -pair NEW=BASE flags.
+type pairList []string
+
+func (p *pairList) String() string { return strings.Join(*p, ",") }
+func (p *pairList) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("pair %q must have the form NEW=BASE", v)
+	}
+	*p = append(*p, v)
+	return nil
+}
+
+// gatePairs compares benchmark pairs within one report: for each
+// NEW=BASE pair, NEW's ns/op and allocs/op may not exceed BASE's by
+// more than gatePct percent. This is how CI pins a wrapper path (e.g.
+// the plan lifecycle) to the raw entry point it wraps, inside one run —
+// immune to machine-to-machine noise, unlike a cross-report diff.
+func gatePairs(stdout io.Writer, rep *Report, pairs []string, gatePct float64) error {
+	byName := make(map[string]Result, len(rep.Benchmarks))
+	for _, r := range rep.Benchmarks {
+		byName[r.Name] = r
+	}
+	var regressed []string
+	for _, p := range pairs {
+		eq := strings.Index(p, "=")
+		newName, baseName := p[:eq], p[eq+1:]
+		nr, ok := byName[newName]
+		if !ok {
+			return fmt.Errorf("pair %s: benchmark %s not in this run", p, newName)
+		}
+		br, ok := byName[baseName]
+		if !ok {
+			return fmt.Errorf("pair %s: benchmark %s not in this run", p, baseName)
+		}
+		status := ""
+		delta := 0.0
+		if br.NsPerOp > 0 {
+			delta = 100 * (nr.NsPerOp - br.NsPerOp) / br.NsPerOp
+			if gatePct > 0 && delta > gatePct {
+				status = "  REGRESSED"
+				regressed = append(regressed, fmt.Sprintf("%s vs %s (ns/op %+.1f%%)", newName, baseName, delta))
+			}
+		}
+		allocs := fmt.Sprintf("allocs %d vs %d", nr.AllocsPerOp, br.AllocsPerOp)
+		if br.AllocsPerOp > 0 {
+			adelta := 100 * float64(nr.AllocsPerOp-br.AllocsPerOp) / float64(br.AllocsPerOp)
+			allocs += fmt.Sprintf(" (%+.1f%%)", adelta)
+			if gatePct > 0 && adelta > gatePct {
+				status = "  REGRESSED"
+				regressed = append(regressed, fmt.Sprintf("%s vs %s (allocs/op %+.1f%%)", newName, baseName, adelta))
+			}
+		}
+		fmt.Fprintf(stdout, "pair %-40s %12.0f vs %12.0f ns/op  %+7.1f%%  %s%s\n",
+			newName+"="+baseName, nr.NsPerOp, br.NsPerOp, delta, allocs, status)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d pair regression(s) beyond the ±%.0f%% gate: %s",
+			len(regressed), gatePct, strings.Join(regressed, ", "))
+	}
+	return nil
+}
+
 func loadReport(path string) (*Report, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {

@@ -137,3 +137,42 @@ func TestParseLineRejectsGarbage(t *testing.T) {
 		}
 	}
 }
+
+func TestGatePairs(t *testing.T) {
+	rep := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkPlan", NsPerOp: 110, AllocsPerOp: 50},
+		{Name: "BenchmarkEngine", NsPerOp: 100, AllocsPerOp: 48},
+		{Name: "BenchmarkSlow", NsPerOp: 200, AllocsPerOp: 100},
+	}}
+	var out strings.Builder
+	// +10% ns/op and +4% allocs/op: inside a ±25% gate.
+	if err := gatePairs(&out, rep, []string{"BenchmarkPlan=BenchmarkEngine"}, 25); err != nil {
+		t.Fatalf("pair inside gate failed: %v", err)
+	}
+	// +100% ns/op: regression.
+	if err := gatePairs(&out, rep, []string{"BenchmarkSlow=BenchmarkEngine"}, 25); err == nil {
+		t.Fatal("a 2x pair must trip the gate")
+	}
+	// Alloc regression alone trips too.
+	rep.Benchmarks[0].AllocsPerOp = 100
+	if err := gatePairs(&out, rep, []string{"BenchmarkPlan=BenchmarkEngine"}, 25); err == nil {
+		t.Fatal("an alloc-only pair regression must trip the gate")
+	}
+	// Unknown names error.
+	if err := gatePairs(&out, rep, []string{"BenchmarkNope=BenchmarkEngine"}, 25); err == nil {
+		t.Fatal("unknown pair member must error")
+	}
+}
+
+func TestPairFlagParsing(t *testing.T) {
+	var p pairList
+	if err := p.Set("A=B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("noequals"); err == nil {
+		t.Fatal("malformed pair must error")
+	}
+	if len(p) != 1 || p[0] != "A=B" {
+		t.Fatalf("pairs = %v", p)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/figures"
 )
 
@@ -33,8 +34,8 @@ func run(args []string, stdout io.Writer) error {
 	metrics := fs.String("metrics", "", "comma-separated list of experiments to run (e.g. fig2,fig8a); empty = all")
 	profile := fs.String("profile", "full", "profile: full | quick")
 	out := fs.String("out", "", "write output to this file instead of stdout")
-	workers := fs.Int("workers", 0, "engine parallelism (0 = all CPUs)")
-	maxInFlight := fs.Int("max-inflight", 0, "max aggregation periods resident in the sweep engine (0 = engine default)")
+	var workers, maxInFlight int
+	cli.BindEngine(fs, &workers, &maxInFlight)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,8 +49,8 @@ func run(args []string, stdout io.Writer) error {
 	default:
 		return fmt.Errorf("unknown profile %q", *profile)
 	}
-	p.Workers = *workers
-	p.MaxInFlight = *maxInFlight
+	p.Workers = workers
+	p.MaxInFlight = maxInFlight
 
 	w := stdout
 	if *out != "" {

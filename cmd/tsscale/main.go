@@ -11,52 +11,25 @@
 // The stream format is one "<u> <v> <t>" event per line ('#'/'%'
 // comments allowed). The tool prints γ and, with -curve, the full M-K
 // proximity curve.
+//
+// tsscale is a thin caller of the plan/run lifecycle: the shared flags
+// (internal/cli) map onto repro.Option values, one repro.NewAnalysis
+// plan fuses the occupancy method with every requested -metrics curve
+// (and, with -adaptive, the per-segment scale searches), and the whole
+// run is a Plan.Run whose Report feeds the output tables.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
-	"repro/internal/adaptive"
-	"repro/internal/classic"
-	"repro/internal/core"
-	"repro/internal/dist"
-	"repro/internal/linkstream"
-	"repro/internal/sweep"
+	"repro"
+	"repro/internal/cli"
 	"repro/internal/textplot"
-	"repro/internal/validate"
 )
-
-// metricSet is the parsed -metrics flag: which curves the fused engine
-// pass computes alongside the occupancy method.
-type metricSet struct {
-	classic, distance, loss, elongation bool
-}
-
-func parseMetrics(spec string) (metricSet, error) {
-	var m metricSet
-	for _, name := range strings.Split(spec, ",") {
-		switch strings.TrimSpace(name) {
-		case "", "occupancy": // always on: it decides gamma
-		case "classic":
-			m.classic = true
-		case "distance":
-			m.distance = true
-		case "loss":
-			m.loss = true
-		case "elongation":
-			m.elongation = true
-		default:
-			return m, fmt.Errorf("unknown metric %q (have occupancy, classic, distance, loss, elongation)", name)
-		}
-	}
-	return m, nil
-}
-
-func (m metricSet) extras() bool { return m.classic || m.distance || m.loss || m.elongation }
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
@@ -67,134 +40,64 @@ func main() {
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("tsscale", flag.ContinueOnError)
-	in := fs.String("in", "", "input stream file (default: stdin)")
-	directed := fs.Bool("directed", false, "respect link orientation")
-	points := fs.Int("points", core.DefaultGridPoints, "number of candidate periods to sweep")
-	minDelta := fs.Int64("min", 0, "smallest candidate period (default: stream resolution)")
+	f := cli.Bind(fs, cli.Defaults{
+		Points:  repro.DefaultGridPoints,
+		Metrics: "occupancy",
+		MetricsHelp: "comma-separated metrics computed in one fused engine pass: " +
+			"occupancy,classic,distance,loss,elongation (occupancy always included; extra metrics see the unrefined grid)",
+	})
 	refine := fs.Int("refine", 4, "extra refinement points around the best period (0 = off)")
 	curve := fs.Bool("curve", false, "print the full proximity curve")
 	allSel := fs.Bool("all-selectors", false, "score with all five Section 7 metrics")
 	adaptiveMode := fs.Bool("adaptive", false,
 		"segment activity modes and determine per-segment scales; the global sweep, every segment sweep and any -metrics extras share one fused engine pass")
-	workers := fs.Int("workers", 0, "engine parallelism (0 = all CPUs)")
-	metricsSpec := fs.String("metrics", "occupancy",
-		"comma-separated metrics computed in one fused engine pass: occupancy,classic,distance,loss,elongation (occupancy always included; extra metrics see the unrefined grid)")
-	maxInFlight := fs.Int("max-inflight", 0, "max aggregation periods resident in the sweep engine (0 = engine default)")
-	engineStats := fs.Bool("engine-stats", false,
-		"print the engine's build instrumentation after the run (period CSR builds, dedup hits, stream enumerations, peak resident periods)")
+	progress := fs.Bool("progress", false, "stream per-period progress to stderr while the analysis runs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	metrics, err := parseMetrics(*metricsSpec)
+	metrics, err := f.ParseMetrics([]repro.Metric{repro.MetricOccupancy}, nil)
 	if err != nil {
 		return err
 	}
 
-	var r io.Reader = stdin
-	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		r = f
-	}
-	s := linkstream.New()
-	n, err := s.ReadEvents(r)
+	s, err := f.ReadStream(stdin)
 	if err != nil {
 		return err
 	}
-	if n == 0 {
-		return fmt.Errorf("no events read")
-	}
 
-	opt := core.Options{Directed: *directed, Workers: *workers, Refine: *refine, MaxInFlight: *maxInFlight}
+	var sels []repro.Selector
 	if *allSel {
-		opt.Selectors = dist.AllSelectors()
+		sels = repro.AllSelectors()
 	}
-	lo := *minDelta
-	if lo <= 0 {
-		lo = s.Resolution()
-	}
-	opt.Grid = core.LogGrid(lo, s.Duration(), *points)
-
-	if *engineStats {
-		sweep.ResetBuildStats()
-	}
-	var res core.Result
-	var analysis *adaptive.Analysis
-	var classicObs *classic.Observer
-	var distObs *sweep.DistanceObserver
-	var lossObs *validate.TransitionLossObserver
-	var elongObs *validate.ElongationObserver
-	var extraObs []sweep.Observer
-	if metrics.classic {
-		classicObs = classic.NewObserver()
-		extraObs = append(extraObs, classicObs)
-	}
-	if metrics.distance {
-		distObs = sweep.NewDistanceObserver()
-		extraObs = append(extraObs, distObs)
-	}
-	if metrics.loss {
-		lossObs = validate.NewTransitionLossObserver()
-		extraObs = append(extraObs, lossObs)
-	}
-	if metrics.elongation {
-		elongObs = validate.NewElongationObserver()
-		extraObs = append(extraObs, elongObs)
-	}
+	opts := f.PlanOptions(metrics...)
+	opts = append(opts, repro.WithRefine(*refine), repro.WithSelectors(sels...))
 	if *adaptiveMode {
-		// Fully fused: the global occupancy sweep, every per-segment
-		// sweep and all requested extra metrics fall out of one windowed
-		// engine pass per bisection round.
-		a, err := adaptive.AnalyzeWith(s, adaptive.Config{
-			Directed:    *directed,
-			Workers:     *workers,
-			GridPoints:  *points,
-			MinDelta:    lo,
-			Refine:      *refine,
-			Selectors:   opt.Selectors,
-			MaxInFlight: *maxInFlight,
-		}, extraObs...)
-		if err != nil {
-			return err
-		}
-		analysis = a
-		res = a.Global
-	} else if metrics.extras() {
-		// Fused mode: every requested curve falls out of one engine
-		// pass over the stream (one CSR build and one backward sweep
-		// per candidate period, shared by all observers).
-		occObs := core.NewOccupancyObserver(opt.Selectors)
-		observers := append([]sweep.Observer{occObs}, extraObs...)
-		err := sweep.Run(s, opt.Grid, sweep.Options{
-			Directed:    *directed,
-			Workers:     *workers,
-			MaxInFlight: *maxInFlight,
-		}, observers...)
-		if err != nil {
-			return err
-		}
-		pts := occObs.Points()
-		best := core.Best(pts, 0)
-		sel := dist.Selector(dist.MKProximitySelector{})
-		if len(opt.Selectors) > 0 {
-			sel = opt.Selectors[0]
-		}
-		res = core.Result{
-			Gamma:    pts[best].Delta,
-			Score:    pts[best].Scores[0],
-			Selector: sel.Name(),
-			Points:   pts,
-		}
-	} else {
-		r, err := core.SaturationScale(s, opt)
-		if err != nil {
-			return err
-		}
-		res = r
+		// Execution knobs (orientation, workers, grid shape, refinement,
+		// budgets) are already plan options above; WithAdaptive only
+		// turns the segmentation on.
+		opts = append(opts, repro.WithAdaptive(repro.AdaptiveConfig{}))
 	}
+	if *progress {
+		opts = append(opts, repro.WithProgress(func(ev repro.ProgressEvent) {
+			if ev.Stage == repro.ProgressPeriod {
+				fmt.Fprintf(os.Stderr, "\rpass %d: %d/%d periods", ev.Pass, ev.PeriodsDone, ev.PeriodsTotal)
+			}
+		}))
+	}
+
+	plan, err := repro.NewAnalysis(s, opts...)
+	if err != nil {
+		return err
+	}
+	rep, err := plan.Run(context.Background())
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		return err
+	}
+	res, _ := rep.Scale()
+
 	st := s.ComputeStats()
 	fmt.Fprintf(stdout, "events: %d  nodes: %d  span: %ds  activity: %.3f msgs/person/day\n",
 		st.Events, st.Nodes, st.Span, st.EventsPerNodePerDay)
@@ -202,10 +105,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		res.Gamma, float64(res.Gamma)/3600, res.Selector, res.Score)
 
 	if *allSel {
-		sels := dist.AllSelectors()
 		rows := make([][]string, 0, len(sels))
 		for i, sel := range sels {
-			best := core.Best(res.Points, i)
+			best := repro.BestPoint(res.Points, i)
 			rows = append(rows, []string{
 				sel.Name(),
 				fmt.Sprintf("%d", res.Points[best].Delta),
@@ -215,8 +117,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, textplot.Table([]string{"selector", "period (s)", "period (h)"}, rows))
 	}
-	if analysis != nil {
-		a := analysis
+	if a := rep.Adaptive(); a != nil {
 		fmt.Fprintf(stdout, "\nadaptive analysis: two-mode = %v, min per-segment gamma = %d s\n",
 			a.TwoMode, a.MinGamma)
 		rows := make([][]string, 0, len(a.Segments))
@@ -238,9 +139,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		fmt.Fprint(stdout, textplot.Table([]string{"segment", "mode", "events", "gamma"}, rows))
 	}
-	if classicObs != nil {
-		rows := make([][]string, 0, len(classicObs.Points()))
-		for _, p := range classicObs.Points() {
+	if pts := rep.Classic(); pts != nil {
+		rows := make([][]string, 0, len(pts))
+		for _, p := range pts {
 			rows = append(rows, []string{
 				fmt.Sprintf("%d", p.Delta),
 				fmt.Sprintf("%.5f", p.MeanDensity),
@@ -253,9 +154,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprint(stdout, textplot.Table(
 			[]string{"period (s)", "density", "degree", "non-isolated", "largest comp"}, rows))
 	}
-	if distObs != nil {
-		rows := make([][]string, 0, len(distObs.Points()))
-		for _, p := range distObs.Points() {
+	if pts := rep.Distances(); pts != nil {
+		rows := make([][]string, 0, len(pts))
+		for _, p := range pts {
 			rows = append(rows, []string{
 				fmt.Sprintf("%d", p.Delta),
 				fmt.Sprintf("%.3f", p.MeanTime),
@@ -268,21 +169,22 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprint(stdout, textplot.Table(
 			[]string{"period (s)", "dtime (windows)", "dhops", "dabstime (h)", "finite triples"}, rows))
 	}
-	if lossObs != nil || elongObs != nil {
+	loss, elong := rep.TransitionLoss(), rep.Elongation()
+	if loss != nil || elong != nil {
 		// Both observers scored the same (unrefined) grid; label rows
 		// with their own deltas — res.Points may hold refined extras.
 		deltas := make([]int64, 0)
 		header := []string{"period (s)"}
-		if lossObs != nil {
+		if loss != nil {
 			header = append(header, "transitions lost")
-			for _, p := range lossObs.Points() {
+			for _, p := range loss {
 				deltas = append(deltas, p.Delta)
 			}
 		}
-		if elongObs != nil {
+		if elong != nil {
 			header = append(header, "mean elongation")
-			if lossObs == nil {
-				for _, p := range elongObs.Points() {
+			if loss == nil {
+				for _, p := range elong {
 					deltas = append(deltas, p.Delta)
 				}
 			}
@@ -290,12 +192,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		rows := make([][]string, 0, len(deltas))
 		for i, delta := range deltas {
 			row := []string{fmt.Sprintf("%d", delta)}
-			if lossObs != nil {
-				row = append(row, fmt.Sprintf("%.1f%%", 100*lossObs.Points()[i].Lost))
+			if loss != nil {
+				row = append(row, fmt.Sprintf("%.1f%%", 100*loss[i].Lost))
 			}
-			if elongObs != nil {
+			if elong != nil {
 				el := "-"
-				if p := elongObs.Points()[i]; p.Trips > 0 {
+				if p := elong[i]; p.Trips > 0 {
 					el = fmt.Sprintf("%.2f", p.MeanElongation)
 				}
 				row = append(row, el)
@@ -316,13 +218,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			XLabel: "period (h)", YLabel: "proximity", LogX: true, Height: 14,
 		}, textplot.Series{Name: "proximity", Marker: '+', Points: pts}))
 	}
-	if *engineStats {
+	if f.EngineStats {
 		// With -adaptive, the dedup count exposes the homogeneous-stream
 		// case: a single activity segment coincides with the global
 		// scope, so every period is built once and fanned to both.
-		builds, maxResident := sweep.BuildStats()
-		fmt.Fprintf(stdout, "\nengine: %d period CSR builds (+%d deduplicated), %d stream trip enumerations, peak %d periods resident\n",
-			builds, sweep.DedupCount(), sweep.StreamBuildCount(), maxResident)
+		fmt.Fprintf(stdout, "\n%s\n", cli.EngineStatsLine(rep.EngineStats()))
 	}
 	return nil
 }

@@ -3,10 +3,13 @@
 // collapsed into one window and the mean elongation factor of minimal
 // trips, across a sweep of periods, annotated with the saturation scale.
 //
-// The saturation scale and every requested validation curve come out of
-// one pass of the unified sweep engine: the stream is sorted once, each
-// period's layer arena is built and swept once, and the occupancy, loss
-// and elongation observers all score that single sweep.
+// tsvalidate is a thin caller of the plan/run lifecycle: the shared
+// flags (internal/cli) map onto repro.Option values and one
+// repro.NewAnalysis plan computes the saturation scale and every
+// requested validation curve in a single fused engine pass — the
+// stream is sorted once, each period's layer arena is built and swept
+// once, and the occupancy, loss and elongation observers all score
+// that single sweep.
 //
 // Usage:
 //
@@ -15,17 +18,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
-	"repro/internal/core"
-	"repro/internal/linkstream"
-	"repro/internal/sweep"
+	"repro"
+	"repro/internal/cli"
 	"repro/internal/textplot"
-	"repro/internal/validate"
 )
 
 func main() {
@@ -37,108 +38,67 @@ func main() {
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("tsvalidate", flag.ContinueOnError)
-	in := fs.String("in", "", "input stream file (default: stdin)")
-	directed := fs.Bool("directed", false, "respect link orientation")
-	points := fs.Int("points", 20, "number of periods to sweep")
-	minDelta := fs.Int64("min", 0, "smallest period (default: stream resolution)")
-	workers := fs.Int("workers", 0, "engine parallelism (0 = all CPUs)")
-	metricsSpec := fs.String("metrics", "loss,elongation",
-		"comma-separated validation metrics to compute: loss,elongation")
-	maxInFlight := fs.Int("max-inflight", 0, "max aggregation periods resident in the sweep engine (0 = engine default)")
-	engineStats := fs.Bool("engine-stats", false,
-		"print the engine's build instrumentation after the run (period CSR builds, dedup hits, stream enumerations, peak resident periods)")
+	f := cli.Bind(fs, cli.Defaults{
+		Points:      20,
+		Metrics:     "loss,elongation",
+		MetricsHelp: "comma-separated validation metrics to compute: loss,elongation",
+	})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	wantLoss, wantElong := false, false
-	for _, name := range strings.Split(*metricsSpec, ",") {
-		switch strings.TrimSpace(name) {
-		case "", "occupancy": // gamma is always computed
-		case "loss":
-			wantLoss = true
-		case "elongation":
-			wantElong = true
-		default:
-			return fmt.Errorf("unknown metric %q (have loss, elongation)", name)
-		}
-	}
-	// With neither loss nor elongation selected the run still computes
-	// and prints the saturation scale (gamma-only mode).
-
-	var r io.Reader = stdin
-	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		r = f
-	}
-	s := linkstream.New()
-	if _, err := s.ReadEvents(r); err != nil {
-		return err
-	}
-	if s.NumEvents() == 0 {
-		return fmt.Errorf("no events read")
-	}
-
-	lo := *minDelta
-	if lo <= 0 {
-		lo = s.Resolution()
-	}
-	grid := core.LogGrid(lo, s.Duration(), *points)
-
-	occObs := core.NewOccupancyObserver(nil)
-	observers := []sweep.Observer{occObs}
-	var lossObs *validate.TransitionLossObserver
-	var elongObs *validate.ElongationObserver
-	if wantLoss {
-		lossObs = validate.NewTransitionLossObserver()
-		observers = append(observers, lossObs)
-	}
-	if wantElong {
-		elongObs = validate.NewElongationObserver()
-		observers = append(observers, elongObs)
-	}
-	if *engineStats {
-		sweep.ResetBuildStats()
-	}
-	err := sweep.Run(s, grid, sweep.Options{
-		Directed:    *directed,
-		Workers:     *workers,
-		MaxInFlight: *maxInFlight,
-	}, observers...)
+	// Gamma is always computed; with neither loss nor elongation
+	// selected the run still prints the saturation scale.
+	metrics, err := f.ParseMetrics(
+		[]repro.Metric{repro.MetricOccupancy},
+		[]repro.Metric{repro.MetricOccupancy, repro.MetricTransitionLoss, repro.MetricElongation})
 	if err != nil {
 		return err
 	}
-	occ := occObs.Points()
-	gamma := occ[core.Best(occ, 0)].Delta
+
+	s, err := f.ReadStream(stdin)
+	if err != nil {
+		return err
+	}
+
+	plan, err := repro.NewAnalysis(s, f.PlanOptions(metrics...)...)
+	if err != nil {
+		return err
+	}
+	rep, err := plan.Run(context.Background())
+	if err != nil {
+		return err
+	}
+
+	gamma := rep.Gamma()
+	occ := rep.Occupancy()
+	loss, elong := rep.TransitionLoss(), rep.Elongation()
 
 	fmt.Fprintf(stdout, "saturation scale gamma = %d s (%.2f h)\n\n", gamma, float64(gamma)/3600)
 	header := []string{"period (s)", "period (h)"}
-	if wantLoss {
+	if loss != nil {
 		header = append(header, "transitions lost")
 	}
-	if wantElong {
+	if elong != nil {
 		header = append(header, "mean elongation")
 	}
 	header = append(header, "")
-	rows := make([][]string, 0, len(grid))
-	for i, delta := range grid {
+	rows := make([][]string, 0, len(occ))
+	for i, pt := range occ {
+		delta := pt.Delta
 		marker := ""
-		if delta >= gamma && (i == 0 || grid[i-1] < gamma) {
+		if delta >= gamma && (i == 0 || occ[i-1].Delta < gamma) {
 			marker = "<- gamma"
 		}
 		row := []string{
 			fmt.Sprintf("%d", delta),
 			fmt.Sprintf("%.3f", float64(delta)/3600),
 		}
-		if wantLoss {
-			row = append(row, fmt.Sprintf("%.1f%%", 100*lossObs.Points()[i].Lost))
+		if loss != nil {
+			row = append(row, fmt.Sprintf("%.1f%%", 100*loss[i].Lost))
 		}
-		if wantElong {
+		if elong != nil {
 			el := "-"
-			if p := elongObs.Points()[i]; p.Trips > 0 {
+			if p := elong[i]; p.Trips > 0 {
 				el = fmt.Sprintf("%.2f", p.MeanElongation)
 			}
 			row = append(row, el)
@@ -146,21 +106,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		rows = append(rows, append(row, marker))
 	}
 	fmt.Fprint(stdout, textplot.Table(header, rows))
-	if wantLoss {
-		fmt.Fprintf(stdout, "\nshortest transitions in the stream: %d\n", lossObs.Points()[0].Total)
+	if loss != nil {
+		fmt.Fprintf(stdout, "\nshortest transitions in the stream: %d\n", loss[0].Total)
 	}
-	if *engineStats {
-		printEngineStats(stdout)
+	if f.EngineStats {
+		fmt.Fprintf(stdout, "\n%s\n", cli.EngineStatsLine(rep.EngineStats()))
 	}
 	return nil
-}
-
-// printEngineStats reports the engine's build instrumentation for the
-// run: how many period CSR arenas were built, how many coinciding
-// (window, ∆) jobs were served by an existing build, how many
-// raw-stream trip enumerations ran, and the in-flight high-water mark.
-func printEngineStats(stdout io.Writer) {
-	builds, maxResident := sweep.BuildStats()
-	fmt.Fprintf(stdout, "\nengine: %d period CSR builds (+%d deduplicated), %d stream trip enumerations, peak %d periods resident\n",
-		builds, sweep.DedupCount(), sweep.StreamBuildCount(), maxResident)
 }

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,6 +41,32 @@ func ExampleAggregate() {
 	// Output:
 	// windows: 3
 	// edges per window: 3 3 3
+}
+
+// NewAnalysis is the package's single execution path: functional
+// options freeze an immutable Plan, and Plan.Run executes everything
+// the plan requests — here the occupancy method plus the Section 8
+// transition-loss curve — as one fused engine pass, returning a typed
+// Report.
+func ExampleNewAnalysis() {
+	plan, err := repro.NewAnalysis(figure1(),
+		repro.WithMetrics(repro.MetricOccupancy, repro.MetricTransitionLoss),
+		repro.WithGrid(1, 4, 11),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := plan.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("gamma:", report.Gamma())
+	fmt.Println("periods scored:", len(report.Occupancy()))
+	fmt.Println("transitions in the stream:", report.TransitionLoss()[0].Total)
+	// Output:
+	// gamma: 1
+	// periods scored: 3
+	// transitions in the stream: 11
 }
 
 // MultiSweep computes several metrics in one fused engine pass: each

@@ -4,13 +4,15 @@
 // the activity modes and determine a scale for each part independently.
 //
 // The whole analysis — the global sweep and one sweep per detected
-// segment — is a single pass of the windowed sweep engine: the stream
-// is sorted once and every (segment, ∆) aggregation is built exactly
-// once, with all segments sharing one worker pool and one in-flight
-// bound (AdaptiveConfig.MaxInFlight).
+// segment — is one plan: repro.WithAdaptive turns segmentation on, and
+// Plan.Run executes everything as a single pass of the windowed sweep
+// engine — the stream is sorted once and every (segment, ∆)
+// aggregation is built exactly once, with all segments sharing one
+// worker pool and one in-flight bound (repro.WithMaxInFlight).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,11 +34,20 @@ func main() {
 		s.NumNodes(), s.NumEvents())
 
 	// One fused engine pass prices the global scale and every segment;
-	// MaxInFlight caps resident aggregations across all of them.
-	a, err := repro.AnalyzeAdaptive(s, repro.AdaptiveConfig{Bins: 100, GridPoints: 20, MaxInFlight: 4})
+	// WithMaxInFlight caps resident aggregations across all of them.
+	plan, err := repro.NewAnalysis(s,
+		repro.WithAdaptive(repro.AdaptiveConfig{Bins: 100}),
+		repro.WithGridPoints(20),
+		repro.WithMaxInFlight(4),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	report, err := plan.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := report.Adaptive()
 
 	fmt.Printf("plain occupancy method (whole stream): gamma = %d s (score %.4f)\n",
 		a.GlobalGamma, a.Global.Score)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,21 +25,36 @@ func main() {
 	fmt.Printf("company email network: %d employees, %d messages, %.1f days, %.2f msgs/person/day\n",
 		st.Nodes, st.Events, float64(st.Span)/86400, st.EventsPerNodePerDay)
 
-	grid := repro.LogGrid(60, s.Duration(), 20)
-	res, err := repro.SaturationScale(s, repro.Options{Grid: grid})
+	plan, err := repro.NewAnalysis(s,
+		repro.WithGrid(repro.LogGrid(60, s.Duration(), 20)...),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	report, err := plan.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _ := report.Scale()
 	gammaH := float64(res.Gamma) / 3600
 	fmt.Printf("\nsaturation scale gamma = %.1f h\n", gammaH)
 	fmt.Println("aggregation periods beyond gamma alter propagation; stay below it")
 
-	// Quantify the loss at a few canonical periods, as Section 8 does.
+	// Quantify the loss at a few canonical periods, as Section 8 does:
+	// a second plan scoped to the transition-loss metric alone.
 	candidates := []int64{900, 3600, 6 * 3600, res.Gamma, 24 * 3600, 7 * 24 * 3600}
-	loss, err := repro.TransitionLoss(s, candidates, false, 0)
+	lossPlan, err := repro.NewAnalysis(s,
+		repro.WithMetrics(repro.MetricTransitionLoss),
+		repro.WithGrid(candidates...),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	lossReport, err := lossPlan.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	loss := lossReport.TransitionLoss()
 	fmt.Printf("\n%12s  %18s\n", "period", "transitions lost")
 	for _, p := range loss {
 		marker := ""

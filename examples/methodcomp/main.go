@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,11 +25,18 @@ func main() {
 		s.NumNodes(), s.NumEvents(), 100_000)
 
 	sels := repro.AllSelectors()
-	grid := repro.LogGrid(1, 100_000, 28)
-	points, err := repro.Sweep(s, grid, repro.Options{Selectors: sels})
+	plan, err := repro.NewAnalysis(s,
+		repro.WithGrid(repro.LogGrid(1, 100_000, 28)...),
+		repro.WithSelectors(sels...),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	report, err := plan.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	points := report.Occupancy()
 
 	fmt.Printf("%-24s %12s\n", "selector", "chosen delta")
 	fmt.Printf("%-24s %12s\n", "--------", "------------")

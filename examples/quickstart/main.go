@@ -1,8 +1,10 @@
-// Quickstart: build a small link stream, run the occupancy method and
-// print the saturation scale with its score curve.
+// Quickstart: build a small link stream, plan the occupancy method
+// through the plan/run lifecycle and print the saturation scale with
+// its score curve.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -27,21 +29,27 @@ func main() {
 		}
 	}
 
-	// The occupancy method: sweep aggregation periods, score how
-	// uniformly the occupancy rates of minimal trips spread over [0,1],
-	// return the period maximising the M-K proximity.
-	res, err := repro.SaturationScale(s, repro.Options{
-		Grid:   repro.LogGrid(1, day, 24),
-		Refine: 4,
-	})
+	// The occupancy method as an analysis plan: sweep aggregation
+	// periods, score how uniformly the occupancy rates of minimal trips
+	// spread over [0,1], refine around the maximum. Plan.Run accepts a
+	// context — pass a cancellable one to bound long analyses.
+	plan, err := repro.NewAnalysis(s,
+		repro.WithGrid(repro.LogGrid(1, day, 24)...),
+		repro.WithRefine(4),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	report, err := plan.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _ := report.Scale()
 	fmt.Printf("saturation scale gamma = %d s (%.1f min)\n", res.Gamma, float64(res.Gamma)/60)
 	fmt.Printf("M-K proximity at gamma = %.4f\n\n", res.Score)
 
 	fmt.Println("period(s)  proximity  minimal trips")
-	for _, p := range res.Points {
+	for _, p := range report.Occupancy() {
 		fmt.Printf("%9d  %9.4f  %d\n", p.Delta, p.Scores[0], p.Trips)
 	}
 

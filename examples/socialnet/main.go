@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,13 +43,17 @@ func main() {
 	fmt.Printf("student message network: %d users, %d messages over %.0f days\n\n",
 		st.Nodes, st.Events, float64(st.Span)/86400)
 
-	res, err := repro.SaturationScale(s, repro.Options{
-		Grid: repro.LogGrid(60, s.Duration(), 20),
-	})
+	plan, err := repro.NewAnalysis(s,
+		repro.WithGrid(repro.LogGrid(60, s.Duration(), 20)...),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	gamma := res.Gamma
+	report, err := plan.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	gamma := report.Gamma()
 	fmt.Printf("saturation scale gamma = %.1f h\n\n", float64(gamma)/3600)
 
 	// Below gamma the occupancy distribution is spread (some trips busy,
@@ -59,11 +64,20 @@ func main() {
 	describe(s, gamma*8, "8x gamma (altered)")
 	describe(s, s.Duration(), "delta = T (static)")
 
-	// The same story through Section 8's loss measure.
-	loss, err := repro.TransitionLoss(s, []int64{gamma / 8, gamma, gamma * 8}, false, 0)
+	// The same story through Section 8's loss measure, as a
+	// loss-metric-only plan over three canonical periods.
+	lossPlan, err := repro.NewAnalysis(s,
+		repro.WithMetrics(repro.MetricTransitionLoss),
+		repro.WithGrid(gamma/8, gamma, gamma*8),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	lossReport, err := lossPlan.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	loss := lossReport.TransitionLoss()
 	fmt.Println()
 	for _, p := range loss {
 		fmt.Printf("transitions lost at %7.2f h: %5.1f%%\n", float64(p.Delta)/3600, 100*p.Lost)

@@ -39,6 +39,7 @@
 package adaptive
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -84,6 +85,13 @@ type Config struct {
 	// pass keeps resident at once, across all segments (<= 0 selects the
 	// engine default).
 	MaxInFlight int
+	// Progress, when non-nil, receives the engine's progress events for
+	// every fused pass of the analysis, with ProgressEvent.Pass set to
+	// the bisection round the pass serves.
+	Progress func(sweep.ProgressEvent)
+	// Stats, when non-nil, accumulates the engine counters of every
+	// pass of the analysis (see sweep.Options.Stats).
+	Stats *sweep.RunStats
 }
 
 func (c Config) withDefaults() Config {
@@ -305,8 +313,8 @@ const minSegmentEvents = 50
 // default Refine == 0 configuration). See the package documentation
 // for the sharing guarantees and AnalyzeReference for the retained
 // per-segment implementation.
-func Analyze(s *linkstream.Stream, cfg Config) (*Analysis, error) {
-	return AnalyzeWith(s, cfg)
+func Analyze(ctx context.Context, s *linkstream.Stream, cfg Config) (*Analysis, error) {
+	return AnalyzeWith(ctx, s, cfg)
 }
 
 // participant is one scale search of the fused analysis: the global one
@@ -326,7 +334,13 @@ type participant struct {
 // analogue of registering them with sweep.Run — so callers (cmd/tsscale
 // -adaptive -metrics=...) collect classical, distance or validation
 // curves from the very pass that prices the global scale.
-func AnalyzeWith(s *linkstream.Stream, cfg Config, global ...sweep.Observer) (*Analysis, error) {
+func AnalyzeWith(ctx context.Context, s *linkstream.Stream, cfg Config, global ...sweep.Observer) (*Analysis, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	segs, twoMode, err := Segments(s, cfg)
 	if err != nil {
@@ -360,8 +374,15 @@ func AnalyzeWith(s *linkstream.Stream, cfg Config, global ...sweep.Observer) (*A
 		parts = append(parts, &participant{search: search, seg: seg, start: seg.Start, end: seg.End})
 	}
 
-	engOpt := sweep.Options{Directed: cfg.Directed, Workers: cfg.Workers, MaxInFlight: cfg.MaxInFlight}
+	engOpt := sweep.Options{Directed: cfg.Directed, Workers: cfg.Workers, MaxInFlight: cfg.MaxInFlight, Stats: cfg.Stats}
 	for round := 0; ; round++ {
+		if cfg.Progress != nil {
+			pass := round
+			engOpt.Progress = func(ev sweep.ProgressEvent) {
+				ev.Pass = pass
+				cfg.Progress(ev)
+			}
+		}
 		batch := make([]sweep.SegmentObserver, 0, len(parts))
 		waiting := make([]*participant, 0, len(parts))
 		for _, p := range parts {
@@ -387,7 +408,7 @@ func AnalyzeWith(s *linkstream.Stream, cfg Config, global ...sweep.Observer) (*A
 		if len(batch) == 0 {
 			break
 		}
-		if err := sweep.RunWindowed(s, engOpt, batch...); err != nil {
+		if err := sweep.RunWindowed(ctx, s, engOpt, batch...); err != nil {
 			return nil, err
 		}
 		for _, p := range waiting {

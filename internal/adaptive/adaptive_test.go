@@ -1,6 +1,8 @@
 package adaptive
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 
@@ -89,7 +91,7 @@ func TestSegmentsEmpty(t *testing.T) {
 
 func TestAnalyzeTwoMode(t *testing.T) {
 	s := twoModeStream(t)
-	a, err := Analyze(s, Config{Bins: 80, GridPoints: 12})
+	a, err := Analyze(context.Background(), s, Config{Bins: 80, GridPoints: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +133,7 @@ func TestAnalyzeHomogeneousMatchesGlobal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Analyze(s, Config{GridPoints: 12})
+	a, err := Analyze(context.Background(), s, Config{GridPoints: 12})
 	if err != nil {
 		t.Fatal(err)
 	}

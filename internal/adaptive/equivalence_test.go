@@ -1,6 +1,8 @@
 package adaptive
 
 import (
+	"context"
+
 	"math/rand"
 	"reflect"
 	"testing"
@@ -65,7 +67,7 @@ func TestAnalyzeMatchesReference(t *testing.T) {
 					cfg := cfg
 					cfg.Workers = workers
 					cfg.MaxInFlight = inFlight
-					got, err := Analyze(s, cfg)
+					got, err := Analyze(context.Background(), s, cfg)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -90,7 +92,7 @@ func TestAnalyzeMatchesReferenceRefine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Analyze(s, cfg)
+	got, err := Analyze(context.Background(), s, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +131,7 @@ func TestAnalyzeOneEnginePass(t *testing.T) {
 	}
 
 	sweep.ResetBuildStats()
-	if _, err := Analyze(s, cfg); err != nil {
+	if _, err := Analyze(context.Background(), s, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if runs := sweep.RunCount(); runs != 1 {
@@ -170,7 +172,7 @@ func TestAnalyzeHomogeneousDedup(t *testing.T) {
 	}
 	grid := core.LogGrid(s.Resolution(), s.Duration(), cfg.withDefaults().GridPoints)
 	sweep.ResetBuildStats()
-	got, err := Analyze(s, cfg)
+	got, err := Analyze(context.Background(), s, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +204,7 @@ func TestAnalyzeWithGlobalObservers(t *testing.T) {
 	s := heteroStream(t, 3)
 	cfg := Config{Bins: 60, GridPoints: 8}
 	obs := sweep.NewDistanceObserver()
-	a, err := AnalyzeWith(s, cfg, obs)
+	a, err := AnalyzeWith(context.Background(), s, cfg, obs)
 	if err != nil {
 		t.Fatal(err)
 	}

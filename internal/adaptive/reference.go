@@ -1,6 +1,8 @@
 package adaptive
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/core"
@@ -25,7 +27,7 @@ func AnalyzeReference(s *linkstream.Stream, cfg Config) (*Analysis, error) {
 		lo = s.Resolution()
 	}
 	opt := cfg.coreOptions(core.LogGrid(lo, s.Duration(), cfg.GridPoints))
-	global, err := core.SaturationScale(s, opt)
+	global, err := core.SaturationScale(context.Background(), s, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -38,7 +40,7 @@ func AnalyzeReference(s *linkstream.Stream, cfg Config) (*Analysis, error) {
 			continue
 		}
 		segOpt := cfg.coreOptions(core.LogGrid(sub.Resolution(), sub.Duration(), cfg.GridPoints))
-		res, err := core.SaturationScale(sub, segOpt)
+		res, err := core.SaturationScale(context.Background(), sub, segOpt)
 		if err != nil {
 			return nil, fmt.Errorf("adaptive: segment [%d,%d): %w", seg.Start, seg.End, err)
 		}

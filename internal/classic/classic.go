@@ -6,6 +6,7 @@
 package classic
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/linkstream"
@@ -92,7 +93,7 @@ func (o *Observer) Points() []Point { return o.points }
 // one pass of the unified sweep engine (each period's CSR is built
 // once, swept once for the distances and scanned once for the window
 // statistics, then freed).
-func Curve(s *linkstream.Stream, grid []int64, opt Options) ([]Point, error) {
+func Curve(ctx context.Context, s *linkstream.Stream, grid []int64, opt Options) ([]Point, error) {
 	if s.NumEvents() == 0 {
 		return nil, errors.New("classic: stream has no events")
 	}
@@ -100,7 +101,7 @@ func Curve(s *linkstream.Stream, grid []int64, opt Options) ([]Point, error) {
 		return nil, errors.New("classic: empty grid")
 	}
 	obs := NewObserver()
-	err := sweep.Run(s, grid, sweep.Options{
+	err := sweep.Run(ctx, s, grid, sweep.Options{
 		Directed:    opt.Directed,
 		Workers:     opt.Workers,
 		MaxInFlight: opt.MaxInFlight,

@@ -1,6 +1,8 @@
 package classic
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -31,7 +33,7 @@ func TestCurveMonotoneTrends(t *testing.T) {
 	// Verify the endpoints and overall drift on a time-uniform stream.
 	s := uniformStream(t, 8, 3, 10_000, 1)
 	grid := []int64{1, 100, 1000, 10_000}
-	points, err := Curve(s, grid, Options{Workers: 2})
+	points, err := Curve(context.Background(), s, grid, Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,11 +90,11 @@ func TestAtConsistency(t *testing.T) {
 
 func TestCurveErrors(t *testing.T) {
 	empty := linkstream.New()
-	if _, err := Curve(empty, []int64{1}, Options{}); err == nil {
+	if _, err := Curve(context.Background(), empty, []int64{1}, Options{}); err == nil {
 		t.Fatal("empty stream should error")
 	}
 	s := uniformStream(t, 4, 1, 100, 3)
-	if _, err := Curve(s, nil, Options{}); err == nil {
+	if _, err := Curve(context.Background(), s, nil, Options{}); err == nil {
 		t.Fatal("empty grid should error")
 	}
 	if _, err := At(s, 0, Options{}); err == nil {

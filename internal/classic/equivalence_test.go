@@ -1,6 +1,8 @@
 package classic
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -42,7 +44,7 @@ func TestCurveMatchesReference(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, workers := range []int{1, 4} {
-				got, err := Curve(s, grid, Options{Directed: directed, Workers: workers, MaxInFlight: 2})
+				got, err := Curve(context.Background(), s, grid, Options{Directed: directed, Workers: workers, MaxInFlight: 2})
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -1,0 +1,144 @@
+// Package cli holds the flag surface shared by the analysis commands
+// (tsscale, tsvalidate, tsfigures): one binding registers the common
+// flags — input, orientation, grid shape, engine budgets, metric
+// selection, instrumentation — and one mapping turns them into
+// repro.Option values, so the command flags and the library's plan
+// options cannot drift apart.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+)
+
+// Flags is the shared analysis-command flag set; every field maps onto
+// exactly one plan option (see PlanOptions).
+type Flags struct {
+	In          string
+	Directed    bool
+	Points      int
+	MinDelta    int64
+	Workers     int
+	MaxInFlight int
+	Metrics     string
+	EngineStats bool
+}
+
+// Defaults parameterises Bind for the small per-command differences.
+type Defaults struct {
+	// Points is the default -points value.
+	Points int
+	// Metrics is the default -metrics value.
+	Metrics string
+	// MetricsHelp is the -metrics usage string.
+	MetricsHelp string
+}
+
+// Bind registers the shared analysis flags on fs and returns the
+// struct they populate.
+func Bind(fs *flag.FlagSet, d Defaults) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.In, "in", "", "input stream file (default: stdin)")
+	fs.BoolVar(&f.Directed, "directed", false, "respect link orientation")
+	fs.IntVar(&f.Points, "points", d.Points, "number of candidate periods to sweep")
+	fs.Int64Var(&f.MinDelta, "min", 0, "smallest candidate period (default: stream resolution)")
+	fs.StringVar(&f.Metrics, "metrics", d.Metrics, d.MetricsHelp)
+	BindEngine(fs, &f.Workers, &f.MaxInFlight)
+	fs.BoolVar(&f.EngineStats, "engine-stats", false,
+		"print the engine's instrumentation after the run (period CSR builds, dedup hits, stream enumerations, peak resident periods)")
+	return f
+}
+
+// BindEngine registers just the engine-budget flags (-workers,
+// -max-inflight), for commands that share those without the full
+// analysis surface.
+func BindEngine(fs *flag.FlagSet, workers, maxInFlight *int) {
+	fs.IntVar(workers, "workers", 0, "engine parallelism (0 = all CPUs)")
+	fs.IntVar(maxInFlight, "max-inflight", 0,
+		"max aggregation periods resident in the sweep engine (0 = engine default)")
+}
+
+// ParseMetrics parses the -metrics flag, always including base and
+// rejecting anything outside allowed (nil allows every metric).
+func (f *Flags) ParseMetrics(base []repro.Metric, allowed []repro.Metric) ([]repro.Metric, error) {
+	parsed, err := repro.ParseMetrics(f.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	if allowed != nil {
+		for _, m := range parsed {
+			ok := false
+			for _, a := range allowed {
+				if m == a {
+					ok = true
+					break
+				}
+			}
+			if !ok && !contains(base, m) {
+				return nil, fmt.Errorf("metric %q is not supported by this command", m)
+			}
+		}
+	}
+	out := append([]repro.Metric(nil), base...)
+	for _, m := range parsed {
+		if !contains(out, m) {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+func contains(ms []repro.Metric, m repro.Metric) bool {
+	for _, x := range ms {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+// PlanOptions maps the bound flags onto plan options. Commands append
+// their own extras (refinement, selectors, adaptive mode) after these.
+func (f *Flags) PlanOptions(metrics ...repro.Metric) []repro.Option {
+	return []repro.Option{
+		repro.WithDirected(f.Directed),
+		repro.WithWorkers(f.Workers),
+		repro.WithMaxInFlight(f.MaxInFlight),
+		repro.WithGridPoints(f.Points),
+		repro.WithMinDelta(f.MinDelta),
+		repro.WithMetrics(metrics...),
+	}
+}
+
+// ReadStream reads the link stream from -in, or from stdin when -in is
+// unset, and rejects empty streams.
+func (f *Flags) ReadStream(stdin io.Reader) (*repro.Stream, error) {
+	var r io.Reader = stdin
+	if f.In != "" {
+		file, err := os.Open(f.In)
+		if err != nil {
+			return nil, err
+		}
+		defer file.Close()
+		r = file
+	}
+	s := repro.NewStream()
+	if _, err := s.ReadEvents(r); err != nil {
+		return nil, err
+	}
+	if s.NumEvents() == 0 {
+		return nil, fmt.Errorf("no events read")
+	}
+	return s, nil
+}
+
+// EngineStatsLine renders a run's engine instrumentation in the shared
+// -engine-stats output format.
+func EngineStatsLine(st repro.EngineStats) string {
+	return fmt.Sprintf("engine: %d period CSR builds (+%d deduplicated), %d stream trip enumerations, peak %d periods resident, %d passes",
+		st.Builds, st.Dedups, st.StreamBuilds, st.MaxResident, st.Passes)
+}

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -276,7 +277,7 @@ func (o *OccupancyObserver) Points() []SweepPoint { return o.points }
 // shared worker pool, and keeps at most opt.MaxInFlight periods
 // resident — each period is built, swept, scored and freed before the
 // grid moves on.
-func Sweep(s *linkstream.Stream, grid []int64, opt Options) ([]SweepPoint, error) {
+func Sweep(ctx context.Context, s *linkstream.Stream, grid []int64, opt Options) ([]SweepPoint, error) {
 	if s.NumEvents() == 0 {
 		return nil, ErrNoEvents
 	}
@@ -295,7 +296,7 @@ func Sweep(s *linkstream.Stream, grid []int64, opt Options) ([]SweepPoint, error
 		}
 	}
 	obs := NewOccupancyObserver(sels)
-	if err := sweep.Run(s, grid, opt.engineOptions(), obs); err != nil {
+	if err := sweep.Run(ctx, s, grid, opt.engineOptions(), obs); err != nil {
 		return nil, err
 	}
 	return obs.Points(), nil
@@ -330,15 +331,15 @@ func Best(points []SweepPoint, selIdx int) int {
 // with the full score curve. It is SaturationScaleWith driven by plain
 // engine passes over the stream; the staged refinement means every
 // distinct ∆ is swept at most once.
-func SaturationScale(s *linkstream.Stream, opt Options) (Result, error) {
+func SaturationScale(ctx context.Context, s *linkstream.Stream, opt Options) (Result, error) {
 	if s.NumEvents() == 0 {
 		return Result{}, ErrNoEvents
 	}
 	if len(opt.Grid) == 0 {
 		opt.Grid = DefaultGrid(s, DefaultGridPoints)
 	}
-	return SaturationScaleWith(opt, func(grid []int64, obs sweep.Observer) error {
-		return sweep.Run(s, grid, opt.engineOptions(), obs)
+	return SaturationScaleWith(ctx, opt, func(grid []int64, obs sweep.Observer) error {
+		return sweep.Run(ctx, s, grid, opt.engineOptions(), obs)
 	})
 }
 

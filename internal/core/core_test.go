@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"errors"
 	"math/rand"
 	"testing"
@@ -84,18 +86,18 @@ func TestOccupancySampleLimits(t *testing.T) {
 
 func TestSweepErrors(t *testing.T) {
 	empty := linkstream.New()
-	if _, err := Sweep(empty, []int64{1}, Options{}); !errors.Is(err, ErrNoEvents) {
+	if _, err := Sweep(context.Background(), empty, []int64{1}, Options{}); !errors.Is(err, ErrNoEvents) {
 		t.Fatalf("empty stream sweep err = %v", err)
 	}
 	s := uniformStream(t, 4, 2, 100, 2)
-	if _, err := Sweep(s, nil, Options{}); err == nil {
+	if _, err := Sweep(context.Background(), s, nil, Options{}); err == nil {
 		t.Fatal("empty grid should error")
 	}
 	if _, err := OccupancySample(empty, 5, Options{}); !errors.Is(err, ErrNoEvents) {
 		t.Fatalf("empty stream sample err = %v", err)
 	}
 	// Histogram backend with a non-MK selector is rejected.
-	_, err := Sweep(s, []int64{10}, Options{
+	_, err := Sweep(context.Background(), s, []int64{10}, Options{
 		HistogramBins: 64,
 		Selectors:     []dist.Selector{dist.CRESelector{}},
 	})
@@ -106,7 +108,7 @@ func TestSweepErrors(t *testing.T) {
 
 func TestSaturationScaleUnimodalCurve(t *testing.T) {
 	s := uniformStream(t, 8, 4, 20_000, 3)
-	res, err := SaturationScale(s, Options{Workers: 2, Grid: LogGrid(1, 20_000, 16)})
+	res, err := SaturationScale(context.Background(), s, Options{Workers: 2, Grid: LogGrid(1, 20_000, 16)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,11 +129,11 @@ func TestSaturationScaleUnimodalCurve(t *testing.T) {
 
 func TestSaturationScaleRefine(t *testing.T) {
 	s := uniformStream(t, 6, 3, 5000, 4)
-	coarse, err := SaturationScale(s, Options{Workers: 2, Grid: LogGrid(1, 5000, 8)})
+	coarse, err := SaturationScale(context.Background(), s, Options{Workers: 2, Grid: LogGrid(1, 5000, 8)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	refined, err := SaturationScale(s, Options{Workers: 2, Grid: LogGrid(1, 5000, 8), Refine: 6})
+	refined, err := SaturationScale(context.Background(), s, Options{Workers: 2, Grid: LogGrid(1, 5000, 8), Refine: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,11 +153,11 @@ func TestSaturationScaleRefine(t *testing.T) {
 func TestHistogramBackendMatchesExact(t *testing.T) {
 	s := uniformStream(t, 6, 3, 5000, 5)
 	grid := LogGrid(1, 5000, 10)
-	exact, err := Sweep(s, grid, Options{Workers: 1})
+	exact, err := Sweep(context.Background(), s, grid, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	hist, err := Sweep(s, grid, Options{Workers: 1, HistogramBins: 4096})
+	hist, err := Sweep(context.Background(), s, grid, Options{Workers: 1, HistogramBins: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +178,7 @@ func TestHistogramBackendMatchesExact(t *testing.T) {
 func TestMultiSelectorSweep(t *testing.T) {
 	s := uniformStream(t, 6, 3, 5000, 6)
 	sels := dist.AllSelectors()
-	points, err := Sweep(s, LogGrid(1, 5000, 8), Options{Workers: 1, Selectors: sels})
+	points, err := Sweep(context.Background(), s, LogGrid(1, 5000, 8), Options{Workers: 1, Selectors: sels})
 	if err != nil {
 		t.Fatal(err)
 	}

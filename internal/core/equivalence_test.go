@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -56,7 +58,7 @@ func TestSweepMatchesReference(t *testing.T) {
 					opt := opt
 					opt.Workers = workers
 					opt.MaxInFlight = inFlight
-					got, err := Sweep(s, grid, opt)
+					got, err := Sweep(context.Background(), s, grid, opt)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -88,7 +90,7 @@ func TestSweepMatchesReference(t *testing.T) {
 func TestHistogramRejectsNonMKViaEngine(t *testing.T) {
 	s := mixedStream(t, 5, 2, 500, 9)
 	obs := NewOccupancyObserver(dist.AllSelectors())
-	err := sweep.Run(s, []int64{10, 100}, sweep.Options{HistogramBins: 32}, obs)
+	err := sweep.Run(context.Background(), s, []int64{10, 100}, sweep.Options{HistogramBins: 32}, obs)
 	if err == nil {
 		t.Fatal("histogram mode with non-M-K selectors must error")
 	}
@@ -106,7 +108,7 @@ func TestSweepHistogramMatchesReference(t *testing.T) {
 	}
 	opt.Workers = 3
 	opt.MaxInFlight = 2
-	got, err := Sweep(s, grid, opt)
+	got, err := Sweep(context.Background(), s, grid, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -42,11 +44,11 @@ func TestQuickTimeShiftInvariance(t *testing.T) {
 		shifted.ShiftTime(int64(shiftRaw))
 		grid := LogGrid(1, s.Duration(), 10)
 		opt := Options{Workers: 1}
-		a, err := Sweep(s, grid, opt)
+		a, err := Sweep(context.Background(), s, grid, opt)
 		if err != nil {
 			return false
 		}
-		b, err := Sweep(shifted, grid, opt)
+		b, err := Sweep(context.Background(), shifted, grid, opt)
 		if err != nil {
 			return false
 		}
@@ -83,11 +85,11 @@ func TestQuickRelabelInvariance(t *testing.T) {
 		}
 		grid := LogGrid(1, s.Duration(), 8)
 		opt := Options{Workers: 1}
-		a, err := Sweep(s, grid, opt)
+		a, err := Sweep(context.Background(), s, grid, opt)
 		if err != nil {
 			return false
 		}
-		b, err := Sweep(relabeled, grid, opt)
+		b, err := Sweep(context.Background(), relabeled, grid, opt)
 		if err != nil {
 			return false
 		}
@@ -123,11 +125,11 @@ func TestQuickReversalInvariance(t *testing.T) {
 		}
 		grid := LogGrid(1, s.Duration(), 8)
 		opt := Options{Workers: 1}
-		a, err := Sweep(s, grid, opt)
+		a, err := Sweep(context.Background(), s, grid, opt)
 		if err != nil {
 			return false
 		}
-		b, err := Sweep(reversed, grid, opt)
+		b, err := Sweep(context.Background(), reversed, grid, opt)
 		if err != nil {
 			return false
 		}

@@ -14,6 +14,7 @@ package core
 // requested it, bit-identically.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -149,12 +150,15 @@ func (sc *ScaleSearch) Result() (Result, error) {
 // analyses into shared engine passes (internal/adaptive) drive the
 // ScaleSearch protocol directly and batch the requests of concurrent
 // searches into single sweep.RunWindowed invocations.
-func SaturationScaleWith(opt Options, run SweepRunner) (Result, error) {
+func SaturationScaleWith(ctx context.Context, opt Options, run SweepRunner) (Result, error) {
 	sc, err := NewScaleSearch(opt)
 	if err != nil {
 		return Result{}, err
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		grid, obs, ok := sc.Next()
 		if !ok {
 			break

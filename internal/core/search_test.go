@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"reflect"
 	"testing"
 
@@ -15,12 +17,12 @@ func TestSaturationScaleWithMatchesSaturationScale(t *testing.T) {
 	s := mixedStream(t, 7, 2, 3000, 2)
 	for _, refine := range []int{0, 4} {
 		opt := Options{Grid: LogGrid(1, 3000, 10), Refine: refine, Selectors: dist.AllSelectors()}
-		want, err := SaturationScale(s, opt)
+		want, err := SaturationScale(context.Background(), s, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := SaturationScaleWith(opt, func(grid []int64, obs sweep.Observer) error {
-			return sweep.Run(s, grid, sweep.Options{}, obs)
+		got, err := SaturationScaleWith(context.Background(), opt, func(grid []int64, obs sweep.Observer) error {
+			return sweep.Run(context.Background(), s, grid, sweep.Options{}, obs)
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -38,7 +40,7 @@ func TestScaleSearchSweepsEachDeltaOnce(t *testing.T) {
 	s := mixedStream(t, 7, 2, 3000, 3)
 	opt := Options{Grid: LogGrid(1, 3000, 8), Refine: 5}
 	sweep.ResetBuildStats()
-	res, err := SaturationScale(s, opt)
+	res, err := SaturationScale(context.Background(), s, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +85,7 @@ func TestScaleSearchProtocol(t *testing.T) {
 		t.Fatal("second Next without Absorb must report ok=false")
 	}
 	s := mixedStream(t, 5, 2, 500, 4)
-	if err := sweep.Run(s, grid, sweep.Options{}, obs); err != nil {
+	if err := sweep.Run(context.Background(), s, grid, sweep.Options{}, obs); err != nil {
 		t.Fatal(err)
 	}
 	if err := sc.Absorb(); err != nil {

@@ -1,6 +1,8 @@
 package figures
 
 import (
+	"context"
+
 	"strings"
 
 	"repro/internal/classic"
@@ -24,7 +26,7 @@ func Fig2(p Profile) (*Fig2Result, error) {
 	}
 	s = p.prepare(s)
 	grid := core.LogGrid(MinDelta, s.Duration(), p.GridPoints)
-	pts, err := classic.Curve(s, grid, classic.Options{Workers: p.Workers, MaxInFlight: p.MaxInFlight})
+	pts, err := classic.Curve(context.Background(), s, grid, classic.Options{Workers: p.Workers, MaxInFlight: p.MaxInFlight})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package figures
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -48,7 +50,7 @@ func occupancyFor(d *datasets.Dataset, p Profile, icdCount int) (*OccupancyResul
 	}
 	s = p.prepare(s)
 	opt := core.Options{Workers: p.Workers, MaxInFlight: p.MaxInFlight, Grid: core.LogGrid(MinDelta, s.Duration(), p.GridPoints)}
-	sc, err := core.SaturationScale(s, opt)
+	sc, err := core.SaturationScale(context.Background(), s, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package figures
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -41,7 +43,7 @@ func Fig6Left(p Profile) (*Fig6LeftResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		sc, err := core.SaturationScale(s, core.Options{
+		sc, err := core.SaturationScale(context.Background(), s, core.Options{
 			Workers:     p.Workers,
 			MaxInFlight: p.MaxInFlight,
 			Grid:        core.LogGrid(1, res.T, p.GridPoints),
@@ -144,7 +146,7 @@ func Fig6Right(p Profile) (*Fig6RightResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		sc, err := core.SaturationScale(s, core.Options{
+		sc, err := core.SaturationScale(context.Background(), s, core.Options{
 			Workers:     p.Workers,
 			MaxInFlight: p.MaxInFlight,
 			Grid:        core.LogGrid(1, res.T, p.GridPoints),

@@ -1,6 +1,8 @@
 package figures
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -39,7 +41,7 @@ func Fig7(p Profile) (*Fig7Result, error) {
 	s = p.prepare(s)
 	sels := dist.AllSelectors()
 	grid := core.LogGrid(MinDelta, s.Duration(), p.GridPoints)
-	points, err := core.Sweep(s, grid, core.Options{Workers: p.Workers, MaxInFlight: p.MaxInFlight, Selectors: sels})
+	points, err := core.Sweep(context.Background(), s, grid, core.Options{Workers: p.Workers, MaxInFlight: p.MaxInFlight, Selectors: sels})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package figures
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -40,7 +42,7 @@ func Fig8(p Profile) (*Fig8Result, error) {
 	occObs := core.NewOccupancyObserver(nil)
 	lossObs := validate.NewTransitionLossObserver()
 	elongObs := validate.NewElongationObserver()
-	err = sweep.Run(s, grid, sweep.Options{Workers: p.Workers, MaxInFlight: p.MaxInFlight},
+	err = sweep.Run(context.Background(), s, grid, sweep.Options{Workers: p.Workers, MaxInFlight: p.MaxInFlight},
 		occObs, lossObs, elongObs)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,8 @@
 package figures
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -36,7 +38,7 @@ func Table1(p Profile) (*Table1Result, error) {
 		}
 		s = p.prepare(s)
 		st := s.ComputeStats()
-		sc, err := core.SaturationScale(s, core.Options{
+		sc, err := core.SaturationScale(context.Background(), s, core.Options{
 			Workers:     p.Workers,
 			MaxInFlight: p.MaxInFlight,
 			Grid:        core.LogGrid(MinDelta, s.Duration(), p.GridPoints),

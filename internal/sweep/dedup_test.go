@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+
 	"reflect"
 	"testing"
 )
@@ -16,7 +18,7 @@ func TestWindowedDedupCoincidingJobs(t *testing.T) {
 	a := newProbe(allNeeds())
 	b := newProbe(allNeeds())
 	ResetBuildStats()
-	err := RunWindowed(s, Options{Workers: 3, MaxInFlight: 2},
+	err := RunWindowed(context.Background(), s, Options{Workers: 3, MaxInFlight: 2},
 		SegmentObserver{Grid: grid, Observers: []Observer{a}},                         // whole stream, zero window
 		SegmentObserver{Start: t0, End: t1 + 1, Grid: grid, Observers: []Observer{b}}, // same events, explicit window
 	)
@@ -57,7 +59,7 @@ func TestWindowedDedupPartialOverlap(t *testing.T) {
 	a := newProbe(allNeeds())
 	b := newProbe(allNeeds())
 	ResetBuildStats()
-	err := RunWindowed(s, Options{Workers: 2},
+	err := RunWindowed(context.Background(), s, Options{Workers: 2},
 		SegmentObserver{Grid: gridA, Observers: []Observer{a}},
 		SegmentObserver{Grid: gridB, Observers: []Observer{b}},
 	)
@@ -76,7 +78,7 @@ func TestWindowedDedupPartialOverlap(t *testing.T) {
 			grid = gridB
 		}
 		want := newProbe(allNeeds())
-		if err := Run(s, grid, Options{Workers: 2}, want); err != nil {
+		if err := Run(context.Background(), s, grid, Options{Workers: 2}, want); err != nil {
 			t.Fatal(err)
 		}
 		for i := range grid {
@@ -96,7 +98,7 @@ func TestWindowedNoDedupAcrossWindows(t *testing.T) {
 	a := newProbe(Needs{Trips: true, StreamTrips: true})
 	b := newProbe(Needs{Trips: true, StreamTrips: true})
 	ResetBuildStats()
-	err := RunWindowed(s, Options{Workers: 2},
+	err := RunWindowed(context.Background(), s, Options{Workers: 2},
 		SegmentObserver{Start: 0, End: 2000, Grid: grid, Observers: []Observer{a}},
 		SegmentObserver{Start: 2000, End: 4000, Grid: grid, Observers: []Observer{b}},
 	)

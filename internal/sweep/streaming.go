@@ -11,6 +11,7 @@ package sweep
 // runs, not with the stream's total trip population.
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -22,8 +23,10 @@ import (
 // and hands each destination's run to deliver, in increasing
 // destination order (empty runs are skipped). Delivery is serialised;
 // run memory is recycled as soon as deliver returns. The first deliver
-// error stops the enumeration and is returned.
-func streamTripRuns(c *temporal.CSR, n int, opt Options, deliver func(dest int32, run []temporal.Trip) error) error {
+// error — or ctx.Err() once ctx is cancelled — stops the enumeration
+// and is returned; cancelled enumerations still recycle every lane and
+// join every worker before returning.
+func streamTripRuns(ctx context.Context, c *temporal.CSR, n int, opt Options, deliver func(dest int32, run []temporal.Trip) error) error {
 	blocks := temporal.DestBlocks(n)
 	inFlight := opt.MaxInFlight
 	if inFlight <= 0 {
@@ -66,6 +69,9 @@ func streamTripRuns(c *temporal.CSR, n int, opt Options, deliver func(dest int32
 		wk := temporal.NewWorker(n)
 		defer wk.Release()
 		for b := 0; b < blocks; b++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			lanes := wk.SweepFullBlock(c, opt.Directed, b, true, false, nil)
 			if err := deliverBlock(b, lanes[:]); err != nil {
 				return err
@@ -127,8 +133,15 @@ func streamTripRuns(c *temporal.CSR, n int, opt Options, deliver func(dest int32
 				// Acquire the reorder slot before claiming a block, so
 				// every claimed block's producer already owns a slot and
 				// the delivery cursor can never starve behind a claimant
-				// waiting on the window.
-				sem <- struct{}{}
+				// waiting on the window. A cancelled ctx aborts instead
+				// of waiting: blocks this producer never claimed need no
+				// slot, and drain keeps advancing over claimed ones.
+				select {
+				case sem <- struct{}{}:
+				case <-ctx.Done():
+					fail(ctx.Err())
+					return
+				}
 				b := int(next.Add(1) - 1)
 				if b >= blocks {
 					<-sem

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+
 	"errors"
 	"strings"
 	"testing"
@@ -69,7 +71,7 @@ func TestStreamTripRunsDelivery(t *testing.T) {
 				for _, inFlight := range []int{1, 2, 0} {
 					rec := &runRecorder{}
 					ResetBuildStats()
-					err := Run(s, []int64{10, 100}, Options{Directed: directed, Workers: workers, MaxInFlight: inFlight}, rec)
+					err := Run(context.Background(), s, []int64{10, 100}, Options{Directed: directed, Workers: workers, MaxInFlight: inFlight}, rec)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -111,7 +113,7 @@ func TestStreamTripRunsReplayFromEager(t *testing.T) {
 	rec := &runRecorder{}
 	eager := newProbe(Needs{StreamTrips: true})
 	ResetBuildStats()
-	if err := Run(s, []int64{25}, Options{Workers: 3}, rec, eager); err != nil {
+	if err := Run(context.Background(), s, []int64{25}, Options{Workers: 3}, rec, eager); err != nil {
 		t.Fatal(err)
 	}
 	if sb := StreamBuildCount(); sb != 1 {
@@ -196,7 +198,7 @@ func TestShardedTripObserver(t *testing.T) {
 	grid := []int64{4, 50, 600, 3000}
 	for _, workers := range []int{1, 4} {
 		obs := &shardProbe{probe: *newProbe(Needs{Trips: true})}
-		if err := Run(s, grid, Options{Workers: workers, MaxInFlight: 2}, obs); err != nil {
+		if err := Run(context.Background(), s, grid, Options{Workers: workers, MaxInFlight: 2}, obs); err != nil {
 			t.Fatal(err)
 		}
 		if len(obs.shards) != len(grid) {
@@ -220,11 +222,11 @@ func TestShardedTripObserver(t *testing.T) {
 // streaming extensions.
 func TestStreamTripRunsValidation(t *testing.T) {
 	s := seededStream(t, 4, 2, 100, 6)
-	err := Run(s, []int64{10}, Options{}, newProbe(Needs{StreamTripRuns: true}))
+	err := Run(context.Background(), s, []int64{10}, Options{}, newProbe(Needs{StreamTripRuns: true}))
 	if err == nil || !strings.Contains(err.Error(), "TripRunObserver") {
 		t.Fatalf("StreamTripRuns without TripRunObserver: err = %v", err)
 	}
-	err = Run(s, []int64{10}, Options{}, newProbe(Needs{TripShards: true}))
+	err = Run(context.Background(), s, []int64{10}, Options{}, newProbe(Needs{TripShards: true}))
 	if err == nil || !strings.Contains(err.Error(), "ShardedTripObserver") {
 		t.Fatalf("TripShards without ShardedTripObserver: err = %v", err)
 	}
@@ -235,7 +237,7 @@ func TestStreamTripRunsValidation(t *testing.T) {
 func TestStreamTripRunsErrorAborts(t *testing.T) {
 	s := seededStream(t, 10, 3, 2000, 7)
 	boom := &failingRunObserver{}
-	err := Run(s, []int64{10}, Options{Workers: 4, MaxInFlight: 2}, boom)
+	err := Run(context.Background(), s, []int64{10}, Options{Workers: 4, MaxInFlight: 2}, boom)
 	if err == nil || err.Error() != "run boom" {
 		t.Fatalf("err = %v, want run boom", err)
 	}

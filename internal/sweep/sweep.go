@@ -28,6 +28,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -64,6 +65,80 @@ type Options struct {
 	// receive Period.Histogram instead of Period.Occupancies, and the
 	// engine never holds a period's full occupancy population.
 	HistogramBins int
+	// Progress, when non-nil, receives one ProgressEvent per engine
+	// milestone: the run preparing its job plan, each raw-stream trip
+	// enumeration, and every (segment, ∆) period delivered to its
+	// observers. Calls are serialised — the callback never runs
+	// concurrently with itself — but it executes on engine goroutines,
+	// so it must be fast and must not call back into the engine.
+	Progress func(ProgressEvent)
+	// Stats, when non-nil, accumulates this run's engine counters: each
+	// pass adds its builds, dedup hits, stream enumerations and observed
+	// periods, and raises MaxResident to its own high-water mark.
+	// Unlike the package-level BuildStats counters it is per-run, so
+	// concurrent runs do not bleed into each other's numbers.
+	Stats *RunStats
+}
+
+// Stage identifies what a ProgressEvent reports.
+type Stage uint8
+
+const (
+	// StagePlanned: the stream is sorted and canonicalised and the run's
+	// period jobs are planned; PeriodsTotal is known from here on.
+	StagePlanned Stage = iota
+	// StageStreamTrips: one raw-stream trip enumeration completed.
+	StageStreamTrips
+	// StagePeriod: one (segment, ∆) period was scored by every observer
+	// that requested it; Delta identifies the period.
+	StagePeriod
+)
+
+// ProgressEvent is one milestone of an engine run, delivered through
+// Options.Progress. Counter fields are this run's running totals (not
+// the package-level counters), so a consumer can render completion
+// without any engine query.
+type ProgressEvent struct {
+	// Pass is filled by multi-pass drivers (a bisection runs one engine
+	// pass per refinement round); a single Run leaves it 0.
+	Pass int
+	// Stage identifies the milestone; Delta is set for StagePeriod.
+	Stage Stage
+	Delta int64
+	// PeriodsDone / PeriodsTotal count (segment, ∆) periods delivered to
+	// their observers, out of all the run will deliver.
+	PeriodsDone, PeriodsTotal int
+	// Builds, Dedups and StreamBuilds mirror RunStats for this run so
+	// far.
+	Builds, Dedups, StreamBuilds int64
+}
+
+// RunStats aggregates the engine instrumentation of one or more runs
+// (see Options.Stats): how many period CSR arenas were built, how many
+// coinciding (window, ∆) jobs were deduplicated onto an existing build,
+// how many raw-stream trip enumerations ran, how many (segment, ∆)
+// periods were delivered to observers, the peak number of simultaneously
+// resident periods, and how many engine passes contributed.
+type RunStats struct {
+	Passes       int64
+	Builds       int64
+	Dedups       int64
+	StreamBuilds int64
+	Periods      int64
+	MaxResident  int64
+}
+
+// Add folds another accumulator into s: counters sum, MaxResident
+// takes the maximum.
+func (s *RunStats) Add(o RunStats) {
+	s.Passes += o.Passes
+	s.Builds += o.Builds
+	s.Dedups += o.Dedups
+	s.StreamBuilds += o.StreamBuilds
+	s.Periods += o.Periods
+	if o.MaxResident > s.MaxResident {
+		s.MaxResident = o.MaxResident
+	}
 }
 
 // Needs declares which engine products an observer consumes. The
@@ -321,10 +396,11 @@ func StreamBuildCount() int64 { return streamBuilds.Load() }
 // any observer needs them), calls every observer's Begin, then
 // pipelines the grid's periods through the bounded in-flight scheduler,
 // fanning each period's products to every observer. The first error —
-// from an observer or the engine itself — aborts the run and is
-// returned. Run is the single-window special case of RunWindowed.
-func Run(s *linkstream.Stream, grid []int64, opt Options, observers ...Observer) error {
-	return RunWindowed(s, opt, SegmentObserver{Grid: grid, Observers: observers})
+// from an observer, the engine itself, or ctx being cancelled — aborts
+// the run and is returned. Run is the single-window special case of
+// RunWindowed; see RunWindowed for the cancellation contract.
+func Run(ctx context.Context, s *linkstream.Stream, grid []int64, opt Options, observers ...Observer) error {
+	return RunWindowed(ctx, s, opt, SegmentObserver{Grid: grid, Observers: observers})
 }
 
 // statsBlock is the pseudo block index of a period's window-statistics
@@ -408,6 +484,7 @@ type task struct {
 }
 
 type engine struct {
+	ctx     context.Context
 	opt     Options
 	scopes  []*scope
 	specs   []*jobSpec
@@ -422,6 +499,19 @@ type engine struct {
 	aborted  atomic.Bool
 	errMu    sync.Mutex
 	firstErr error
+
+	// Per-run instrumentation mirrored into Options.Stats and the
+	// Progress events (the package-level counters aggregate across
+	// concurrent runs and cannot serve either).
+	runBuilds    atomic.Int64
+	runAlive     atomic.Int64
+	runMaxAlive  atomic.Int64
+	periodsDone  atomic.Int64
+	periodsTotal int
+	dedups       int64 // fixed before run starts
+	streamBuilds int64 // fixed before run starts
+
+	progMu sync.Mutex
 }
 
 func (e *engine) fail(err error) {
@@ -436,7 +526,62 @@ func (e *engine) fail(err error) {
 	e.aborted.Store(true)
 }
 
+// emitStage delivers one serialised progress event for a non-period
+// milestone (StagePlanned, StageStreamTrips).
+func (e *engine) emitStage(stage Stage, delta int64) {
+	if e.opt.Progress == nil {
+		return
+	}
+	e.progMu.Lock()
+	defer e.progMu.Unlock()
+	e.opt.Progress(ProgressEvent{
+		Stage:        stage,
+		Delta:        delta,
+		PeriodsDone:  int(e.periodsDone.Load()),
+		PeriodsTotal: e.periodsTotal,
+		Builds:       e.runBuilds.Load(),
+		Dedups:       e.dedups,
+		StreamBuilds: e.streamBuilds,
+	})
+}
+
+// emitPeriods advances the per-run period counter by n and, when a
+// progress hook is registered, delivers one serialised StagePeriod
+// event for the batch.
+func (e *engine) emitPeriods(n int, delta int64) {
+	done := e.periodsDone.Add(int64(n))
+	if e.opt.Progress == nil {
+		return
+	}
+	e.progMu.Lock()
+	defer e.progMu.Unlock()
+	e.opt.Progress(ProgressEvent{
+		Stage:        StagePeriod,
+		Delta:        delta,
+		PeriodsDone:  int(done),
+		PeriodsTotal: e.periodsTotal,
+		Builds:       e.runBuilds.Load(),
+		Dedups:       e.dedups,
+		StreamBuilds: e.streamBuilds,
+	})
+}
+
 func (e *engine) run() error {
+	// A cancellation watcher aborts the pipeline the moment ctx is
+	// done, without any worker having to poll: workers and the producer
+	// observe e.aborted on their next task or spec. The watcher is torn
+	// down before run returns, so no goroutine outlives the pass.
+	if e.ctx.Done() != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-e.ctx.Done():
+				e.fail(e.ctx.Err())
+			case <-stop:
+			}
+		}()
+	}
 	for i := 0; i < e.workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -472,6 +617,7 @@ func (e *engine) produce() {
 					return
 				}
 			}
+			e.emitPeriods(1, delta)
 		}
 	}
 	var scratch temporal.CSRScratch
@@ -479,11 +625,32 @@ func (e *engine) produce() {
 		if e.aborted.Load() {
 			return
 		}
-		e.sem <- struct{}{}
+		// Acquire the in-flight slot or bail on cancellation: the slots
+		// are released by finalize, which keeps running for already
+		// admitted periods even after an abort, so this select never
+		// deadlocks.
+		select {
+		case e.sem <- struct{}{}:
+		case <-e.ctx.Done():
+			e.fail(e.ctx.Err())
+			return
+		}
+		if e.aborted.Load() {
+			<-e.sem
+			return
+		}
 		v := sp.view()
 		j := &job{spec: sp, numWindows: (v.T1-v.T0)/sp.delta + 1}
 		j.csr = temporal.BuildCSR(v.Events, v.T0, sp.delta, &scratch)
 		periodBuilds.Add(1)
+		e.runBuilds.Add(1)
+		runAlive := e.runAlive.Add(1)
+		for {
+			m := e.runMaxAlive.Load()
+			if runAlive <= m || e.runMaxAlive.CompareAndSwap(m, runAlive) {
+				break
+			}
+		}
 		alive := periodsAlive.Add(1)
 		for {
 			m := maxAlive.Load()
@@ -670,6 +837,16 @@ func (e *engine) maybeFinalize(j *job) {
 // sweeps.
 func (e *engine) finalize(j *job) {
 	defer func() {
+		// Recycling lives here, on every exit path — a cancelled or
+		// observer-failed period must hand its pooled lane buffers and
+		// occupancy chunks back exactly like a completed one, or a
+		// mid-sweep abort leaks them from the pools for good.
+		if j.chunks != nil && !j.spec.histMode {
+			temporal.RecycleOccupancies(j.chunks)
+		}
+		if j.blockTrips != nil {
+			temporal.RecycleTrips(j.blockTrips...)
+		}
 		j.csr = nil
 		j.chunks = nil
 		j.blockTrips = nil
@@ -678,6 +855,7 @@ func (e *engine) finalize(j *job) {
 		j.shards = nil
 		j.targetShards = nil
 		periodsAlive.Add(-1)
+		e.runAlive.Add(-1)
 		<-e.sem
 	}()
 	if e.aborted.Load() {
@@ -719,14 +897,7 @@ func (e *engine) finalize(j *job) {
 			}
 		}
 	}
-	if j.chunks != nil && !sp.histMode {
-		temporal.RecycleOccupancies(j.chunks)
-		j.chunks = nil
-	}
-	if j.blockTrips != nil {
-		temporal.RecycleTrips(j.blockTrips...)
-		j.blockTrips = nil
-	}
+	e.emitPeriods(len(sp.targets), sp.delta)
 }
 
 // windowStats scores the classical per-snapshot properties straight off

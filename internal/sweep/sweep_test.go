@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+
 	"errors"
 	"math/rand"
 	"testing"
@@ -83,7 +85,7 @@ func TestRunBuildsEachPeriodOnce(t *testing.T) {
 	for _, maxInFlight := range []int{0, 1, 2} {
 		ResetBuildStats()
 		obs := newProbe(allNeeds())
-		if err := Run(s, grid, Options{MaxInFlight: maxInFlight, Workers: 4}, obs); err != nil {
+		if err := Run(context.Background(), s, grid, Options{MaxInFlight: maxInFlight, Workers: 4}, obs); err != nil {
 			t.Fatal(err)
 		}
 		builds, alive := BuildStats()
@@ -109,7 +111,7 @@ func TestStreamOnlyObserversBuildNothing(t *testing.T) {
 	s := seededStream(t, 6, 2, 1000, 2)
 	ResetBuildStats()
 	obs := newProbe(Needs{StreamTrips: true})
-	if err := Run(s, []int64{10, 100}, Options{}, obs); err != nil {
+	if err := Run(context.Background(), s, []int64{10, 100}, Options{}, obs); err != nil {
 		t.Fatal(err)
 	}
 	if builds, _ := BuildStats(); builds != 0 {
@@ -132,7 +134,7 @@ func TestProductsMatchDirectComputation(t *testing.T) {
 			s := seededStream(t, 7, 2, 2000, seed)
 			grid := []int64{3, 40, 700, 2000}
 			obs := newProbe(allNeeds())
-			if err := Run(s, grid, Options{Directed: directed, Workers: 3, MaxInFlight: 2}, obs); err != nil {
+			if err := Run(context.Background(), s, grid, Options{Directed: directed, Workers: 3, MaxInFlight: 2}, obs); err != nil {
 				t.Fatal(err)
 			}
 			// Stream trips match the reference enumeration as multisets
@@ -211,7 +213,7 @@ func TestDistanceObserver(t *testing.T) {
 	s := seededStream(t, 6, 2, 1000, 4)
 	grid := []int64{5, 50, 1000}
 	obs := NewDistanceObserver()
-	if err := Run(s, grid, Options{Workers: 2}, obs); err != nil {
+	if err := Run(context.Background(), s, grid, Options{Workers: 2}, obs); err != nil {
 		t.Fatal(err)
 	}
 	pts := obs.Points()
@@ -236,17 +238,17 @@ func TestDistanceObserver(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	empty := linkstream.New()
-	if err := Run(empty, []int64{1}, Options{}, newProbe(Needs{})); !errors.Is(err, ErrNoEvents) {
+	if err := Run(context.Background(), empty, []int64{1}, Options{}, newProbe(Needs{})); !errors.Is(err, ErrNoEvents) {
 		t.Fatalf("empty stream: %v", err)
 	}
 	s := seededStream(t, 4, 1, 100, 5)
-	if err := Run(s, nil, Options{}, newProbe(Needs{})); err == nil {
+	if err := Run(context.Background(), s, nil, Options{}, newProbe(Needs{})); err == nil {
 		t.Fatal("empty grid should error")
 	}
-	if err := Run(s, []int64{0}, Options{}, newProbe(Needs{})); err == nil {
+	if err := Run(context.Background(), s, []int64{0}, Options{}, newProbe(Needs{})); err == nil {
 		t.Fatal("non-positive delta should error")
 	}
-	if err := Run(s, []int64{10}, Options{}); err == nil {
+	if err := Run(context.Background(), s, []int64{10}, Options{}); err == nil {
 		t.Fatal("no observers should error")
 	}
 }
@@ -267,7 +269,7 @@ func (o *failingObserver) ObservePeriod(p *Period) error {
 func TestObserverErrorAborts(t *testing.T) {
 	s := seededStream(t, 6, 2, 1000, 6)
 	obs := &failingObserver{probe: *newProbe(allNeeds()), failAt: 1}
-	err := Run(s, []int64{2, 20, 200, 1000}, Options{Workers: 2, MaxInFlight: 2}, obs)
+	err := Run(context.Background(), s, []int64{2, 20, 200, 1000}, Options{Workers: 2, MaxInFlight: 2}, obs)
 	if err == nil || err.Error() != "boom" {
 		t.Fatalf("err = %v, want boom", err)
 	}
@@ -287,7 +289,7 @@ func TestHistogramMode(t *testing.T) {
 			return nil
 		},
 	}
-	if err := Run(s, grid, Options{HistogramBins: 64, Workers: 2}, obs); err != nil {
+	if err := Run(context.Background(), s, grid, Options{HistogramBins: 64, Workers: 2}, obs); err != nil {
 		t.Fatal(err)
 	}
 	s.Sort()

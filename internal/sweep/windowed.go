@@ -21,6 +21,7 @@ package sweep
 // requesting segment. DedupCount and StreamBuildCount instrument both.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -75,7 +76,22 @@ type streamGroup struct {
 // for bit — the engine-products brute-force tests pin this), so fusing
 // N windowed sweeps into one pass never changes any result, only the
 // number of passes over the stream. The first error aborts the run.
-func RunWindowed(s *linkstream.Stream, opt Options, segments ...SegmentObserver) error {
+//
+// Cancellation: an already-cancelled ctx returns ctx.Err() immediately,
+// before the stream is sorted or canonicalised. A ctx cancelled
+// mid-run aborts the pipeline at the next scheduling point — admitted
+// periods drain, every pooled buffer (trip lanes, occupancy chunks) is
+// recycled, the worker pool and the cancellation watcher exit before
+// RunWindowed returns (no goroutine outlives the call), and the first
+// error returned is ctx.Err(). Periods whose observers already ran
+// keep their results; no partially scored period is ever delivered.
+func RunWindowed(ctx context.Context, s *linkstream.Stream, opt Options, segments ...SegmentObserver) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if s.NumEvents() == 0 {
 		return ErrNoEvents
 	}
@@ -116,6 +132,24 @@ func RunWindowed(s *linkstream.Stream, opt Options, segments ...SegmentObserver)
 	}
 	engineRuns.Add(1)
 	n := s.NumNodes()
+
+	e := &engine{ctx: ctx, opt: opt, n: n}
+	if opt.Stats != nil {
+		// Flush this run's counters into the caller's accumulator on
+		// every exit path, cancelled and failed runs included — a
+		// cancelled pass still reports the work it did.
+		defer func() {
+			st := opt.Stats
+			st.Passes++
+			st.Builds += e.runBuilds.Load()
+			st.Dedups += e.dedups
+			st.StreamBuilds += e.streamBuilds
+			st.Periods += e.periodsDone.Load()
+			if m := e.runMaxAlive.Load(); m > st.MaxResident {
+				st.MaxResident = m
+			}
+		}()
+	}
 
 	scopes := make([]*scope, 0, len(segments))
 	groups := make([]*streamGroup, 0, 1)
@@ -160,6 +194,11 @@ func RunWindowed(s *linkstream.Stream, opt Options, segments ...SegmentObserver)
 			g.scopes = append(g.scopes, sc)
 		}
 	}
+	e.scopes = scopes
+	for _, sc := range scopes {
+		e.periodsTotal += len(sc.v.Grid)
+	}
+	e.emitStage(StagePlanned, 0)
 
 	// Eager raw-stream trips (Needs.StreamTrips) are collected before
 	// Begin — observers read StreamView.StreamTrips there — with one
@@ -168,7 +207,22 @@ func RunWindowed(s *linkstream.Stream, opt Options, segments ...SegmentObserver)
 	// consumers, so the later run delivery replays them for free.
 	cfg := temporal.Config{N: n, Directed: opt.Directed, Workers: opt.Workers}
 	var scratch temporal.CSRScratch
+	// Pooled lanes kept for streaming replay (g.lanes) must go back to
+	// the pool on every exit path — including a cancellation between
+	// two groups' eager collections — so the recycling defer is
+	// registered before the first group can stash lanes.
+	defer func() {
+		for _, g := range groups {
+			if g.lanes != nil {
+				temporal.RecycleTrips(g.lanes...)
+				g.lanes = nil
+			}
+		}
+	}()
 	for _, g := range groups {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		eager, streaming := false, false
 		for _, sc := range g.scopes {
 			eager = eager || sc.needs.StreamTrips
@@ -179,6 +233,7 @@ func RunWindowed(s *linkstream.Stream, opt Options, segments ...SegmentObserver)
 		}
 		c := temporal.BuildCSR(events[g.lo:g.hi], 0, 1, &scratch)
 		streamBuilds.Add(1)
+		e.streamBuilds++
 		lanes := temporal.CollectTripLanes(cfg, c)
 		total := 0
 		for _, l := range lanes {
@@ -198,9 +253,13 @@ func RunWindowed(s *linkstream.Stream, opt Options, segments ...SegmentObserver)
 		} else {
 			temporal.RecycleTrips(lanes...)
 		}
+		e.emitStage(StageStreamTrips, 0)
 	}
 
 	for _, sc := range scopes {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for _, o := range sc.seg.Observers {
 			if err := o.Begin(sc.v); err != nil {
 				return err
@@ -215,6 +274,9 @@ func RunWindowed(s *linkstream.Stream, opt Options, segments ...SegmentObserver)
 	// collection to replay, the enumeration itself is streamed — at most
 	// MaxInFlight destination blocks of trips are ever resident.
 	for _, g := range groups {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		var consumers []TripRunObserver
 		for _, sc := range g.scopes {
 			for _, o := range sc.seg.Observers {
@@ -248,9 +310,11 @@ func RunWindowed(s *linkstream.Stream, opt Options, segments ...SegmentObserver)
 		} else {
 			c := temporal.BuildCSR(events[g.lo:g.hi], 0, 1, &scratch)
 			streamBuilds.Add(1)
-			if err := streamTripRuns(c, n, opt, deliver); err != nil {
+			e.streamBuilds++
+			if err := streamTripRuns(ctx, c, n, opt, deliver); err != nil {
 				return err
 			}
+			e.emitStage(StageStreamTrips, 0)
 		}
 		for _, c := range consumers {
 			if err := c.FinishTripRuns(); err != nil {
@@ -278,6 +342,7 @@ func RunWindowed(s *linkstream.Stream, opt Options, segments ...SegmentObserver)
 				specs = append(specs, sp)
 			} else {
 				periodDedups.Add(1)
+				e.dedups++
 			}
 			sp.targets = append(sp.targets, jobTarget{sc: sc, idx: i})
 			sp.needs = sp.needs.union(sc.needs)
@@ -291,18 +356,22 @@ func RunWindowed(s *linkstream.Stream, opt Options, segments ...SegmentObserver)
 		// Stream-level observers only: no CSR, no sweep, no workers.
 		for _, sc := range scopes {
 			for i, delta := range sc.v.Grid {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				p := &Period{Index: i, Delta: delta, T0: sc.v.T0, NumWindows: (sc.v.T1-sc.v.T0)/delta + 1}
 				for _, o := range sc.seg.Observers {
 					if err := o.ObservePeriod(p); err != nil {
 						return err
 					}
 				}
+				e.emitPeriods(1, delta)
 			}
 		}
 		return nil
 	}
 
-	e := &engine{opt: opt, scopes: scopes, specs: specs, n: n}
+	e.specs = specs
 	e.workers = opt.Workers
 	if e.workers <= 0 {
 		e.workers = runtime.GOMAXPROCS(0)

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+
 	"math/rand"
 	"sort"
 	"strings"
@@ -94,7 +96,7 @@ func TestWindowedMatchesNaiveSliceSweep(t *testing.T) {
 		}
 		workers := 1 + rng.Intn(4)
 		inFlight := rng.Intn(3)
-		if err := RunWindowed(s, Options{Directed: directed, Workers: workers, MaxInFlight: inFlight}, segments...); err != nil {
+		if err := RunWindowed(context.Background(), s, Options{Directed: directed, Workers: workers, MaxInFlight: inFlight}, segments...); err != nil {
 			t.Fatal(err)
 		}
 
@@ -168,7 +170,7 @@ func TestWindowedViewsAndRouting(t *testing.T) {
 		segments[i].Observers = []Observer{probes[i]}
 	}
 	ResetBuildStats()
-	if err := RunWindowed(s, Options{Workers: 2}, segments...); err != nil {
+	if err := RunWindowed(context.Background(), s, Options{Workers: 2}, segments...); err != nil {
 		t.Fatal(err)
 	}
 	if runs := RunCount(); runs != 1 {
@@ -221,20 +223,20 @@ func TestWindowedViewsAndRouting(t *testing.T) {
 // TestWindowedErrors covers the windowed validation paths.
 func TestWindowedErrors(t *testing.T) {
 	s := seededStream(t, 4, 2, 100, 12)
-	if err := RunWindowed(s, Options{}); err == nil {
+	if err := RunWindowed(context.Background(), s, Options{}); err == nil {
 		t.Fatal("no segments should error")
 	}
-	err := RunWindowed(s, Options{}, SegmentObserver{
+	err := RunWindowed(context.Background(), s, Options{}, SegmentObserver{
 		Start: 5000, End: 6000, Grid: []int64{10}, Observers: []Observer{newProbe(Needs{Trips: true})},
 	})
 	if err == nil || !strings.Contains(err.Error(), "no events") {
 		t.Fatalf("empty window: err = %v", err)
 	}
-	err = RunWindowed(s, Options{}, SegmentObserver{Grid: []int64{10}})
+	err = RunWindowed(context.Background(), s, Options{}, SegmentObserver{Grid: []int64{10}})
 	if err == nil || !strings.Contains(err.Error(), "no observers") {
 		t.Fatalf("segment without observers: err = %v", err)
 	}
-	err = RunWindowed(s, Options{}, SegmentObserver{Grid: []int64{0}, Observers: []Observer{newProbe(Needs{})}})
+	err = RunWindowed(context.Background(), s, Options{}, SegmentObserver{Grid: []int64{0}, Observers: []Observer{newProbe(Needs{})}})
 	if err == nil {
 		t.Fatal("non-positive delta should error")
 	}

@@ -302,16 +302,41 @@ func getTripLane() []Trip {
 	return nil
 }
 
+// Trip-lane accounting: tripLanesHanded counts the lanes (cap > 0)
+// whose ownership SweepFullBlock transferred to a consumer, and
+// tripLanesRecycled the lanes handed back through RecycleTrips. After
+// any complete engine run — finished, failed or cancelled — the two
+// must balance: a surplus of handed lanes is a pool leak (buffers that
+// will never amortise another sweep). The cancellation regression
+// tests assert exactly that.
+var tripLanesHanded, tripLanesRecycled atomic.Int64
+
+// ResetTripLaneStats zeroes the trip-lane accounting counters.
+func ResetTripLaneStats() {
+	tripLanesHanded.Store(0)
+	tripLanesRecycled.Store(0)
+}
+
+// TripLaneStats returns how many pooled trip lanes were handed to
+// consumers and how many were recycled since the last
+// ResetTripLaneStats.
+func TripLaneStats() (handed, recycled int64) {
+	return tripLanesHanded.Load(), tripLanesRecycled.Load()
+}
+
 // RecycleTrips returns per-destination trip slices — SweepFullBlock
 // lanes, engine TripBlocks, stream trip runs — to the lane pool. The
 // caller must not touch a slice after recycling it; consumers that keep
 // trips must copy them out first.
 func RecycleTrips(lanes ...[]Trip) {
+	recycled := int64(0)
 	for _, l := range lanes {
 		if cap(l) > 0 {
+			recycled++
 			tripLanePool.Put(l[:0])
 		}
 	}
+	tripLanesRecycled.Add(recycled)
 }
 
 func newChunk() []float64 {
@@ -1002,10 +1027,15 @@ func (w *Worker) SweepFullBlock(c *CSR, directed bool, b int, wantTrips, wantOcc
 	st.runFullBlock(c, int32(first), min(destBlockSize, n-first), directed, wantTrips, wantOcc, sink)
 	var lanes [LanesPerBlock][]Trip
 	if wantTrips {
+		handed := int64(0)
 		for i := range st.tripsB {
 			lanes[i] = st.tripsB[i]
 			st.tripsB[i] = nil
+			if cap(lanes[i]) > 0 {
+				handed++
+			}
 		}
+		tripLanesHanded.Add(handed)
 	}
 	return lanes
 }

@@ -1,6 +1,8 @@
 package validate
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -41,7 +43,7 @@ func TestTransitionLossMatchesReference(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := TransitionLossCurve(s, grid, Options{Directed: directed, Workers: 3, MaxInFlight: 2})
+			got, err := TransitionLossCurve(context.Background(), s, grid, Options{Directed: directed, Workers: 3, MaxInFlight: 2})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -75,7 +77,7 @@ func TestElongationMatchesReference(t *testing.T) {
 			}
 			for _, workers := range []int{1, 4} {
 				for _, inFlight := range []int{1, 2, 0} {
-					got, err := ElongationCurve(s, grid, Options{Directed: directed, Workers: workers, MaxInFlight: inFlight})
+					got, err := ElongationCurve(context.Background(), s, grid, Options{Directed: directed, Workers: workers, MaxInFlight: inFlight})
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -111,7 +113,7 @@ func TestStreamingObserversMatchEagerObservers(t *testing.T) {
 					lossRef := NewTransitionLossObserverReference()
 					elong := NewElongationObserver()
 					elongRef := NewElongationObserverReference()
-					err := sweep.Run(s, grid,
+					err := sweep.Run(context.Background(), s, grid,
 						sweep.Options{Directed: directed, Workers: workers, MaxInFlight: inFlight},
 						loss, lossRef, elong, elongRef)
 					if err != nil {

@@ -21,6 +21,7 @@
 package validate
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -124,7 +125,7 @@ func (o *TransitionLossObserver) Points() []LossPoint { return o.points }
 // TransitionLossCurve computes the proportion of lost shortest
 // transitions for every period in grid, as one engine run with a
 // TransitionLossObserver.
-func TransitionLossCurve(s *linkstream.Stream, grid []int64, opt Options) ([]LossPoint, error) {
+func TransitionLossCurve(ctx context.Context, s *linkstream.Stream, grid []int64, opt Options) ([]LossPoint, error) {
 	if s.NumEvents() == 0 {
 		return nil, errors.New("validate: stream has no events")
 	}
@@ -132,7 +133,7 @@ func TransitionLossCurve(s *linkstream.Stream, grid []int64, opt Options) ([]Los
 		return nil, errors.New("validate: empty grid")
 	}
 	obs := NewTransitionLossObserver()
-	if err := sweep.Run(s, grid, opt.engine(), obs); err != nil {
+	if err := sweep.Run(ctx, s, grid, opt.engine(), obs); err != nil {
 		return nil, err
 	}
 	return obs.Points(), nil
@@ -511,7 +512,7 @@ func (o *ElongationObserver) Points() []ElongationPoint { return o.points }
 // ElongationCurve computes the mean elongation factor of the minimal
 // trips of G∆ for every period in grid, as one engine run with an
 // ElongationObserver.
-func ElongationCurve(s *linkstream.Stream, grid []int64, opt Options) ([]ElongationPoint, error) {
+func ElongationCurve(ctx context.Context, s *linkstream.Stream, grid []int64, opt Options) ([]ElongationPoint, error) {
 	if s.NumEvents() == 0 {
 		return nil, errors.New("validate: stream has no events")
 	}
@@ -519,7 +520,7 @@ func ElongationCurve(s *linkstream.Stream, grid []int64, opt Options) ([]Elongat
 		return nil, errors.New("validate: empty grid")
 	}
 	obs := NewElongationObserver()
-	if err := sweep.Run(s, grid, opt.engine(), obs); err != nil {
+	if err := sweep.Run(ctx, s, grid, opt.engine(), obs); err != nil {
 		return nil, err
 	}
 	return obs.Points(), nil

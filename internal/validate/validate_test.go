@@ -1,6 +1,8 @@
 package validate
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -43,7 +45,7 @@ func uniformStream(t testing.TB, n, perPair int, T int64, seed int64) *linkstrea
 
 func TestTransitionLossChain(t *testing.T) {
 	s := chainStream(t)
-	points, err := TransitionLossCurve(s, []int64{1, 15, 100}, Options{Workers: 1})
+	points, err := TransitionLossCurve(context.Background(), s, []int64{1, 15, 100}, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +70,7 @@ func TestTransitionLossChain(t *testing.T) {
 func TestTransitionLossMonotoneOnAlignedGrid(t *testing.T) {
 	s := uniformStream(t, 6, 3, 4096, 1)
 	grid := []int64{1, 2, 4, 8, 16, 64, 256, 4096}
-	points, err := TransitionLossCurve(s, grid, Options{Workers: 1})
+	points, err := TransitionLossCurve(context.Background(), s, grid, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +96,7 @@ func TestElongationChain(t *testing.T) {
 	// twice in W0... so a->d unreachable. For b->d: real interval
 	// [10, 32], stream trip b->d: b-c at 20, c-d at 30 -> duration 10.
 	// Elongation = (1-0+1)*11 / 10 = 2.2.
-	points, err := ElongationCurve(s, []int64{11}, Options{Workers: 1})
+	points, err := ElongationCurve(context.Background(), s, []int64{11}, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +122,7 @@ func TestElongationNearOneAtFineScales(t *testing.T) {
 	// Definition 8 is negligible and elongation sits essentially at 1
 	// when ∆ equals the resolution.
 	s := uniformStream(t, 6, 4, 500_000, 2)
-	points, err := ElongationCurve(s, []int64{1, 2}, Options{Workers: 2})
+	points, err := ElongationCurve(context.Background(), s, []int64{1, 2}, Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +138,7 @@ func TestElongationNearOneAtFineScales(t *testing.T) {
 
 func TestElongationGrowsWithDelta(t *testing.T) {
 	s := uniformStream(t, 8, 3, 10_000, 3)
-	points, err := ElongationCurve(s, []int64{2, 1500}, Options{Workers: 2})
+	points, err := ElongationCurve(context.Background(), s, []int64{2, 1500}, Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,17 +152,17 @@ func TestElongationGrowsWithDelta(t *testing.T) {
 
 func TestValidateErrors(t *testing.T) {
 	empty := linkstream.New()
-	if _, err := TransitionLossCurve(empty, []int64{1}, Options{}); err == nil {
+	if _, err := TransitionLossCurve(context.Background(), empty, []int64{1}, Options{}); err == nil {
 		t.Fatal("empty stream should error")
 	}
-	if _, err := ElongationCurve(empty, []int64{1}, Options{}); err == nil {
+	if _, err := ElongationCurve(context.Background(), empty, []int64{1}, Options{}); err == nil {
 		t.Fatal("empty stream should error")
 	}
 	s := chainStream(t)
-	if _, err := TransitionLossCurve(s, nil, Options{}); err == nil {
+	if _, err := TransitionLossCurve(context.Background(), s, nil, Options{}); err == nil {
 		t.Fatal("empty grid should error")
 	}
-	if _, err := ElongationCurve(s, nil, Options{}); err == nil {
+	if _, err := ElongationCurve(context.Background(), s, nil, Options{}); err == nil {
 		t.Fatal("empty grid should error")
 	}
 }

@@ -9,13 +9,42 @@
 // still faithfully describes the propagation properties (temporal
 // paths) of the original stream. Aggregating beyond γ alters them.
 //
-// Quick start:
+// # The plan/run lifecycle
+//
+// Every analysis goes through one composable lifecycle: NewAnalysis
+// freezes a request into an immutable Plan via functional options, and
+// Plan.Run(ctx) executes it as fused engine passes:
 //
 //	s := repro.NewStream()
 //	s.Add("alice", "bob", 1630000000)
 //	// ... add events ...
-//	res, err := repro.SaturationScale(s, repro.Options{})
-//	fmt.Println("gamma:", res.Gamma, "seconds")
+//	plan, err := repro.NewAnalysis(s, repro.WithRefine(4))
+//	report, err := plan.Run(ctx)
+//	fmt.Println("gamma:", report.Gamma(), "seconds")
+//
+// Options select metrics (WithMetrics: occupancy, classical
+// properties, distances, transition loss, elongation), candidate grids
+// (WithGrid, WithGridPoints, WithMinDelta), extra analysis windows
+// (WithWindows), the refinement policy (WithRefine), activity-adaptive
+// segmentation (WithAdaptive), worker and memory budgets (WithWorkers,
+// WithMaxInFlight, WithHistogramBins) and custom observers
+// (WithObservers, WithSegments). However much one plan requests, it is
+// executed as one fused engine pass per bisection round — the stream
+// sorted once, every distinct (window, ∆) aggregation built and swept
+// exactly once — and the typed Report carries per-metric and
+// per-window accessors plus the run's EngineStats.
+//
+// Run honours ctx end to end: an already-cancelled context returns
+// before the stream is sorted, and a mid-run cancellation drains the
+// in-flight pipeline, recycles every pooled buffer and joins every
+// worker before returning ctx.Err(). WithProgress streams engine
+// milestones (periods scored, trip enumerations, per-pass counters)
+// while the plan runs.
+//
+// The former entry points — SaturationScale, Sweep, MultiSweep,
+// MultiSweepWindowed, ClassicProperties, TransitionLoss, Elongation,
+// AnalyzeAdaptive — remain as deprecated thin wrappers over a Plan,
+// pinned bit-exact by equivalence tests.
 //
 // # The sweep engine and observers
 //
@@ -81,6 +110,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/adaptive"
 	"repro/internal/classic"
 	"repro/internal/core"
@@ -91,6 +122,19 @@ import (
 	"repro/internal/temporal"
 	"repro/internal/validate"
 )
+
+// optionsFromCore maps the legacy Options struct onto plan options
+// (minus the grid, which each wrapper handles explicitly).
+func optionsFromCore(opt Options) []Option {
+	return []Option{
+		WithDirected(opt.Directed),
+		WithWorkers(opt.Workers),
+		WithSelectors(opt.Selectors...),
+		WithRefine(opt.Refine),
+		WithHistogramBins(opt.HistogramBins),
+		WithMaxInFlight(opt.MaxInFlight),
+	}
+}
 
 // Stream is a link stream: a finite collection of (u, v, t) events over
 // an interned node set. See NewStream.
@@ -126,8 +170,26 @@ func NewStream() *Stream { return linkstream.New() }
 
 // SaturationScale runs the occupancy method on the stream and returns
 // its saturation scale γ together with the score curve.
+//
+// Deprecated: build a Plan instead — NewAnalysis(s, ...) followed by
+// Plan.Run(ctx) — which adds cancellation, progress streaming and
+// fused extra metrics. This wrapper is a Plan with the options of opt
+// and remains bit-exact with it.
 func SaturationScale(s *Stream, opt Options) (Result, error) {
-	return core.SaturationScale(s, opt)
+	opts := optionsFromCore(opt)
+	if len(opt.Grid) > 0 {
+		opts = append(opts, WithGrid(opt.Grid...))
+	}
+	plan, err := NewAnalysis(s, opts...)
+	if err != nil {
+		return Result{}, err
+	}
+	rep, err := plan.Run(context.Background())
+	if err != nil {
+		return Result{}, err
+	}
+	res, _ := rep.Scale()
+	return res, nil
 }
 
 // OccupancyDistribution aggregates the stream at period delta and
@@ -138,8 +200,21 @@ func OccupancyDistribution(s *Stream, delta int64, opt Options) (*Sample, error)
 }
 
 // Sweep scores every candidate period with the selectors in opt.
+//
+// Deprecated: use NewAnalysis(s, WithGrid(grid...), ...) and read
+// Report.Occupancy from Plan.Run. This wrapper is that plan (without
+// refinement, like Sweep always was) and remains bit-exact with it.
 func Sweep(s *Stream, grid []int64, opt Options) ([]SweepPoint, error) {
-	return core.Sweep(s, grid, opt)
+	opt.Refine = 0
+	plan, err := NewAnalysis(s, append(optionsFromCore(opt), WithGrid(grid...))...)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := plan.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return rep.Occupancy(), nil
 }
 
 // Aggregate builds the graph series G∆ from the stream (Definition 1 of
@@ -185,6 +260,14 @@ func CSROccupancies(c *LayeredCSR, n int, directed bool) []float64 {
 	return temporal.OccupanciesCSR(temporal.Config{N: n, Directed: directed}, c)
 }
 
+// DefaultGridPoints is the number of candidate periods a derived
+// logarithmic grid contains by default.
+const DefaultGridPoints = core.DefaultGridPoints
+
+// BestPoint returns the index of the sweep point maximising selector
+// selIdx (ties break towards the smaller ∆).
+func BestPoint(points []SweepPoint, selIdx int) int { return core.Best(points, selIdx) }
+
 // LogGrid returns a geometrically spaced candidate-period grid.
 func LogGrid(lo, hi int64, points int) []int64 { return core.LogGrid(lo, hi, points) }
 
@@ -201,8 +284,21 @@ type ClassicPoint = classic.Point
 
 // ClassicProperties computes density, connectedness and distance
 // properties of the aggregated series across the candidate grid.
+//
+// Deprecated: use NewAnalysis(s, WithMetrics(MetricClassic),
+// WithGrid(grid...), ...) and read Report.Classic from Plan.Run. This
+// wrapper is that plan and remains bit-exact with it.
 func ClassicProperties(s *Stream, grid []int64, directed bool, workers int) ([]ClassicPoint, error) {
-	return classic.Curve(s, grid, classic.Options{Directed: directed, Workers: workers})
+	plan, err := NewAnalysis(s, WithMetrics(MetricClassic), WithGrid(grid...),
+		WithDirected(directed), WithWorkers(workers))
+	if err != nil {
+		return nil, err
+	}
+	rep, err := plan.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return rep.Classic(), nil
 }
 
 // LossPoint is the proportion of shortest transitions lost at one
@@ -211,8 +307,21 @@ type LossPoint = validate.LossPoint
 
 // TransitionLoss computes the proportion of the stream's shortest
 // transitions that collapse inside one aggregation window, per period.
+//
+// Deprecated: use NewAnalysis(s, WithMetrics(MetricTransitionLoss),
+// WithGrid(grid...), ...) and read Report.TransitionLoss from
+// Plan.Run. This wrapper is that plan and remains bit-exact with it.
 func TransitionLoss(s *Stream, grid []int64, directed bool, workers int) ([]LossPoint, error) {
-	return validate.TransitionLossCurve(s, grid, validate.Options{Directed: directed, Workers: workers})
+	plan, err := NewAnalysis(s, WithMetrics(MetricTransitionLoss), WithGrid(grid...),
+		WithDirected(directed), WithWorkers(workers))
+	if err != nil {
+		return nil, err
+	}
+	rep, err := plan.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return rep.TransitionLoss(), nil
 }
 
 // ElongationPoint is the mean elongation factor at one period
@@ -221,8 +330,21 @@ type ElongationPoint = validate.ElongationPoint
 
 // Elongation computes the mean elongation factor of the minimal trips
 // of the aggregated series versus the raw stream, per period.
+//
+// Deprecated: use NewAnalysis(s, WithMetrics(MetricElongation),
+// WithGrid(grid...), ...) and read Report.Elongation from Plan.Run.
+// This wrapper is that plan and remains bit-exact with it.
 func Elongation(s *Stream, grid []int64, directed bool, workers int) ([]ElongationPoint, error) {
-	return validate.ElongationCurve(s, grid, validate.Options{Directed: directed, Workers: workers})
+	plan, err := NewAnalysis(s, WithMetrics(MetricElongation), WithGrid(grid...),
+		WithDirected(directed), WithWorkers(workers))
+	if err != nil {
+		return nil, err
+	}
+	rep, err := plan.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return rep.Elongation(), nil
 }
 
 // AdaptiveConfig configures the activity-segmented analysis (the
@@ -239,19 +361,47 @@ type AdaptiveSegment = adaptive.Segment
 // stream and determines a saturation scale for each part independently,
 // as the paper's conclusion proposes for strongly heterogeneous
 // streams. The global sweep and every per-segment sweep run as one
-// fused engine pass per analysis round (see MultiSweepWindowed) — the
-// stream is sorted once and each (segment, ∆) arena is built exactly
-// once, no matter how many segments the stream splits into.
+// fused engine pass per analysis round — the stream is sorted once and
+// each (segment, ∆) arena is built exactly once, no matter how many
+// segments the stream splits into.
+//
+// Deprecated: use NewAnalysis(s, WithAdaptive(cfg)) and read
+// Report.Adaptive from Plan.Run. This wrapper is that plan and remains
+// bit-exact with it.
 func AnalyzeAdaptive(s *Stream, cfg AdaptiveConfig) (*AdaptiveAnalysis, error) {
-	return adaptive.Analyze(s, cfg)
+	return AnalyzeAdaptiveWith(s, cfg)
 }
 
 // AnalyzeAdaptiveWith is AnalyzeAdaptive with extra observers attached
 // to the global scope's initial engine pass: they receive the whole
 // stream's view and every period of the global candidate grid from the
 // same pass that prices the global scale.
+//
+// Deprecated: use NewAnalysis(s, WithAdaptive(cfg),
+// WithObservers(global...)) and read Report.Adaptive from Plan.Run.
+// This wrapper is that plan — cfg's execution fields mapped onto the
+// matching plan options, since WithAdaptive reads only the
+// segmentation knobs — and remains bit-exact with it.
 func AnalyzeAdaptiveWith(s *Stream, cfg AdaptiveConfig, global ...SweepObserver) (*AdaptiveAnalysis, error) {
-	return adaptive.AnalyzeWith(s, cfg, global...)
+	plan, err := NewAnalysis(s,
+		WithAdaptive(cfg),
+		WithDirected(cfg.Directed),
+		WithWorkers(cfg.Workers),
+		WithMaxInFlight(cfg.MaxInFlight),
+		WithSelectors(cfg.Selectors...),
+		WithRefine(cfg.Refine),
+		WithGridPoints(cfg.GridPoints),
+		WithMinDelta(cfg.MinDelta),
+		WithObservers(global...),
+	)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := plan.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return rep.Adaptive(), nil
 }
 
 // SweepObserver consumes the products of a unified sweep-engine run;
@@ -294,8 +444,33 @@ type SweepEngineOptions = sweep.Options
 // and swept exactly once, and at most opt.MaxInFlight periods are
 // resident at any moment. Use the New*Observer constructors for the
 // built-in metrics, or implement SweepObserver for custom ones.
+//
+// Deprecated: use NewAnalysis(s, WithGrid(grid...), WithMetrics(),
+// WithObservers(observers...)) and Plan.Run, which adds cancellation
+// and a typed Report. This wrapper is that plan and remains bit-exact
+// with it.
 func MultiSweep(s *Stream, grid []int64, opt SweepEngineOptions, observers ...SweepObserver) error {
-	return sweep.Run(s, grid, opt, observers...)
+	plan, err := NewAnalysis(s,
+		WithMetrics(),
+		WithGrid(grid...),
+		WithDirected(opt.Directed),
+		WithWorkers(opt.Workers),
+		WithMaxInFlight(opt.MaxInFlight),
+		WithHistogramBins(opt.HistogramBins),
+		WithProgress(opt.Progress),
+		WithObservers(observers...),
+	)
+	if err != nil {
+		return err
+	}
+	rep, err := plan.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	if opt.Stats != nil {
+		opt.Stats.Add(rep.EngineStats())
+	}
+	return nil
 }
 
 // SegmentObserver scopes a set of observers to one time window of the
@@ -309,8 +484,32 @@ type SegmentObserver = sweep.SegmentObserver
 // MultiSweep over the window's sub-stream would hand them, while the
 // sort/canonicalise work, the worker pool and the MaxInFlight bound are
 // shared by every window.
+//
+// Deprecated: use NewAnalysis(s, WithMetrics(),
+// WithSegments(segments...)) and Plan.Run — or WithWindows for the
+// common per-window metric case. This wrapper is that plan and remains
+// bit-exact with it.
 func MultiSweepWindowed(s *Stream, opt SweepEngineOptions, segments ...SegmentObserver) error {
-	return sweep.RunWindowed(s, opt, segments...)
+	plan, err := NewAnalysis(s,
+		WithMetrics(),
+		WithDirected(opt.Directed),
+		WithWorkers(opt.Workers),
+		WithMaxInFlight(opt.MaxInFlight),
+		WithHistogramBins(opt.HistogramBins),
+		WithProgress(opt.Progress),
+		WithSegments(segments...),
+	)
+	if err != nil {
+		return err
+	}
+	rep, err := plan.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	if opt.Stats != nil {
+		opt.Stats.Add(rep.EngineStats())
+	}
+	return nil
 }
 
 // SweepRunner executes one engine pass for SaturationScaleWith: score
@@ -326,9 +525,10 @@ type ScaleSearch = core.ScaleSearch
 func NewScaleSearch(opt Options) (*ScaleSearch, error) { return core.NewScaleSearch(opt) }
 
 // SaturationScaleWith runs the occupancy method's sweep-then-refine
-// bisection through a caller-supplied engine pass.
+// bisection through a caller-supplied engine pass. Callers that do not
+// need a custom runner should build a Plan instead (NewAnalysis).
 func SaturationScaleWith(opt Options, run SweepRunner) (Result, error) {
-	return core.SaturationScaleWith(opt, run)
+	return core.SaturationScaleWith(context.Background(), opt, run)
 }
 
 // OccupancyObserver scores per-period occupancy distributions (the
