@@ -1,0 +1,35 @@
+GO ?= go
+
+# Benchmarks the PGO corpus profiles and the gate measures. Keep in
+# sync with the bench job in .github/workflows/ci.yml.
+PGO_BENCH ?= .
+BENCHTIME ?= 3x
+
+.PHONY: build test race bench pgo clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) run ./cmd/tsbench -benchtime $(BENCHTIME)
+
+# pgo builds the profile-guided-optimisation corpus and rebuilds with
+# it: run the benchmark suite under per-benchmark CPU profiling, merge
+# the profiles into default.pgo (the file go build -pgo=auto picks up
+# from the module root), then rebuild everything against it and re-run
+# the flagship benchmarks so the win is visible next to the plain
+# numbers. default.pgo is a generated artifact — regenerate it here,
+# do not commit it.
+pgo:
+	$(GO) run ./cmd/tsbench -bench '$(PGO_BENCH)' -benchtime $(BENCHTIME) -cpuprofile default.pgo
+	$(GO) build -pgo=default.pgo ./...
+	$(GO) test -run '^$$' -bench 'BenchmarkMultiSweepAllMetrics|BenchmarkAdaptiveAnalyze' -benchmem -benchtime $(BENCHTIME) .
+
+clean:
+	rm -f default.pgo

@@ -197,6 +197,8 @@ func (p *Plan) coreOptions(grid []int64) core.Options {
 		Refine:        p.cfg.refine,
 		HistogramBins: p.cfg.histogramBins,
 		MaxInFlight:   p.cfg.maxInFlight,
+		LaneWidth:     p.cfg.laneWidth,
+		Speculate:     p.cfg.speculate,
 		Grid:          grid,
 	}
 }
@@ -229,6 +231,7 @@ func (p *Plan) runStandard(ctx context.Context) (*Report, error) {
 		Workers:       c.workers,
 		MaxInFlight:   c.maxInFlight,
 		HistogramBins: c.histogramBins,
+		LaneWidth:     c.laneWidth,
 		Stats:         &stats,
 	}
 
@@ -374,6 +377,8 @@ func (p *Plan) runAdaptive(ctx context.Context) (*Report, error) {
 	acfg.Refine = c.refine
 	acfg.GridPoints = c.gridPoints
 	acfg.MinDelta = c.minDelta
+	acfg.LaneWidth = c.laneWidth
+	acfg.Speculate = c.speculate
 	acfg.Stats = &stats
 	acfg.Progress = c.progress
 	mo, mobs := p.newMetricObservers()

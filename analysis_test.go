@@ -310,3 +310,51 @@ func TestPlanRerun(t *testing.T) {
 		t.Fatal("re-running an identical plan changed the results")
 	}
 }
+
+// TestPlanLaneWidthAndSpeculate pins the new performance knobs at the
+// plan level: every lane width returns the identical report, the
+// speculative bisection returns the serial bisection's scale and curve,
+// and the run's arena accounting balances.
+func TestPlanLaneWidthAndSpeculate(t *testing.T) {
+	s := twoModeWorkload(t)
+	if _, err := NewAnalysis(s, WithLaneWidth(3)); err == nil {
+		t.Fatal("lane width 3 must be rejected")
+	}
+	run := func(opts ...Option) *Report {
+		t.Helper()
+		plan, err := NewAnalysis(s, append([]Option{WithGridPoints(10), WithRefine(3)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := plan.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	ref := run()
+	for _, width := range []int{4, 8} {
+		rep := run(WithLaneWidth(width))
+		if !reflect.DeepEqual(rep.Occupancy(), ref.Occupancy()) || rep.Gamma() != ref.Gamma() {
+			t.Fatalf("width %d: report diverged from default width", width)
+		}
+		st := rep.EngineStats()
+		if st.ArenaHanded == 0 || st.ArenaHanded != st.ArenaRecycled {
+			t.Fatalf("width %d: arena accounting off: %+v", width, st)
+		}
+	}
+	spec := run(WithSpeculate(true))
+	serial := run(WithSpeculate(true), WithLaneWidth(4))
+	if !reflect.DeepEqual(spec.Occupancy(), serial.Occupancy()) || spec.Gamma() != serial.Gamma() {
+		t.Fatal("speculative reports diverged across widths")
+	}
+	if spec.Gamma() == 0 || len(spec.Occupancy()) <= len(ref.Occupancy())-2*3 {
+		t.Fatalf("speculative run looks degenerate: γ=%d, %d points", spec.Gamma(), len(spec.Occupancy()))
+	}
+	// Each speculative round is one engine pass, so Refine bounds the
+	// refinement passes (serial bisection of the same rounds would need
+	// up to two passes per round).
+	if got := spec.EngineStats().Passes; got > 1+3 {
+		t.Fatalf("speculative run took %d passes, bound is %d", got, 1+3)
+	}
+}

@@ -318,6 +318,52 @@ func BenchmarkMultiSweepSeparateWrappers(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepLanes4 vs BenchmarkSweepLanes8: the hardware-width
+// relax/commit kernels on the same fused all-metrics pass. Results are
+// bit-identical (the width equivalence suites pin that); the delta is
+// pure kernel throughput — register pressure and cache-line use of the
+// lane-major state blocks. CI pairs the two so neither width silently
+// regresses against the other.
+func benchSweepLanes(b *testing.B, width int) {
+	s := irvineStream(b)
+	grid := core.LogGrid(3600, s.Duration(), 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		occ := core.NewOccupancyObserver(nil)
+		cls := classic.NewObserver()
+		if err := sweep.Run(context.Background(), s, grid, sweep.Options{LaneWidth: width}, occ, cls); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepLanes4(b *testing.B) { benchSweepLanes(b, 4) }
+func BenchmarkSweepLanes8(b *testing.B) { benchSweepLanes(b, 8) }
+
+// BenchmarkScaleSearchSpeculative vs BenchmarkScaleSearchSerial:
+// speculative bracket bisection (both half-midpoints of the bracket
+// staged into one engine request) against serial bisection (one
+// midpoint per pass). Both sweep the identical ∆ sequence and return
+// bit-identical Results — the core equivalence suite pins that — so
+// the delta is the halved number of refinement passes. CI pairs the
+// two: speculation may never cost more than serial.
+func benchScaleSearch(b *testing.B, speculate bool) {
+	s := irvineStream(b)
+	opt := core.Options{
+		Grid: core.LogGrid(3600, s.Duration(), 8), Refine: 6,
+		Bisect: !speculate, Speculate: speculate,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SaturationScale(context.Background(), s, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScaleSearchSerial(b *testing.B)      { benchScaleSearch(b, false) }
+func BenchmarkScaleSearchSpeculative(b *testing.B) { benchScaleSearch(b, true) }
+
 // BenchmarkStreamingTrips vs BenchmarkStreamingTripsReference: the
 // streaming raw-stream trip pipeline feeding the Section 8 validation
 // observers (per-destination runs merged into the incremental pair

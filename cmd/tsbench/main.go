@@ -8,6 +8,8 @@
 //	tsbench [-bench regex] [-benchtime 2s] [-o BENCH_1.json]
 //	tsbench -input bench.txt -o BENCH_1.json   # parse existing output
 //	tsbench -o BENCH_2.json -against BENCH_1.json -gate 25
+//	tsbench -isolate -benchtime 3x -o BENCH_6.json  # one process per benchmark
+//	tsbench -benchtime 3x -cpuprofile default.pgo   # PGO corpus
 //
 // Without -input it shells out to `go test -run ^$ -bench ... -benchmem`
 // in the module root, which therefore requires the go toolchain on
@@ -16,6 +18,18 @@
 // allocs/op deltas, and with -gate N the command fails if any shared
 // benchmark regressed by more than N percent on either axis — the
 // regression gate CI runs on every push.
+//
+// With -isolate each matching benchmark runs as its own `go test`
+// invocation, so one benchmark's heap and GC state never skews the
+// next one's measurement — results become independent of declaration
+// order, which is what a committed baseline needs.
+//
+// With -cpuprofile (or -memprofile) the suite is profiled the same
+// way — one isolated run per benchmark writing its own profile, so no
+// benchmark's samples drown another's — and the per-benchmark profiles
+// are merged with `go tool pprof -proto` into the single named file. A
+// merged CPU profile is exactly what `go build -pgo` consumes;
+// `make pgo` wires the two together.
 package main
 
 import (
@@ -26,6 +40,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -64,6 +79,9 @@ func run(args []string, stdout io.Writer) error {
 	input := fs.String("input", "", "parse an existing `go test -bench` output file instead of running")
 	against := fs.String("against", "", "baseline JSON report to diff the results against")
 	gate := fs.Float64("gate", 0, "with -against: fail if any shared benchmark's ns/op or allocs/op regressed by more than this percentage")
+	cpuprofile := fs.String("cpuprofile", "", "write a merged CPU profile: one `go test -cpuprofile` run per matching benchmark, merged with `go tool pprof -proto` (feeds go build -pgo)")
+	memprofile := fs.String("memprofile", "", "write a merged allocation profile, one run per matching benchmark (see -cpuprofile)")
+	isolate := fs.Bool("isolate", false, "run each matching benchmark in its own `go test` process, so no benchmark's heap state skews the next one's numbers")
 	var pairs pairList
 	fs.Var(&pairs, "pair",
 		"intra-report gate NEW=BASE (repeatable): fail if benchmark NEW exceeds BASE by more than -gate percent on ns/op or allocs/op within this run")
@@ -72,14 +90,21 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var raw io.Reader
-	if *input != "" {
+	switch {
+	case *input != "":
 		f, err := os.Open(*input)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		raw = f
-	} else {
+	case *isolate || *cpuprofile != "" || *memprofile != "":
+		text, err := runIsolated(*bench, *benchtime, *pkg, *cpuprofile, *memprofile, stdout)
+		if err != nil {
+			return err
+		}
+		raw = strings.NewReader(text)
+	default:
 		cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
 			"-benchmem", "-benchtime", *benchtime, *pkg)
 		cmd.Stderr = os.Stderr
@@ -127,6 +152,100 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	return diffReports(stdout, base, report, *gate)
+}
+
+// listBenchmarks resolves the -bench regex to concrete benchmark names
+// via `go test -list`.
+func listBenchmarks(bench, pkg string) ([]string, error) {
+	out, err := exec.Command("go", "test", "-run", "^$", "-list", bench, pkg).Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -list: %w", err)
+	}
+	var names []string
+	for _, line := range strings.Split(string(out), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "Benchmark") {
+			names = append(names, line)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no benchmark matches %q in %s", bench, pkg)
+	}
+	return names, nil
+}
+
+// runIsolated runs each matching benchmark as its own `go test`
+// invocation — optionally writing per-benchmark CPU/alloc profiles,
+// merged into the named files — and returns the concatenated benchmark
+// output for parsing. The per-process isolation is the point even
+// without profiles: a benchmark never inherits the previous one's
+// heap, so declaration order cannot move the numbers.
+func runIsolated(bench, benchtime, pkg, cpuprofile, memprofile string, stdout io.Writer) (string, error) {
+	names, err := listBenchmarks(bench, pkg)
+	if err != nil {
+		return "", err
+	}
+	tmp, err := os.MkdirTemp("", "tsbench-prof-")
+	if err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(tmp)
+
+	var text strings.Builder
+	var cpuProfs, memProfs []string
+	for i, name := range names {
+		args := []string{"test", "-run", "^$", "-bench", "^" + name + "$",
+			"-benchmem", "-benchtime", benchtime,
+			"-o", filepath.Join(tmp, "bench.test")}
+		if cpuprofile != "" {
+			p := filepath.Join(tmp, fmt.Sprintf("cpu.%d", i))
+			args = append(args, "-cpuprofile", p)
+			cpuProfs = append(cpuProfs, p)
+		}
+		if memprofile != "" {
+			p := filepath.Join(tmp, fmt.Sprintf("mem.%d", i))
+			args = append(args, "-memprofile", p)
+			memProfs = append(memProfs, p)
+		}
+		args = append(args, pkg)
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return "", fmt.Errorf("go test -bench %s: %w", name, err)
+		}
+		text.Write(out)
+	}
+	if cpuprofile != "" {
+		if err := mergeProfiles(cpuProfs, cpuprofile); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(stdout, "merged %d CPU profiles into %s\n", len(cpuProfs), cpuprofile)
+	}
+	if memprofile != "" {
+		if err := mergeProfiles(memProfs, memprofile); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(stdout, "merged %d allocation profiles into %s\n", len(memProfs), memprofile)
+	}
+	return text.String(), nil
+}
+
+// mergeProfiles merges pprof profiles into one proto-format file —
+// the input format of go build -pgo.
+func mergeProfiles(profiles []string, out string) error {
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cmd := exec.Command("go", append([]string{"tool", "pprof", "-proto"}, profiles...)...)
+	cmd.Stdout = f
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go tool pprof -proto: %w", err)
+	}
+	return f.Close()
 }
 
 // loadReport reads a JSON report previously written by tsbench.

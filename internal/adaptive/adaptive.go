@@ -85,6 +85,16 @@ type Config struct {
 	// pass keeps resident at once, across all segments (<= 0 selects the
 	// engine default).
 	MaxInFlight int
+	// LaneWidth pins the engine's destination-lane width for every
+	// fused pass (0 auto, 4 or 8); see sweep.Options.LaneWidth.
+	LaneWidth int
+	// Speculate switches every scale search to speculative bracket
+	// bisection (see core.Options.Speculate): each refinement round of
+	// each search stages both candidate half-midpoints at once, and the
+	// fused round batches the speculative grids of all still-active
+	// searches into the same engine pass. Results are bit-identical to
+	// Refine-round serial bisection.
+	Speculate bool
 	// Progress, when non-nil, receives the engine's progress events for
 	// every fused pass of the analysis, with ProgressEvent.Pass set to
 	// the bisection round the pass serves.
@@ -118,6 +128,8 @@ func (c Config) coreOptions(grid []int64) core.Options {
 		Selectors:   c.Selectors,
 		Refine:      c.Refine,
 		MaxInFlight: c.MaxInFlight,
+		LaneWidth:   c.LaneWidth,
+		Speculate:   c.Speculate,
 		Grid:        grid,
 	}
 }
@@ -374,7 +386,7 @@ func AnalyzeWith(ctx context.Context, s *linkstream.Stream, cfg Config, global .
 		parts = append(parts, &participant{search: search, seg: seg, start: seg.Start, end: seg.End})
 	}
 
-	engOpt := sweep.Options{Directed: cfg.Directed, Workers: cfg.Workers, MaxInFlight: cfg.MaxInFlight, Stats: cfg.Stats}
+	engOpt := sweep.Options{Directed: cfg.Directed, Workers: cfg.Workers, MaxInFlight: cfg.MaxInFlight, LaneWidth: cfg.LaneWidth, Stats: cfg.Stats}
 	for round := 0; ; round++ {
 		if cfg.Progress != nil {
 			pass := round

@@ -221,3 +221,28 @@ func TestAnalyzeWithGlobalObservers(t *testing.T) {
 		}
 	}
 }
+
+// TestAnalyzeSpeculativeMatchesSerial pins the fused speculative path:
+// batching both half-midpoints of every active search into one
+// RunWindowed pass per round returns exactly the serial bisection's
+// analysis (the reference drives the same speculative searches one
+// stream at a time), for every lane width.
+func TestAnalyzeSpeculativeMatchesSerial(t *testing.T) {
+	s := heteroStream(t, 2)
+	cfg := Config{Bins: 60, GridPoints: 8, Refine: 3, Workers: 2, Speculate: true}
+	want, err := AnalyzeReference(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range []int{0, 4, 8} {
+		cfg := cfg
+		cfg.LaneWidth = width
+		got, err := Analyze(context.Background(), s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("width=%d: speculative fused analysis diverged:\n got %+v\nwant %+v", width, got, want)
+		}
+	}
+}

@@ -24,6 +24,8 @@ type Flags struct {
 	MinDelta    int64
 	Workers     int
 	MaxInFlight int
+	LaneWidth   int
+	Speculate   bool
 	Metrics     string
 	EngineStats bool
 }
@@ -48,8 +50,12 @@ func Bind(fs *flag.FlagSet, d Defaults) *Flags {
 	fs.Int64Var(&f.MinDelta, "min", 0, "smallest candidate period (default: stream resolution)")
 	fs.StringVar(&f.Metrics, "metrics", d.Metrics, d.MetricsHelp)
 	BindEngine(fs, &f.Workers, &f.MaxInFlight)
+	fs.IntVar(&f.LaneWidth, "lane-width", 0,
+		"destinations relaxed per sweep pass: 4 or 8 (0 = architecture default); every width is bit-identical")
+	fs.BoolVar(&f.Speculate, "speculate", false,
+		"speculative bracket bisection: sweep both refinement half-midpoints per engine pass (same result, fewer passes)")
 	fs.BoolVar(&f.EngineStats, "engine-stats", false,
-		"print the engine's instrumentation after the run (period CSR builds, dedup hits, stream enumerations, peak resident periods)")
+		"print the engine's instrumentation after the run (period CSR builds, dedup hits, stream enumerations, peak resident periods, arena reuse)")
 	return f
 }
 
@@ -108,6 +114,8 @@ func (f *Flags) PlanOptions(metrics ...repro.Metric) []repro.Option {
 		repro.WithDirected(f.Directed),
 		repro.WithWorkers(f.Workers),
 		repro.WithMaxInFlight(f.MaxInFlight),
+		repro.WithLaneWidth(f.LaneWidth),
+		repro.WithSpeculate(f.Speculate),
 		repro.WithGridPoints(f.Points),
 		repro.WithMinDelta(f.MinDelta),
 		repro.WithMetrics(metrics...),
@@ -139,6 +147,7 @@ func (f *Flags) ReadStream(stdin io.Reader) (*repro.Stream, error) {
 // EngineStatsLine renders a run's engine instrumentation in the shared
 // -engine-stats output format.
 func EngineStatsLine(st repro.EngineStats) string {
-	return fmt.Sprintf("engine: %d period CSR builds (+%d deduplicated), %d stream trip enumerations, peak %d periods resident, %d passes",
-		st.Builds, st.Dedups, st.StreamBuilds, st.MaxResident, st.Passes)
+	return fmt.Sprintf("engine: %d period CSR builds (+%d deduplicated), %d stream trip enumerations, peak %d periods resident, %d passes; arenas: %d handed (%d reused), %d recycled",
+		st.Builds, st.Dedups, st.StreamBuilds, st.MaxResident, st.Passes,
+		st.ArenaHanded, st.ArenaReused, st.ArenaRecycled)
 }

@@ -23,10 +23,13 @@ func TestBindDefaultsAndOverrides(t *testing.T) {
 	if f.Points != 48 || f.Metrics != "occupancy" || f.Directed || f.MaxInFlight != 0 {
 		t.Fatalf("defaults: %+v", f)
 	}
+	if f.LaneWidth != 0 || f.Speculate {
+		t.Fatalf("defaults: %+v", f)
+	}
 	f = bindFor(t, "-directed", "-points", "12", "-min", "60", "-workers", "3",
-		"-max-inflight", "2", "-metrics", "loss", "-engine-stats")
+		"-max-inflight", "2", "-lane-width", "4", "-speculate", "-metrics", "loss", "-engine-stats")
 	if !f.Directed || f.Points != 12 || f.MinDelta != 60 || f.Workers != 3 ||
-		f.MaxInFlight != 2 || f.Metrics != "loss" || !f.EngineStats {
+		f.MaxInFlight != 2 || f.LaneWidth != 4 || !f.Speculate || f.Metrics != "loss" || !f.EngineStats {
 		t.Fatalf("overrides: %+v", f)
 	}
 }
@@ -116,8 +119,10 @@ func TestReadStream(t *testing.T) {
 }
 
 func TestEngineStatsLine(t *testing.T) {
-	line := EngineStatsLine(repro.EngineStats{Builds: 5, Dedups: 2, StreamBuilds: 1, MaxResident: 3, Passes: 2})
-	for _, want := range []string{"5 period CSR builds", "+2 deduplicated", "1 stream trip enumerations", "peak 3 periods resident", "2 passes"} {
+	line := EngineStatsLine(repro.EngineStats{Builds: 5, Dedups: 2, StreamBuilds: 1, MaxResident: 3, Passes: 2,
+		ArenaHanded: 5, ArenaReused: 3, ArenaRecycled: 5})
+	for _, want := range []string{"5 period CSR builds", "+2 deduplicated", "1 stream trip enumerations",
+		"peak 3 periods resident", "2 passes", "5 handed (3 reused)", "5 recycled"} {
 		if !strings.Contains(line, want) {
 			t.Fatalf("missing %q in %q", want, line)
 		}

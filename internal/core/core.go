@@ -58,6 +58,24 @@ type Options struct {
 	// selects the engine default. Peak sweep memory is
 	// O(MaxInFlight × period footprint) instead of O(grid).
 	MaxInFlight int
+	// LaneWidth pins the engine's destination-lane width: 0 picks the
+	// architecture default, 4 and 8 force that many destinations per
+	// relax pass. Every width produces bit-identical results; see
+	// sweep.Options.LaneWidth.
+	LaneWidth int
+	// Bisect replaces the one-shot refinement pass with a bracket
+	// bisection around the running maximum: each round sweeps the
+	// geometric half-midpoints of the bracket enclosing the best ∆ and
+	// narrows onto the new maximum. Refine bounds the number of
+	// bisection rounds instead of the extra-point count. The default
+	// (false) keeps the paper's sweep-then-refine shape.
+	Bisect bool
+	// Speculate (implies Bisect) stages both candidate half-midpoints
+	// of the current bracket in a single sweep request, so one engine
+	// pass prices the round that serial bisection needs two passes for.
+	// The ∆ sequence swept — and therefore the Result — is identical to
+	// serial bisection's; only the pass batching differs.
+	Speculate bool
 }
 
 func (o Options) selectors() []dist.Selector {
@@ -310,6 +328,7 @@ func (o Options) engineOptions() sweep.Options {
 		Workers:       o.Workers,
 		MaxInFlight:   o.MaxInFlight,
 		HistogramBins: o.HistogramBins,
+		LaneWidth:     o.LaneWidth,
 	}
 }
 

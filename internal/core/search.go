@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/dist"
 	"repro/internal/sweep"
@@ -39,6 +40,16 @@ type SweepRunner func(grid []int64, obs sweep.Observer) error
 // are deduplicated against every ∆ already scored, which the plain
 // SaturationScale never did (its refine pass rebuilt its grid
 // endpoints).
+//
+// With Options.Bisect the refinement is a bracket bisection: every
+// round stages the two geometric half-midpoints of the bracket around
+// the running maximum, and Options.Refine bounds the rounds. Serial
+// bisection emits the staged midpoints one request at a time;
+// Options.Speculate emits both in one request, halving the engine
+// passes. Both modes recompute the bracket only once the staged pair is
+// fully absorbed, so they sweep identical ∆ sequences and the losing
+// half's points simply stay in the dedup set — speculation changes pass
+// batching, never the Result.
 type ScaleSearch struct {
 	opt     Options
 	sels    []dist.Selector
@@ -46,6 +57,8 @@ type ScaleSearch struct {
 	points  []SweepPoint
 	cur     *OccupancyObserver
 	curGrid []int64
+	pending []int64 // bisection midpoints staged but not yet requested
+	rounds  int     // bisection bracket recomputations remaining
 	refined bool
 	done    bool
 }
@@ -69,6 +82,9 @@ func NewScaleSearch(opt Options) (*ScaleSearch, error) {
 		}
 	}
 	sc := &ScaleSearch{opt: opt, sels: sels, seen: make(map[int64]bool, len(opt.Grid)), curGrid: opt.Grid}
+	if opt.Bisect || opt.Speculate {
+		sc.rounds = opt.Refine
+	}
 	for _, d := range opt.Grid {
 		sc.seen[d] = true
 	}
@@ -100,6 +116,10 @@ func (sc *ScaleSearch) Absorb() error {
 	} else {
 		sc.points = mergePoints(sc.points, pts)
 	}
+	if sc.opt.Bisect || sc.opt.Speculate {
+		sc.stageBisection()
+		return nil
+	}
 	if !sc.refined {
 		sc.refined = true
 		if sc.opt.Refine > 0 && len(sc.points) > 1 {
@@ -123,6 +143,74 @@ func (sc *ScaleSearch) Absorb() error {
 	}
 	sc.done = true
 	return nil
+}
+
+// stageBisection advances the bracket-bisection refinement: staged
+// midpoints are requested before the bracket is recomputed, so serial
+// and speculative searches sweep the same ∆ sequence.
+func (sc *ScaleSearch) stageBisection() {
+	if len(sc.pending) > 0 {
+		sc.curGrid = sc.pending[:1:1]
+		sc.pending = sc.pending[1:]
+		return
+	}
+	if sc.rounds > 0 {
+		if mids := sc.bracketMids(); len(mids) > 0 {
+			sc.rounds--
+			for _, d := range mids {
+				sc.seen[d] = true
+			}
+			if sc.opt.Speculate {
+				sc.curGrid = mids
+			} else {
+				sc.curGrid = mids[:1:1]
+				sc.pending = mids[1:]
+			}
+			return
+		}
+	}
+	sc.done = true
+}
+
+// bracketMids returns the unseen geometric half-midpoints of the
+// bracket enclosing the current maximum: one candidate in
+// (points[best-1].∆, best∆) and one in (best∆, points[best+1].∆). An
+// empty result means the maximum is pinned to timestamp resolution.
+func (sc *ScaleSearch) bracketMids() []int64 {
+	if len(sc.points) < 2 {
+		return nil
+	}
+	best := Best(sc.points, 0)
+	b := sc.points[best].Delta
+	var mids []int64
+	if best > 0 {
+		if m := geoMid(sc.points[best-1].Delta, b); !sc.seen[m] {
+			mids = append(mids, m)
+		}
+	}
+	if best < len(sc.points)-1 {
+		if m := geoMid(b, sc.points[best+1].Delta); !sc.seen[m] {
+			mids = append(mids, m)
+		}
+	}
+	return mids
+}
+
+// geoMid returns the geometric midpoint of (a, b), clamped inside the
+// open interval; when b <= a+1 no interior point exists and an endpoint
+// (always already swept, hence seen-filtered) is returned.
+func geoMid(a, b int64) int64 {
+	m := int64(math.Round(math.Sqrt(float64(a) * float64(b))))
+	if m <= a {
+		m = a + 1
+	}
+	if m >= b {
+		m = b - 1
+	}
+	if m < a {
+		m = a
+	}
+	return m
 }
 
 // Done reports whether the search has converged.

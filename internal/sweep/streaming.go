@@ -27,7 +27,8 @@ import (
 // and is returned; cancelled enumerations still recycle every lane and
 // join every worker before returning.
 func streamTripRuns(ctx context.Context, c *temporal.CSR, n int, opt Options, deliver func(dest int32, run []temporal.Trip) error) error {
-	blocks := temporal.DestBlocks(n)
+	width := temporal.ResolveLaneWidth(opt.LaneWidth)
+	blocks := temporal.DestBlocksFor(n, width)
 	inFlight := opt.MaxInFlight
 	if inFlight <= 0 {
 		inFlight = DefaultMaxInFlight
@@ -49,7 +50,7 @@ func streamTripRuns(ctx context.Context, c *temporal.CSR, n int, opt Options, de
 
 	deliverBlock := func(b int, lanes [][]temporal.Trip) error {
 		for l, run := range lanes {
-			d := b*temporal.LanesPerBlock + l
+			d := b*width + l
 			if d >= n {
 				break
 			}
@@ -66,24 +67,25 @@ func streamTripRuns(ctx context.Context, c *temporal.CSR, n int, opt Options, de
 
 	if workers == 1 {
 		// Sequential: sweep, deliver, recycle — one block resident.
-		wk := temporal.NewWorker(n)
+		wk := temporal.NewWorkerWidth(n, width)
 		defer wk.Release()
+		lanes := make([][]temporal.Trip, width)
 		for b := 0; b < blocks; b++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			lanes := wk.SweepFullBlock(c, opt.Directed, b, true, false, nil)
-			if err := deliverBlock(b, lanes[:]); err != nil {
+			wk.SweepFullBlock(c, opt.Directed, b, true, false, nil, lanes)
+			if err := deliverBlock(b, lanes); err != nil {
 				return err
 			}
+			clear(lanes)
 		}
 		return nil
 	}
 
 	var (
 		mu      sync.Mutex
-		ready   = make([][temporal.LanesPerBlock][]temporal.Trip, blocks)
-		has     = make([]bool, blocks)
+		ready   = make([][][]temporal.Trip, blocks)
 		cursor  int
 		sem     = make(chan struct{}, inFlight)
 		next    atomic.Int64
@@ -104,12 +106,12 @@ func streamTripRuns(ctx context.Context, c *temporal.CSR, n int, opt Options, de
 	// recycling, not delivering — so blocked producers always regain
 	// their semaphore slots.
 	drain := func() {
-		for cursor < blocks && has[cursor] {
+		for cursor < blocks && ready[cursor] != nil {
 			lanes := ready[cursor]
-			ready[cursor] = [temporal.LanesPerBlock][]temporal.Trip{}
+			ready[cursor] = nil
 			if aborted.Load() {
-				temporal.RecycleTrips(lanes[:]...)
-			} else if err := deliverBlock(cursor, lanes[:]); err != nil {
+				temporal.RecycleTrips(lanes...)
+			} else if err := deliverBlock(cursor, lanes); err != nil {
 				fail(err)
 			}
 			cursor++
@@ -122,7 +124,7 @@ func streamTripRuns(ctx context.Context, c *temporal.CSR, n int, opt Options, de
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			wk := temporal.NewWorker(n)
+			wk := temporal.NewWorkerWidth(n, width)
 			defer wk.Release()
 			for {
 				if aborted.Load() {
@@ -147,13 +149,15 @@ func streamTripRuns(ctx context.Context, c *temporal.CSR, n int, opt Options, de
 					<-sem
 					return
 				}
-				var lanes [temporal.LanesPerBlock][]temporal.Trip
+				// Each claimed block gets its own lane table: the sweep's
+				// out slices park in the reorder window until the cursor
+				// reaches them, so worker scratch cannot be shared.
+				lanes := make([][]temporal.Trip, width)
 				if !aborted.Load() {
-					lanes = wk.SweepFullBlock(c, opt.Directed, b, true, false, nil)
+					wk.SweepFullBlock(c, opt.Directed, b, true, false, nil, lanes)
 				}
 				mu.Lock()
 				ready[b] = lanes
-				has[b] = true
 				drain()
 				mu.Unlock()
 			}

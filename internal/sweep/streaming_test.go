@@ -136,6 +136,7 @@ func TestStreamTripRunsReplayFromEager(t *testing.T) {
 // tallies are per-block slices written at distinct indices — never a
 // shared map.
 type countingShard struct {
+	lanes   int
 	perLane []int
 	blocks  []int32
 }
@@ -149,19 +150,19 @@ func (o *shardProbe) Needs() Needs {
 	return Needs{Trips: true, TripShards: true}
 }
 
-func (o *shardProbe) NewTripShard(delta int64, blocks int) TripShard {
-	sh := &countingShard{perLane: make([]int, blocks*temporal.LanesPerBlock), blocks: make([]int32, blocks)}
+func (o *shardProbe) NewTripShard(delta int64, blocks, lanesPerBlock int) TripShard {
+	sh := &countingShard{lanes: lanesPerBlock, perLane: make([]int, blocks*lanesPerBlock), blocks: make([]int32, blocks)}
 	o.shards = append(o.shards, sh)
 	return sh
 }
 
 func (sh *countingShard) ObserveTripBlock(block int, lanes [][]temporal.Trip) error {
-	if len(lanes) != temporal.LanesPerBlock {
+	if len(lanes) != sh.lanes {
 		return errors.New("wrong lane count")
 	}
 	sh.blocks[block]++
 	for l, lane := range lanes {
-		sh.perLane[block*temporal.LanesPerBlock+l] += len(lane)
+		sh.perLane[block*sh.lanes+l] += len(lane)
 	}
 	return nil
 }
@@ -204,7 +205,7 @@ func TestShardedTripObserver(t *testing.T) {
 		if len(obs.shards) != len(grid) {
 			t.Fatalf("workers=%d: %d shards created for %d periods", workers, len(obs.shards), len(grid))
 		}
-		blocks := temporal.DestBlocks(s.NumNodes())
+		blocks := temporal.DestBlocksFor(s.NumNodes(), temporal.DefaultLaneWidth())
 		for i, sh := range obs.shards {
 			if len(sh.blocks) != blocks {
 				t.Fatalf("workers=%d period %d: shard sized for %d blocks, want %d", workers, i, len(sh.blocks), blocks)

@@ -65,6 +65,16 @@ type Options struct {
 	// receive Period.Histogram instead of Period.Occupancies, and the
 	// engine never holds a period's full occupancy population.
 	HistogramBins int
+	// LaneWidth selects the blocked sweep's lane width — how many
+	// destinations each pass over a period's layers relaxes at once: 0
+	// (the default) picks the architecture's width heuristic
+	// (temporal.DefaultLaneWidth), 4 and 8 force a compiled kernel.
+	// Every width produces bit-identical per-destination results; wider
+	// lanes amortise the edge stream over more destinations at the cost
+	// of a larger per-worker state footprint. The width is resolved once
+	// per run and shared by every worker — block indices are
+	// width-relative.
+	LaneWidth int
 	// Progress, when non-nil, receives one ProgressEvent per engine
 	// milestone: the run preparing its job plan, each raw-stream trip
 	// enumeration, and every (segment, ∆) period delivered to its
@@ -79,6 +89,14 @@ type Options struct {
 	// concurrent runs do not bleed into each other's numbers.
 	Stats *RunStats
 }
+
+// ValidLaneWidth reports whether w is an acceptable Options.LaneWidth
+// value: 0 (auto), 4 or 8.
+func ValidLaneWidth(w int) bool { return temporal.ValidLaneWidth(w) }
+
+// DefaultLaneWidth returns the lane width a zero Options.LaneWidth
+// resolves to on this architecture.
+func DefaultLaneWidth() int { return temporal.DefaultLaneWidth() }
 
 // Stage identifies what a ProgressEvent reports.
 type Stage uint8
@@ -126,6 +144,16 @@ type RunStats struct {
 	StreamBuilds int64
 	Periods      int64
 	MaxResident  int64
+	// Arena accounting of the size-classed CSR arena pool: how many of
+	// this run's CSR builds were handed an arena, how many of those
+	// reused a shelved arena of the same size class (the rest allocated
+	// fresh), and how many arenas the run recycled back. Handed and
+	// recycled must balance once a run completes — finished, failed or
+	// cancelled; the engine's teardown paths guarantee it and the
+	// cancellation tests assert it.
+	ArenaHanded   int64
+	ArenaReused   int64
+	ArenaRecycled int64
 }
 
 // Add folds another accumulator into s: counters sum, MaxResident
@@ -139,6 +167,9 @@ func (s *RunStats) Add(o RunStats) {
 	if o.MaxResident > s.MaxResident {
 		s.MaxResident = o.MaxResident
 	}
+	s.ArenaHanded += o.ArenaHanded
+	s.ArenaReused += o.ArenaReused
+	s.ArenaRecycled += o.ArenaRecycled
 }
 
 // Needs declares which engine products an observer consumes. The
@@ -317,13 +348,14 @@ type TripRunObserver interface {
 // at a time, on whichever worker swept the block, so a huge trip
 // population is scored in parallel without ever being held whole.
 // ObserveTripBlock is called exactly once per block, concurrently for
-// different blocks; lanes has temporal.LanesPerBlock entries and lane l
-// holds destination block*LanesPerBlock+l's trips in the same
+// different blocks; lanes has one entry per lane of the run's blocked
+// sweep (the lanesPerBlock passed to NewTripShard) and lane l holds
+// destination block*lanesPerBlock+l's trips in the same
 // departure-descending order a single-destination sweep would emit.
 // Shards that accumulate floating-point sums should keep one partial
 // per lane and fold them in lane order inside ObservePeriod — that
-// makes the result bit-for-bit independent of worker count and
-// scheduling.
+// makes the result bit-for-bit independent of worker count, scheduling
+// and lane width.
 type TripShard interface {
 	ObserveTripBlock(block int, lanes [][]temporal.Trip) error
 }
@@ -331,11 +363,12 @@ type TripShard interface {
 // ShardedTripObserver is an Observer whose per-period trip scan is
 // sharded across the worker pool; observers declaring Needs.TripShards
 // must implement it. NewTripShard is called once per period, before any
-// of its blocks sweep; the shard then receives every block and is
-// finally handed back through Period.Shard in ObservePeriod.
+// of its blocks sweep, with the run's block count and resolved lane
+// width (destinations per block); the shard then receives every block
+// and is finally handed back through Period.Shard in ObservePeriod.
 type ShardedTripObserver interface {
 	Observer
-	NewTripShard(delta int64, blocks int) TripShard
+	NewTripShard(delta int64, blocks, lanesPerBlock int) TripShard
 }
 
 // Engine instrumentation: periodBuilds counts period CSR constructions
@@ -490,6 +523,7 @@ type engine struct {
 	specs   []*jobSpec
 	n       int // node count, shared by every scope
 	workers int
+	width   int // resolved lane width of the blocked sweep
 	blocks  int
 
 	sem   chan struct{}
@@ -503,15 +537,40 @@ type engine struct {
 	// Per-run instrumentation mirrored into Options.Stats and the
 	// Progress events (the package-level counters aggregate across
 	// concurrent runs and cannot serve either).
-	runBuilds    atomic.Int64
-	runAlive     atomic.Int64
-	runMaxAlive  atomic.Int64
-	periodsDone  atomic.Int64
-	periodsTotal int
-	dedups       int64 // fixed before run starts
-	streamBuilds int64 // fixed before run starts
+	runBuilds        atomic.Int64
+	runAlive         atomic.Int64
+	runMaxAlive      atomic.Int64
+	runArenaHanded   atomic.Int64
+	runArenaReused   atomic.Int64
+	runArenaRecycled atomic.Int64
+	periodsDone      atomic.Int64
+	periodsTotal     int
+	dedups           int64 // fixed before run starts
+	streamBuilds     int64 // fixed before run starts
 
 	progMu sync.Mutex
+}
+
+// buildCSRArena builds one period CSR through the size-classed arena
+// pool, folding the hand into the run's arena accounting.
+func (e *engine) buildCSRArena(events []linkstream.Event, t0, delta int64, scratch *temporal.CSRScratch) *temporal.CSR {
+	c := temporal.BuildCSRArena(events, t0, delta, e.n, scratch)
+	if c.ArenaBacked() {
+		e.runArenaHanded.Add(1)
+		if c.ArenaReused() {
+			e.runArenaReused.Add(1)
+		}
+	}
+	return c
+}
+
+// recycleCSR hands an arena-backed CSR back to the pool, counting it in
+// the run's arena accounting; plain-built CSRs and nil are no-ops.
+func (e *engine) recycleCSR(c *temporal.CSR) {
+	if c != nil && c.ArenaBacked() {
+		e.runArenaRecycled.Add(1)
+	}
+	temporal.RecycleCSR(c)
 }
 
 func (e *engine) fail(err error) {
@@ -641,7 +700,7 @@ func (e *engine) produce() {
 		}
 		v := sp.view()
 		j := &job{spec: sp, numWindows: (v.T1-v.T0)/sp.delta + 1}
-		j.csr = temporal.BuildCSR(v.Events, v.T0, sp.delta, &scratch)
+		j.csr = e.buildCSRArena(v.Events, v.T0, sp.delta, &scratch)
 		periodBuilds.Add(1)
 		e.runBuilds.Add(1)
 		runAlive := e.runAlive.Add(1)
@@ -662,7 +721,7 @@ func (e *engine) produce() {
 		if sp.needs.sweeps() {
 			ntasks += e.blocks
 			if sp.needs.Trips {
-				j.blockTrips = make([][]temporal.Trip, temporal.LanesPerBlock*e.blocks)
+				j.blockTrips = make([][]temporal.Trip, e.width*e.blocks)
 			}
 			if sp.needs.Distances {
 				j.sink = temporal.NewDistSink(e.n, 0, 1)
@@ -676,7 +735,7 @@ func (e *engine) produce() {
 					for _, o := range tgt.sc.seg.Observers {
 						var sh TripShard
 						if so, ok := o.(ShardedTripObserver); ok && o.Needs().TripShards {
-							sh = so.NewTripShard(sp.delta, e.blocks)
+							sh = so.NewTripShard(sp.delta, e.blocks, e.width)
 							j.shards = append(j.shards, sh)
 						}
 						row = append(row, sh)
@@ -713,8 +772,11 @@ func (e *engine) produce() {
 // once, and a job never waits on a worker that is busy elsewhere.
 func (e *engine) worker() {
 	defer e.wg.Done()
-	w := temporal.NewWorker(e.n)
+	w := temporal.NewWorkerWidth(e.n, e.width)
 	defer w.Release()
+	// laneBuf receives shard-only trip lanes (recycled block by block);
+	// jobs that keep their trips write straight into j.blockTrips.
+	laneBuf := make([][]temporal.Trip, e.width)
 	var localHist *dist.Histogram
 	var cur *job // job the worker's occupancy sink holds data for
 
@@ -786,29 +848,34 @@ func (e *engine) worker() {
 			}
 			wantTrips := needs.Trips || needs.TripShards
 			if wantTrips || needs.Distances {
-				lanes := w.SweepFullBlock(j.csr, e.opt.Directed, t.block,
-					wantTrips, needs.Occupancies, j.sink)
+				// Jobs that keep their trips sweep straight into their
+				// own lane table — no copy between sweep and observers;
+				// shard-only jobs borrow the worker's lane buffer.
+				lanes := laneBuf
+				if needs.Trips {
+					lanes = j.blockTrips[e.width*t.block : e.width*(t.block+1)]
+				}
+				w.SweepFullBlock(j.csr, e.opt.Directed, t.block,
+					wantTrips, needs.Occupancies, j.sink, lanes)
 				if len(j.shards) > 0 {
 					// Sharded scoring runs right here, on the sweeping
 					// worker, so a period's trip scans parallelise
 					// across blocks like the sweeps themselves do.
-					ls := lanes[:]
 					for _, sh := range j.shards {
-						if err := sh.ObserveTripBlock(t.block, ls); err != nil {
+						if err := sh.ObserveTripBlock(t.block, lanes); err != nil {
 							e.fail(err)
 							break
 						}
 					}
 				}
-				if needs.Trips {
-					copy(j.blockTrips[temporal.LanesPerBlock*t.block:], lanes[:])
-				} else if wantTrips {
+				if wantTrips && !needs.Trips {
 					// Shard-only trips: scored above, released block by
 					// block — the period never holds its trips whole.
-					temporal.RecycleTrips(lanes[:]...)
+					temporal.RecycleTrips(laneBuf...)
+					clear(laneBuf)
 				}
 			} else {
-				// Pure occupancy: the 4-lane blocked sweep.
+				// Pure occupancy: the blocked lane sweep.
 				w.SweepOccupancyBlock(j.csr, e.opt.Directed, t.block)
 			}
 		}
@@ -838,15 +905,16 @@ func (e *engine) maybeFinalize(j *job) {
 func (e *engine) finalize(j *job) {
 	defer func() {
 		// Recycling lives here, on every exit path — a cancelled or
-		// observer-failed period must hand its pooled lane buffers and
-		// occupancy chunks back exactly like a completed one, or a
-		// mid-sweep abort leaks them from the pools for good.
+		// observer-failed period must hand its arena, pooled lane
+		// buffers and occupancy chunks back exactly like a completed
+		// one, or a mid-sweep abort leaks them from the pools for good.
 		if j.chunks != nil && !j.spec.histMode {
 			temporal.RecycleOccupancies(j.chunks)
 		}
 		if j.blockTrips != nil {
 			temporal.RecycleTrips(j.blockTrips...)
 		}
+		e.recycleCSR(j.csr)
 		j.csr = nil
 		j.chunks = nil
 		j.blockTrips = nil

@@ -124,6 +124,9 @@ func RunWindowed(ctx context.Context, s *linkstream.Stream, opt Options, segment
 			}
 		}
 	}
+	if !temporal.ValidLaneWidth(opt.LaneWidth) {
+		return fmt.Errorf("sweep: unsupported lane width %d (want 0, 4 or 8)", opt.LaneWidth)
+	}
 
 	s.Sort()
 	events := s.Events()
@@ -133,7 +136,7 @@ func RunWindowed(ctx context.Context, s *linkstream.Stream, opt Options, segment
 	engineRuns.Add(1)
 	n := s.NumNodes()
 
-	e := &engine{ctx: ctx, opt: opt, n: n}
+	e := &engine{ctx: ctx, opt: opt, n: n, width: temporal.ResolveLaneWidth(opt.LaneWidth)}
 	if opt.Stats != nil {
 		// Flush this run's counters into the caller's accumulator on
 		// every exit path, cancelled and failed runs included — a
@@ -148,6 +151,9 @@ func RunWindowed(ctx context.Context, s *linkstream.Stream, opt Options, segment
 			if m := e.runMaxAlive.Load(); m > st.MaxResident {
 				st.MaxResident = m
 			}
+			st.ArenaHanded += e.runArenaHanded.Load()
+			st.ArenaReused += e.runArenaReused.Load()
+			st.ArenaRecycled += e.runArenaRecycled.Load()
 		}()
 	}
 
@@ -205,7 +211,7 @@ func RunWindowed(ctx context.Context, s *linkstream.Stream, opt Options, segment
 	// enumeration per distinct window, shared by every scope of the
 	// group. The lanes are kept when the group also has streaming
 	// consumers, so the later run delivery replays them for free.
-	cfg := temporal.Config{N: n, Directed: opt.Directed, Workers: opt.Workers}
+	cfg := temporal.Config{N: n, Directed: opt.Directed, Workers: opt.Workers, LaneWidth: opt.LaneWidth}
 	var scratch temporal.CSRScratch
 	// Pooled lanes kept for streaming replay (g.lanes) must go back to
 	// the pool on every exit path — including a cancellation between
@@ -231,10 +237,11 @@ func RunWindowed(ctx context.Context, s *linkstream.Stream, opt Options, segment
 		if !eager {
 			continue
 		}
-		c := temporal.BuildCSR(events[g.lo:g.hi], 0, 1, &scratch)
+		c := e.buildCSRArena(events[g.lo:g.hi], 0, 1, &scratch)
 		streamBuilds.Add(1)
 		e.streamBuilds++
 		lanes := temporal.CollectTripLanes(cfg, c)
+		e.recycleCSR(c)
 		total := 0
 		for _, l := range lanes {
 			total += len(l)
@@ -308,10 +315,12 @@ func RunWindowed(ctx context.Context, s *linkstream.Stream, opt Options, segment
 			temporal.RecycleTrips(g.lanes...)
 			g.lanes = nil
 		} else {
-			c := temporal.BuildCSR(events[g.lo:g.hi], 0, 1, &scratch)
+			c := e.buildCSRArena(events[g.lo:g.hi], 0, 1, &scratch)
 			streamBuilds.Add(1)
 			e.streamBuilds++
-			if err := streamTripRuns(ctx, c, n, opt, deliver); err != nil {
+			err := streamTripRuns(ctx, c, n, opt, deliver)
+			e.recycleCSR(c)
+			if err != nil {
 				return err
 			}
 			e.emitStage(StageStreamTrips, 0)
@@ -376,7 +385,7 @@ func RunWindowed(ctx context.Context, s *linkstream.Stream, opt Options, segment
 	if e.workers <= 0 {
 		e.workers = runtime.GOMAXPROCS(0)
 	}
-	e.blocks = temporal.DestBlocks(e.n)
+	e.blocks = temporal.DestBlocksFor(e.n, e.width)
 	maxInFlight := opt.MaxInFlight
 	if maxInFlight <= 0 {
 		maxInFlight = DefaultMaxInFlight

@@ -34,7 +34,23 @@ type CSR struct {
 	// lazily; nil when the key span is too large to tabulate.
 	recipOnce sync.Once
 	recip     []float64
+
+	// arena links a pooled CSR back to its backing-array set; nil for
+	// plain-built CSRs. reused records whether that set came off a
+	// shelf. See BuildCSRArena/RecycleCSR (arena.go).
+	arena  *csrArena
+	class  arenaClass
+	reused bool
 }
+
+// ArenaBacked reports whether the CSR's backing arrays belong to the
+// size-classed arena pool and are still attached (BuildCSRArena built
+// it and RecycleCSR has not yet reclaimed it).
+func (c *CSR) ArenaBacked() bool { return c.arena != nil }
+
+// ArenaReused reports whether the CSR's arena was reused from a shelf
+// rather than freshly allocated; always false for plain-built CSRs.
+func (c *CSR) ArenaReused() bool { return c.reused }
 
 // maxRecipSpan bounds the reciprocal table: series keys are window
 // indices (tiny spans), stream keys are raw timestamps (tabulated up to
@@ -42,7 +58,10 @@ type CSR struct {
 const maxRecipSpan = 1 << 22
 
 // recipTable returns the 1/duration lookup table, or nil when the key
-// span exceeds maxRecipSpan.
+// span exceeds maxRecipSpan. Arena-backed CSRs reuse the arena's table
+// buffer when its capacity suffices (the values are recomputed — only
+// the allocation is saved, and for stream-keyed periods it is the
+// single largest one).
 func (c *CSR) recipTable() []float64 {
 	c.recipOnce.Do(func() {
 		if len(c.Keys) == 0 {
@@ -52,7 +71,12 @@ func (c *CSR) recipTable() []float64 {
 		if span >= maxRecipSpan {
 			return
 		}
-		t := make([]float64, span+1)
+		var t []float64
+		if a := c.arena; a != nil && int64(cap(a.recip)) > span {
+			t = a.recip[:span+1]
+		} else {
+			t = make([]float64, span+1)
+		}
 		for d := range t {
 			t[d] = 1 / float64(d+1)
 		}
@@ -160,6 +184,14 @@ func BuildCSR(events []linkstream.Event, t0, delta int64, scratch *CSRScratch) *
 		return c
 	}
 	c.Ends = make([]int32, 0, 2*len(events))
+	buildCSRInto(c, events, t0, delta, scratch)
+	return c
+}
+
+// buildCSRInto runs the bucketise-and-compact build of BuildCSR into
+// c's (possibly arena-backed, zero-length) Keys/Off/Ends slices. events
+// must be non-empty.
+func buildCSRInto(c *CSR, events []linkstream.Event, t0, delta int64, scratch *CSRScratch) {
 	i := 0
 	for i < len(events) {
 		k := (events[i].T - t0) / delta
@@ -180,7 +212,6 @@ func BuildCSR(events []linkstream.Event, t0, delta int64, scratch *CSRScratch) *
 		i = end
 	}
 	c.Off = append(c.Off, len(c.Ends)/2)
-	return c
 }
 
 // occChunkLen is the fixed capacity of occupancy sink chunks: big
@@ -205,12 +236,13 @@ const unreachPacked = int64(math.MaxInt32) << 32
 // candidate this layer" is one compare against the slot itself.
 const noCand = int64(math.MaxInt64)
 
-// destBlockSize is the number of destinations the occupancy sweep
-// processes per pass over the layers. Blocking amortises the edge
-// stream (loads, loop control) across lanes: one (u, v) read feeds
-// destBlockSize independent relaxations whose state interleaves in
-// adjacent slots, so a node's lanes share a cache line.
-const destBlockSize = 4
+// The blocked sweep processes width destinations per pass over the
+// layers, with width one of the compiled kernel widths (lanes.go).
+// Blocking amortises the edge stream (loads, loop control) across
+// lanes: one (u, v) read feeds width independent relaxations whose
+// state interleaves in adjacent slots, so a node's lanes share a cache
+// line (all eight lanes of the 8-wide kernel span exactly one 64-byte
+// line).
 
 // sweepState is the per-worker scratch of the CSR sweep: 8 bytes of
 // standing state and 8 bytes of per-layer candidate state per node (per
@@ -219,21 +251,25 @@ const destBlockSize = 4
 // re-copies every element O(log n) times, which profiled as ~25% of the
 // whole sweep.
 type sweepState struct {
+	width     int     // lane width of the blocked sweep (4 or 8)
+	shift     uint    // log2(width): node = slot >> shift, lane = slot & (width-1)
 	node      []int64 // packed (arrIdx, hops); unreachPacked if unreachable
 	cand      []int64 // packed per-layer candidate; noCand at rest
 	seg       []int32 // layer index at which node's (arr, hop) became active
 	touched   []int32
-	nodeB     []int64               // destBlockSize-lane standing state, slot 4*node+lane
-	candB     []int64               // destBlockSize-lane candidates; noCand at rest
-	segB      []int32               // per-slot layer index of the standing state (distance segments)
-	occ       []float64             // active occupancy chunk, used when collectOcc
-	occChunks [][]float64           // completed chunks
-	trips     []Trip                // trip sink for CollectTrips
-	tripsB    [destBlockSize][]Trip // per-lane trip sinks of the full block sweep (ownership handed to the caller)
+	nodeB     []int64              // width-lane standing state, slot width*node+lane
+	candB     []int64              // width-lane candidates; noCand at rest
+	segB      []int32              // per-slot layer index of the standing state (distance segments)
+	occ       []float64            // active occupancy chunk, used when collectOcc
+	occChunks [][]float64          // completed chunks
+	trips     []Trip               // trip sink for CollectTrips
+	tripsB    [MaxLaneWidth][]Trip // per-lane trip sinks of the full block sweep (ownership handed to the caller)
 }
 
-func newSweepState(n int) *sweepState {
+func newSweepState(n, width int) *sweepState {
 	st := &sweepState{
+		width:   width,
+		shift:   laneShift(width),
 		node:    make([]int64, n),
 		cand:    make([]int64, n),
 		seg:     make([]int32, n),
@@ -246,17 +282,18 @@ func newSweepState(n int) *sweepState {
 }
 
 // statePool recycles sweep states across calls (and benchmark
-// iterations); entries of the wrong size are dropped on Get.
+// iterations); entries of the wrong size or lane width are dropped on
+// Get.
 var statePool sync.Pool
 
-func getSweepState(n int) *sweepState {
+func getSweepState(n, width int) *sweepState {
 	if v := statePool.Get(); v != nil {
 		st := v.(*sweepState)
-		if len(st.node) == n {
+		if len(st.node) == n && st.width == width {
 			return st
 		}
 	}
-	return newSweepState(n)
+	return newSweepState(n, width)
 }
 
 func putSweepState(st *sweepState) {
@@ -455,18 +492,19 @@ func (st *sweepState) run(c *CSR, dest int32, directed bool, visit func(u int32,
 	}
 }
 
-// runOccBlock sweeps up to destBlockSize consecutive destinations
-// (first, first+1, ...) in one pass over the layers, appending every
-// minimal trip's occupancy to the chunk sink. Lane b holds destination
-// first+b; lanes past ndests stay entirely unreachable (their pins are
-// never set), so every relaxation on them fails the single compare and
-// they are inert. Semantically this is exactly ndests independent runs
-// of the single-destination sweep.
+// runOccBlock sweeps up to width consecutive destinations (first,
+// first+1, ...) in one pass over the layers, appending every minimal
+// trip's occupancy to the chunk sink. Lane b holds destination first+b;
+// lanes past ndests stay entirely unreachable (their pins are never
+// set), so every relaxation on them fails the single compare and they
+// are inert. Semantically this is exactly ndests independent runs of
+// the single-destination sweep, for every lane width.
 func (st *sweepState) runOccBlock(c *CSR, first int32, ndests int, directed bool) {
 	n := len(st.node)
+	width := st.width
 	if st.nodeB == nil {
-		st.nodeB = make([]int64, destBlockSize*n)
-		st.candB = make([]int64, destBlockSize*n)
+		st.nodeB = make([]int64, width*n)
+		st.candB = make([]int64, width*n)
 		for i := range st.candB {
 			st.candB[i] = noCand
 		}
@@ -489,87 +527,9 @@ func (st *sweepState) runOccBlock(c *CSR, first int32, ndests int, directed bool
 		// Pin each lane's own destination to (li, 0 hops); see run.
 		pin := int64(li) << 32
 		for b := 0; b < ndests; b++ {
-			nodeB[destBlockSize*int(first+int32(b))+b] = pin
+			nodeB[width*int(first+int32(b))+b] = pin
 		}
-		edges := ends[2*off[li] : 2*off[li+1]]
-		for j := 0; j+1 < len(edges); j += 2 {
-			bu := destBlockSize * int(edges[j])
-			bv := destBlockSize * int(edges[j+1])
-			// Manually unrolled over the destBlockSize lanes: the
-			// compiler does not unroll the short inner loop, and the
-			// whole point of blocking is straight-line work per edge.
-			nu := nodeB[bu : bu+4 : bu+4]
-			nv := nodeB[bv : bv+4 : bv+4]
-			pu0, pu1, pu2, pu3 := nu[0], nu[1], nu[2], nu[3]
-			pv0, pv1, pv2, pv3 := nv[0], nv[1], nv[2], nv[3]
-			if p := pv0 + 1; p < pu0 {
-				if cnd := candB[bu]; p < cnd {
-					if cnd == noCand {
-						touched = append(touched, int32(bu))
-					}
-					candB[bu] = p
-				}
-			}
-			if p := pv1 + 1; p < pu1 {
-				if cnd := candB[bu+1]; p < cnd {
-					if cnd == noCand {
-						touched = append(touched, int32(bu+1))
-					}
-					candB[bu+1] = p
-				}
-			}
-			if p := pv2 + 1; p < pu2 {
-				if cnd := candB[bu+2]; p < cnd {
-					if cnd == noCand {
-						touched = append(touched, int32(bu+2))
-					}
-					candB[bu+2] = p
-				}
-			}
-			if p := pv3 + 1; p < pu3 {
-				if cnd := candB[bu+3]; p < cnd {
-					if cnd == noCand {
-						touched = append(touched, int32(bu+3))
-					}
-					candB[bu+3] = p
-				}
-			}
-			if directed {
-				continue
-			}
-			if p := pu0 + 1; p < pv0 {
-				if cnd := candB[bv]; p < cnd {
-					if cnd == noCand {
-						touched = append(touched, int32(bv))
-					}
-					candB[bv] = p
-				}
-			}
-			if p := pu1 + 1; p < pv1 {
-				if cnd := candB[bv+1]; p < cnd {
-					if cnd == noCand {
-						touched = append(touched, int32(bv+1))
-					}
-					candB[bv+1] = p
-				}
-			}
-			if p := pu2 + 1; p < pv2 {
-				if cnd := candB[bv+2]; p < cnd {
-					if cnd == noCand {
-						touched = append(touched, int32(bv+2))
-					}
-					candB[bv+2] = p
-				}
-			}
-			if p := pu3 + 1; p < pv3 {
-				if cnd := candB[bv+3]; p < cnd {
-					if cnd == noCand {
-						touched = append(touched, int32(bv+3))
-					}
-					candB[bv+3] = p
-				}
-			}
-		}
+		touched = st.relaxLanes(ends[2*off[li]:2*off[li+1]], directed, touched)
 		for _, slot := range touched {
 			p, old := candB[slot], nodeB[slot]
 			candB[slot] = noCand
@@ -593,7 +553,7 @@ func (st *sweepState) runOccBlock(c *CSR, first int32, ndests int, directed bool
 }
 
 // runFullBlock is runOccBlock with the full product fan-out: the same
-// 4-lane blocked relax loop, but the commit phase can additionally emit
+// blocked relax kernel, but the commit phase can additionally emit
 // every minimal trip into per-lane sinks (st.tripsB, lane b holding
 // destination first+b, so concatenating lanes in order yields the exact
 // destination-major, departure-descending trip order of consecutive
@@ -602,19 +562,21 @@ func (st *sweepState) runOccBlock(c *CSR, first int32, ndests int, directed bool
 // sequence of segment operations is identical to the single-destination
 // sweep's — lanes evolve independently and a slot's commits interleave
 // with other lanes' without reordering its own — so the accumulated
-// floating-point sums match st.run bit for bit.
+// floating-point sums match st.run bit for bit, at every lane width.
 func (st *sweepState) runFullBlock(c *CSR, first int32, ndests int, directed bool, wantTrips, wantOcc bool, sink *DistSink) {
 	n := len(st.node)
+	width, shift := st.width, st.shift
+	laneMask := int32(width - 1)
 	if st.nodeB == nil {
-		st.nodeB = make([]int64, destBlockSize*n)
-		st.candB = make([]int64, destBlockSize*n)
+		st.nodeB = make([]int64, width*n)
+		st.candB = make([]int64, width*n)
 		for i := range st.candB {
 			st.candB[i] = noCand
 		}
 	}
 	needSeg := sink != nil
 	if needSeg && st.segB == nil {
-		st.segB = make([]int32, destBlockSize*n)
+		st.segB = make([]int32, width*n)
 	}
 	nodeB, candB, segB := st.nodeB, st.candB, st.segB
 	for i := range nodeB {
@@ -645,90 +607,14 @@ func (st *sweepState) runFullBlock(c *CSR, first int32, ndests int, directed boo
 		// Pin each lane's own destination to (li, 0 hops); see run.
 		pin := int64(li) << 32
 		for b := 0; b < ndests; b++ {
-			nodeB[destBlockSize*int(first+int32(b))+b] = pin
+			nodeB[width*int(first+int32(b))+b] = pin
 		}
-		edges := ends[2*off[li] : 2*off[li+1]]
-		for j := 0; j+1 < len(edges); j += 2 {
-			bu := destBlockSize * int(edges[j])
-			bv := destBlockSize * int(edges[j+1])
-			// Same manually unrolled lanes as runOccBlock.
-			nu := nodeB[bu : bu+4 : bu+4]
-			nv := nodeB[bv : bv+4 : bv+4]
-			pu0, pu1, pu2, pu3 := nu[0], nu[1], nu[2], nu[3]
-			pv0, pv1, pv2, pv3 := nv[0], nv[1], nv[2], nv[3]
-			if p := pv0 + 1; p < pu0 {
-				if cnd := candB[bu]; p < cnd {
-					if cnd == noCand {
-						touched = append(touched, int32(bu))
-					}
-					candB[bu] = p
-				}
-			}
-			if p := pv1 + 1; p < pu1 {
-				if cnd := candB[bu+1]; p < cnd {
-					if cnd == noCand {
-						touched = append(touched, int32(bu+1))
-					}
-					candB[bu+1] = p
-				}
-			}
-			if p := pv2 + 1; p < pu2 {
-				if cnd := candB[bu+2]; p < cnd {
-					if cnd == noCand {
-						touched = append(touched, int32(bu+2))
-					}
-					candB[bu+2] = p
-				}
-			}
-			if p := pv3 + 1; p < pu3 {
-				if cnd := candB[bu+3]; p < cnd {
-					if cnd == noCand {
-						touched = append(touched, int32(bu+3))
-					}
-					candB[bu+3] = p
-				}
-			}
-			if directed {
-				continue
-			}
-			if p := pu0 + 1; p < pv0 {
-				if cnd := candB[bv]; p < cnd {
-					if cnd == noCand {
-						touched = append(touched, int32(bv))
-					}
-					candB[bv] = p
-				}
-			}
-			if p := pu1 + 1; p < pv1 {
-				if cnd := candB[bv+1]; p < cnd {
-					if cnd == noCand {
-						touched = append(touched, int32(bv+1))
-					}
-					candB[bv+1] = p
-				}
-			}
-			if p := pu2 + 1; p < pv2 {
-				if cnd := candB[bv+2]; p < cnd {
-					if cnd == noCand {
-						touched = append(touched, int32(bv+2))
-					}
-					candB[bv+2] = p
-				}
-			}
-			if p := pu3 + 1; p < pv3 {
-				if cnd := candB[bv+3]; p < cnd {
-					if cnd == noCand {
-						touched = append(touched, int32(bv+3))
-					}
-					candB[bv+3] = p
-				}
-			}
-		}
+		touched = st.relaxLanes(ends[2*off[li]:2*off[li+1]], directed, touched)
 		for _, slot := range touched {
 			p, old := candB[slot], nodeB[slot]
 			candB[slot] = noCand
 			nodeB[slot] = p
-			lane := int(slot) % destBlockSize
+			lane := int(slot & laneMask)
 			if needSeg {
 				if old != unreachPacked {
 					sink.accs[int(first)+lane].addSegment(keys[old>>32], key+1, keys[segB[slot]], int32(old))
@@ -738,7 +624,7 @@ func (st *sweepState) runFullBlock(c *CSR, first int32, ndests int, directed boo
 			if p>>32 < old>>32 {
 				if wantTrips {
 					st.tripsB[lane] = append(st.tripsB[lane], Trip{
-						U: int32(slot) / destBlockSize, V: first + int32(lane),
+						U: slot >> shift, V: first + int32(lane),
 						Dep: key, Arr: keys[p>>32], Hops: int32(p),
 					})
 				}
@@ -754,7 +640,7 @@ func (st *sweepState) runFullBlock(c *CSR, first int32, ndests int, directed boo
 		// Per destination, flush the final standing segments in node
 		// order — the same order st.run's tail loop uses.
 		for u := 0; u < n; u++ {
-			base := destBlockSize * u
+			base := width * u
 			for b := 0; b < ndests; b++ {
 				if int32(u) == first+int32(b) {
 					continue
@@ -771,12 +657,13 @@ func (st *sweepState) runFullBlock(c *CSR, first int32, ndests int, directed boo
 // forEachDestCSR runs fn for every destination on cfg.Workers parallel
 // workers, each owning one pooled sweep state.
 func forEachDestCSR(cfg Config, fn func(dest int32, st *sweepState)) {
+	width := ResolveLaneWidth(cfg.LaneWidth)
 	w := cfg.workers()
 	if w > cfg.N {
 		w = cfg.N
 	}
 	if w <= 1 {
-		st := getSweepState(cfg.N)
+		st := getSweepState(cfg.N, width)
 		for d := int32(0); int(d) < cfg.N; d++ {
 			fn(d, st)
 		}
@@ -789,7 +676,7 @@ func forEachDestCSR(cfg Config, fn func(dest int32, st *sweepState)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			st := getSweepState(cfg.N)
+			st := getSweepState(cfg.N, width)
 			for {
 				d := next.Add(1) - 1
 				if d >= int64(cfg.N) {
@@ -805,12 +692,12 @@ func forEachDestCSR(cfg Config, fn func(dest int32, st *sweepState)) {
 
 // CollectTripsCSR returns every minimal trip of the CSR graph in
 // destination-major order — destinations in increasing id, departures
-// strictly decreasing per (source, destination) — for any worker count.
-// It runs the same blocked lane sweep as the unified engine (LanesPerBlock
-// destinations per layer pass, parallel over destination blocks), so the
-// reference and engine trip producers share one relax loop; lanes are
-// concatenated in block order, which reproduces the order consecutive
-// single-destination sweeps would emit.
+// strictly decreasing per (source, destination) — for any worker count
+// and lane width. It runs the same blocked lane sweep as the unified
+// engine (width destinations per layer pass, parallel over destination
+// blocks), so the reference and engine trip producers share one relax
+// loop; lanes are concatenated in block order, which reproduces the
+// order consecutive single-destination sweeps would emit.
 func CollectTripsCSR(cfg Config, c *CSR) []Trip {
 	lanes := CollectTripLanes(cfg, c)
 	total := 0
@@ -833,7 +720,8 @@ func CollectTripsCSR(cfg Config, c *CSR) []Trip {
 // copy. Ownership of the lanes passes to the caller; hand them back
 // with RecycleTrips when done.
 func CollectTripLanes(cfg Config, c *CSR) [][]Trip {
-	blocks := DestBlocks(cfg.N)
+	width := ResolveLaneWidth(cfg.LaneWidth)
+	blocks := DestBlocksFor(cfg.N, width)
 	w := cfg.workers()
 	if w > blocks {
 		w = blocks
@@ -841,13 +729,12 @@ func CollectTripLanes(cfg Config, c *CSR) [][]Trip {
 	if w < 1 {
 		w = 1
 	}
-	lanes := make([][]Trip, LanesPerBlock*blocks)
+	lanes := make([][]Trip, width*blocks)
 	if w == 1 {
-		wk := NewWorker(cfg.N)
+		wk := NewWorkerWidth(cfg.N, width)
 		defer wk.Release()
 		for b := 0; b < blocks; b++ {
-			bl := wk.SweepFullBlock(c, cfg.Directed, b, true, false, nil)
-			copy(lanes[LanesPerBlock*b:], bl[:])
+			wk.SweepFullBlock(c, cfg.Directed, b, true, false, nil, lanes[width*b:width*(b+1)])
 		}
 		return lanes[:cfg.N]
 	}
@@ -857,15 +744,14 @@ func CollectTripLanes(cfg Config, c *CSR) [][]Trip {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			wk := NewWorker(cfg.N)
+			wk := NewWorkerWidth(cfg.N, width)
 			defer wk.Release()
 			for {
 				b := int(next.Add(1) - 1)
 				if b >= blocks {
 					return
 				}
-				bl := wk.SweepFullBlock(c, cfg.Directed, b, true, false, nil)
-				copy(lanes[LanesPerBlock*b:], bl[:])
+				wk.SweepFullBlock(c, cfg.Directed, b, true, false, nil, lanes[width*b:width*(b+1)])
 			}
 		}()
 	}
@@ -873,20 +759,23 @@ func CollectTripLanes(cfg Config, c *CSR) [][]Trip {
 	return lanes[:cfg.N]
 }
 
-// DestBlocks returns the number of destination blocks the blocked
-// occupancy sweep schedules for n nodes; block b covers destinations
-// [b*destBlockSize, min((b+1)*destBlockSize, n)).
-func DestBlocks(n int) int { return (n + destBlockSize - 1) / destBlockSize }
+// DestBlocksFor returns the number of destination blocks the blocked
+// sweep schedules for n nodes at the given (resolved) lane width; block
+// b covers destinations [b*width, min((b+1)*width, n)).
+func DestBlocksFor(n, width int) int { return (n + width - 1) / width }
 
 // OccupanciesCSR returns the occupancy rates of all minimal trips of
 // the CSR graph. This is the hot path of the occupancy method:
-// destinations are swept destBlockSize at a time, occupancies
-// accumulate into fixed-size chunks per worker and are assembled into
-// the exact-size result once, so the allocation count is O(trips /
-// chunk size + workers), not O(destinations), and no value is copied
-// more than once.
+// destinations are swept a lane block at a time, occupancies accumulate
+// into fixed-size chunks per worker and are assembled into the
+// exact-size result once, so the allocation count is O(trips / chunk
+// size + workers), not O(destinations), and no value is copied more
+// than once. The per-destination value runs are identical for every
+// lane width; only their interleaving across destinations varies, and
+// every consumer is order-independent (sorted samples, histograms).
 func OccupanciesCSR(cfg Config, c *CSR) []float64 {
-	blocks := DestBlocks(cfg.N)
+	width := ResolveLaneWidth(cfg.LaneWidth)
+	blocks := DestBlocksFor(cfg.N, width)
 	w := cfg.workers()
 	if w > blocks {
 		w = blocks
@@ -902,14 +791,14 @@ func OccupanciesCSR(cfg Config, c *CSR) []float64 {
 		wg.Add(1)
 		go func(slot int) {
 			defer wg.Done()
-			st := getSweepState(cfg.N)
+			st := getSweepState(cfg.N, width)
 			for {
 				b := int(next.Add(1) - 1)
 				if b >= blocks {
 					break
 				}
-				first := b * destBlockSize
-				ndests := min(destBlockSize, cfg.N-first)
+				first := b * width
+				ndests := min(width, cfg.N-first)
 				st.runOccBlock(c, int32(first), ndests, cfg.Directed)
 			}
 			chunkLists[slot], totals[slot] = st.takeOcc()
@@ -986,11 +875,23 @@ func (s *DistSink) Stats() DistanceStats {
 // goroutine). Release returns its state to the engine pool.
 type Worker struct{ st *sweepState }
 
-// NewWorker returns a worker for graphs with n nodes.
-func NewWorker(n int) *Worker { return &Worker{st: getSweepState(n)} }
+// NewWorker returns a worker for graphs with n nodes, sweeping at the
+// architecture's default lane width.
+func NewWorker(n int) *Worker { return NewWorkerWidth(n, 0) }
+
+// NewWorkerWidth returns a worker for graphs with n nodes sweeping
+// width destinations per blocked pass; width 0 selects
+// DefaultLaneWidth. Every worker of one engine run must use the same
+// width — block indices are width-relative.
+func NewWorkerWidth(n, width int) *Worker {
+	return &Worker{st: getSweepState(n, ResolveLaneWidth(width))}
+}
+
+// Width returns the worker's resolved lane width.
+func (w *Worker) Width() int { return w.st.width }
 
 // SweepOccupancyBlock runs the blocked backward sweep for destination
-// block b (see DestBlocks) and accumulates the occupancy of every
+// block b (see DestBlocksFor) and accumulates the occupancy of every
 // minimal trip in the worker's chunk sink. It is the work-item
 // primitive of the multi-delta sweep pipeline (core): the caller owns
 // the worker loop, reuses one Worker across all (delta, block) items of
@@ -998,46 +899,46 @@ func NewWorker(n int) *Worker { return &Worker{st: getSweepState(n)} }
 // boundaries.
 func (w *Worker) SweepOccupancyBlock(c *CSR, directed bool, b int) {
 	n := len(w.st.node)
-	first := b * destBlockSize
-	w.st.runOccBlock(c, int32(first), min(destBlockSize, n-first), directed)
+	width := w.st.width
+	first := b * width
+	w.st.runOccBlock(c, int32(first), min(width, n-first), directed)
 }
 
-// LanesPerBlock is the number of destination lanes of one block of the
-// blocked sweep: lane l of block b holds destination b*LanesPerBlock+l.
-const LanesPerBlock = destBlockSize
-
 // SweepFullBlock runs the blocked backward sweep for destination block
-// b (see DestBlocks), fanning the products of that one pass out:
+// b (see DestBlocksFor), fanning the products of that one pass out:
 // occupancies go to the worker's chunk sink (when wantOcc), distance
 // segments accumulate into sink's per-destination slots (when sink is
 // non-nil), and — when wantTrips — the block's minimal trips are
-// returned as LanesPerBlock per-destination slices whose ownership
-// passes to the caller; lane l, in departure-descending order, holds
-// exactly the trips a single-destination sweep of destination
-// b*LanesPerBlock+l would emit, in the same order, so concatenating
-// lanes block by block reproduces the destination-major trip order
-// without ever copying a trip. It is the work-item primitive of the
-// unified sweep engine for metric sets beyond pure occupancy; each
-// destination is swept exactly once regardless of how many products
-// are requested.
-func (w *Worker) SweepFullBlock(c *CSR, directed bool, b int, wantTrips, wantOcc bool, sink *DistSink) [LanesPerBlock][]Trip {
+// written into out, one per-destination slice per lane, with ownership
+// passing to the caller; out must hold at least Width() entries (only
+// the block's live lanes are assigned, trailing entries of a partial
+// final block are left untouched). Lane l, in departure-descending
+// order, holds exactly the trips a single-destination sweep of
+// destination b*Width()+l would emit, in the same order, so
+// concatenating lanes block by block reproduces the destination-major
+// trip order without ever copying a trip — callers hand a slice of
+// their own lane table and the trips land in place. It is the
+// work-item primitive of the unified sweep engine for metric sets
+// beyond pure occupancy; each destination is swept exactly once
+// regardless of how many products are requested.
+func (w *Worker) SweepFullBlock(c *CSR, directed bool, b int, wantTrips, wantOcc bool, sink *DistSink, out [][]Trip) {
 	st := w.st
 	n := len(st.node)
-	first := b * destBlockSize
-	st.runFullBlock(c, int32(first), min(destBlockSize, n-first), directed, wantTrips, wantOcc, sink)
-	var lanes [LanesPerBlock][]Trip
+	width := st.width
+	first := b * width
+	ndests := min(width, n-first)
+	st.runFullBlock(c, int32(first), ndests, directed, wantTrips, wantOcc, sink)
 	if wantTrips {
 		handed := int64(0)
-		for i := range st.tripsB {
-			lanes[i] = st.tripsB[i]
+		for i := 0; i < ndests; i++ {
+			out[i] = st.tripsB[i]
 			st.tripsB[i] = nil
-			if cap(lanes[i]) > 0 {
+			if cap(out[i]) > 0 {
 				handed++
 			}
 		}
 		tripLanesHanded.Add(handed)
 	}
-	return lanes
 }
 
 // TakeOccupancies drains the worker's occupancy sink: the accumulated

@@ -60,9 +60,10 @@ func (t Trip) Occupancy() float64 {
 
 // Config carries the engine parameters shared by all entry points.
 type Config struct {
-	N        int  // number of nodes
-	Directed bool // follow edge orientation if true
-	Workers  int  // parallel destinations; <= 0 means GOMAXPROCS
+	N         int  // number of nodes
+	Directed  bool // follow edge orientation if true
+	Workers   int  // parallel destinations; <= 0 means GOMAXPROCS
+	LaneWidth int  // blocked-sweep lane width: 0 (auto), 4 or 8
 }
 
 func (c Config) workers() int {
@@ -278,7 +279,7 @@ func forEachDest(cfg Config, fn func(dest int32, st *destState)) {
 // departure per destination sweep.
 func ForEachTrip(cfg Config, layers []Layer, visit func(Trip)) {
 	c := FromLayers(layers)
-	st := getSweepState(cfg.N)
+	st := getSweepState(cfg.N, ResolveLaneWidth(cfg.LaneWidth))
 	for d := int32(0); int(d) < cfg.N; d++ {
 		st.run(c, d, cfg.Directed, func(u int32, dep, arr int64, hops int32) {
 			visit(Trip{U: u, V: d, Dep: dep, Arr: arr, Hops: hops})

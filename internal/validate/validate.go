@@ -438,12 +438,13 @@ type elongPartial struct {
 type elongShard struct {
 	o        *ElongationObserver
 	delta    int64
+	lanes    int // lanes per block of the run's blocked sweep
 	partials []elongPartial
 }
 
 // NewTripShard implements sweep.ShardedTripObserver.
-func (o *ElongationObserver) NewTripShard(delta int64, blocks int) sweep.TripShard {
-	return &elongShard{o: o, delta: delta, partials: make([]elongPartial, blocks*temporal.LanesPerBlock)}
+func (o *ElongationObserver) NewTripShard(delta int64, blocks, lanesPerBlock int) sweep.TripShard {
+	return &elongShard{o: o, delta: delta, lanes: lanesPerBlock, partials: make([]elongPartial, blocks*lanesPerBlock)}
 }
 
 // ObserveTripBlock scores one destination block of the period's minimal
@@ -453,7 +454,7 @@ func (s *elongShard) ObserveTripBlock(block int, lanes [][]temporal.Trip) error 
 		if len(lane) == 0 {
 			continue
 		}
-		pa := &s.partials[block*temporal.LanesPerBlock+l]
+		pa := &s.partials[block*s.lanes+l]
 		for _, tr := range lane {
 			if tr.Dep == tr.Arr {
 				continue // Definition 8 requires tu != tv

@@ -108,6 +108,8 @@ type planConfig struct {
 	gridPoints    int
 	minDelta      int64
 	refine        int
+	laneWidth     int
+	speculate     bool
 	metrics       [numMetrics]bool
 	metricsSet    bool
 	windows       []Window
@@ -223,6 +225,37 @@ func WithMinDelta(lo int64) Option {
 func WithRefine(extra int) Option {
 	return func(c *planConfig) error {
 		c.refine = extra
+		return nil
+	}
+}
+
+// WithLaneWidth pins the engine's destination-lane width: how many
+// destinations each blocked temporal-path sweep relaxes per edge pass.
+// 0 (the default) picks the architecture default (8 on 64-bit
+// amd64/arm64, 4 elsewhere); 4 and 8 force that width. Every width
+// produces bit-identical results — the knob trades per-edge
+// amortisation against per-lane state footprint, nothing else.
+func WithLaneWidth(width int) Option {
+	return func(c *planConfig) error {
+		if !sweep.ValidLaneWidth(width) {
+			return fmt.Errorf("repro: unsupported lane width %d (want 0, 4 or 8)", width)
+		}
+		c.laneWidth = width
+		return nil
+	}
+}
+
+// WithSpeculate switches the occupancy refinement to speculative
+// bracket bisection: each refinement round stages both candidate
+// half-midpoints of the bracket around the running maximum in a single
+// engine pass, instead of sweeping one midpoint and waiting for its
+// score before staging the next. WithRefine then bounds bisection
+// rounds rather than extra grid points. The ∆ sequence swept — and
+// therefore the reported scale and curve — is identical to serial
+// bisection's; only the pass batching differs.
+func WithSpeculate(speculate bool) Option {
+	return func(c *planConfig) error {
+		c.speculate = speculate
 		return nil
 	}
 }

@@ -101,6 +101,39 @@
 // share one layer arena and one backward sweep, and segments sharing an
 // event window share one raw-stream trip enumeration.
 //
+// # Performance tuning
+//
+// Every speed knob is bit-exact: any setting produces identical
+// results, only wall-clock and allocation profiles move.
+//
+// WithLaneWidth selects the sweep kernel width. The backward sweep
+// relaxes destinations in hand-unrolled blocks of 4 or 8 lanes; width
+// 0 (the default) resolves to 8 on amd64 and arm64 — a node's packed
+// int64 lanes span exactly one cache line, and the wider block halves
+// the layer passes per destination set — and 4 elsewhere. The lane
+// equivalence suites pin every width to the reference sweep bit for
+// bit.
+//
+// WithSpeculate turns on speculative bracket bisection for scale
+// searches. Serial bisection sweeps one bracket midpoint per engine
+// pass; speculation stages both half-midpoints of the current bracket
+// into a single fused pass, halving refinement passes while sweeping
+// the identical ∆ sequence (one of the two sweeps is discarded).
+// WithRefine bounds bisection rounds either way. Adaptive plans fuse
+// the speculative grids of the global and every per-segment search
+// into one windowed pass per round.
+//
+// Per-period layer arenas are pooled automatically, size-classed by
+// (nodes, events) powers of two, shelf-capped and idle-evicted so a
+// one-off huge period cannot pin memory under later tiny-period
+// churn. Report.EngineStats exposes the arena counters (handed,
+// reused, recycled); handed always equals recycled once a run
+// returns — on success, cancellation and observer failure alike.
+//
+// For binary-level tuning, `make pgo` profiles the fused hot-path
+// benchmarks per-benchmark, merges the CPU profiles into default.pgo
+// and rebuilds with -pgo; CI exercises the pipeline on every push.
+//
 // The subpackages under internal/ expose the full machinery:
 // aggregation (internal/series), the temporal-path engine
 // (internal/temporal), the sweep engine (internal/sweep), the
