@@ -14,6 +14,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"os"
+	"sync"
 
 	"repro/internal/adaptive"
 	"repro/internal/classic"
@@ -35,7 +38,15 @@ var ErrNoEvents = errors.New("repro: stream has no events")
 // is an independent execution reading the stream's current contents).
 type Plan struct {
 	s   *Stream
+	col *linkstream.Columnar // non-nil for WithStreamPath columnar plans
 	cfg planConfig
+
+	// Lazy whole-file materialisation of a columnar plan's stream, for
+	// consumers that need an in-memory Stream (adaptive analysis,
+	// ComputeStats); the engine itself never goes through it.
+	matOnce sync.Once
+	mat     *Stream
+	matErr  error
 }
 
 // NewAnalysis builds an analysis plan over the stream. The zero-option
@@ -58,9 +69,6 @@ type Plan struct {
 // once, and at most the configured MaxInFlight periods are resident at
 // any moment.
 func NewAnalysis(s *Stream, opts ...Option) (*Plan, error) {
-	if s == nil {
-		return nil, errors.New("repro: nil stream")
-	}
 	cfg := planConfig{}
 	cfg.metrics[MetricOccupancy] = true // default metric set
 	for _, o := range opts {
@@ -71,7 +79,30 @@ func NewAnalysis(s *Stream, opts ...Option) (*Plan, error) {
 			return nil, err
 		}
 	}
-	if s.NumEvents() == 0 {
+	var col *linkstream.Columnar
+	if cfg.streamPath != "" {
+		if s != nil {
+			return nil, errors.New("repro: WithStreamPath and a non-nil stream are mutually exclusive")
+		}
+		var err error
+		s, col, err = openStreamPath(cfg.streamPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if s == nil && col == nil {
+		return nil, errors.New("repro: nil stream")
+	}
+	numEvents := 0
+	if col != nil {
+		numEvents = col.NumEvents()
+	} else {
+		numEvents = s.NumEvents()
+	}
+	if numEvents == 0 {
+		if col != nil {
+			col.Close()
+		}
 		return nil, ErrNoEvents
 	}
 	if cfg.gridSet && len(cfg.grid) == 0 {
@@ -90,15 +121,29 @@ func NewAnalysis(s *Stream, opts ...Option) (*Plan, error) {
 		}
 	}
 	if !cfg.gridSet {
+		// Resolution/Duration sort an in-memory stream as a side effect,
+		// so they are only consulted when a grid must be derived — an
+		// explicit WithGrid leaves the stream untouched until Run. The
+		// columnar header answers both without touching the columns.
 		lo := cfg.minDelta
 		if lo <= 0 {
-			lo = s.Resolution()
+			if col != nil {
+				lo = col.Resolution()
+			} else {
+				lo = s.Resolution()
+			}
 		}
 		points := cfg.gridPoints
 		if points <= 0 {
 			points = core.DefaultGridPoints
 		}
-		cfg.grid = core.LogGrid(lo, s.Duration(), points)
+		dur := int64(0)
+		if col != nil {
+			dur = col.Duration()
+		} else {
+			dur = s.Duration()
+		}
+		cfg.grid = core.LogGrid(lo, dur, points)
 	}
 	if cfg.histogramBins > 0 && cfg.metricOn(MetricOccupancy) {
 		for _, sel := range cfg.selectors {
@@ -113,7 +158,70 @@ func NewAnalysis(s *Stream, opts ...Option) (*Plan, error) {
 	if len(cfg.windows) > 0 && !cfg.anyMetric() {
 		return nil, errors.New("repro: plan windows need at least one metric")
 	}
-	return &Plan{s: s, cfg: cfg}, nil
+	return &Plan{s: s, col: col, cfg: cfg}, nil
+}
+
+// openStreamPath opens a stream file by its leading magic: columnar
+// (LSC) files become a memory-mapped view handed to the engine as-is,
+// binary (LSB) and text files are parsed into memory.
+func openStreamPath(path string) (*Stream, *linkstream.Columnar, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var magic [4]byte
+	n, _ := io.ReadFull(f, magic[:])
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if n == 4 && linkstream.IsColumnarMagic(magic[:]) {
+		f.Close()
+		col, err := linkstream.OpenMapped(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, col, nil
+	}
+	defer f.Close()
+	s := NewStream()
+	if err := s.ReadAny(f); err != nil {
+		return nil, nil, err
+	}
+	return s, nil, nil
+}
+
+// engineSource returns what the engine passes consume: the mapped
+// columnar view for WithStreamPath columnar plans (pre-sorted, sliced
+// through the file's skip index), the in-memory stream otherwise.
+func (p *Plan) engineSource() sweep.StreamSource {
+	if p.col != nil {
+		return p.col
+	}
+	return p.s
+}
+
+// Stream returns the plan's stream: the one NewAnalysis received, or —
+// for a WithStreamPath columnar plan — the file's contents materialised
+// into memory (decoded once and cached). The engine does not use this
+// path; it exists for consumers that need the whole stream in memory,
+// like the adaptive segmentation and ComputeStats.
+func (p *Plan) Stream() (*Stream, error) {
+	if p.s != nil {
+		return p.s, nil
+	}
+	p.matOnce.Do(func() { p.mat, p.matErr = p.col.Stream() })
+	return p.mat, p.matErr
+}
+
+// Close releases resources a WithStreamPath plan holds on behalf of
+// the caller — the columnar file mapping. Plans over in-memory streams
+// hold nothing; calling Close on them (or twice) is a no-op.
+func (p *Plan) Close() error {
+	if p.col != nil {
+		return p.col.Close()
+	}
+	return nil
 }
 
 // Run executes the plan and returns its Report. An already-cancelled
@@ -164,6 +272,7 @@ func (p *Plan) newMetricObservers() (metricObservers, []sweep.Observer) {
 	}
 	if p.cfg.metricOn(MetricElongation) {
 		mo.elong = validate.NewElongationObserver()
+		mo.elong.SpillBytes = p.cfg.elongSpill
 		obs = append(obs, mo.elong)
 	}
 	return mo, obs
@@ -252,14 +361,18 @@ func (p *Plan) runStandard(ctx context.Context) (*Report, error) {
 	}
 	if len(c.windows) > 0 {
 		// Window grids default to the window's own resolution and span,
-		// exactly like the adaptive per-segment grids.
-		p.s.Sort()
-		events := p.s.Events()
+		// exactly like the adaptive per-segment grids. A columnar source
+		// materialises just the window's span here, through the skip
+		// index — not the whole file.
+		src := p.engineSource()
 		for i := range c.windows {
 			w := &c.windows[i]
 			grid := w.Grid
 			if len(grid) == 0 {
-				sub := linkstream.WindowEvents(events, w.Start, w.End)
+				sub, _, err := src.EngineEvents(w.Start, w.End, false)
+				if err != nil {
+					return nil, err
+				}
 				if len(sub) == 0 {
 					return nil, fmt.Errorf("repro: window [%d, %d) has no events", w.Start, w.End)
 				}
@@ -329,7 +442,7 @@ func (p *Plan) runStandard(ctx context.Context) (*Report, error) {
 				c.progress(ev)
 			}
 		}
-		if err := sweep.RunWindowed(ctx, p.s, engOpt, batch...); err != nil {
+		if err := sweep.RunSource(ctx, p.engineSource(), engOpt, batch...); err != nil {
 			return nil, err
 		}
 		for _, sr := range waiting {
@@ -382,7 +495,13 @@ func (p *Plan) runAdaptive(ctx context.Context) (*Report, error) {
 	acfg.Stats = &stats
 	acfg.Progress = c.progress
 	mo, mobs := p.newMetricObservers()
-	a, err := adaptive.AnalyzeWith(ctx, p.s, acfg, append(mobs, c.observers...)...)
+	// The adaptive segmentation needs the whole stream in memory;
+	// columnar plans materialise it once here.
+	s, err := p.Stream()
+	if err != nil {
+		return nil, err
+	}
+	a, err := adaptive.AnalyzeWith(ctx, s, acfg, append(mobs, c.observers...)...)
 	if err != nil {
 		return nil, err
 	}

@@ -8,9 +8,13 @@ package repro
 // DESIGN.md §6.
 
 import (
+	"bytes"
 	"context"
 
 	"io"
+	"os"
+	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/adaptive"
@@ -612,6 +616,144 @@ func BenchmarkEngineMinimalTripsPrebuilt(b *testing.B) {
 		if len(occ) == 0 {
 			b.Fatal("no trips")
 		}
+	}
+}
+
+// --- Ingest benchmarks (out-of-core columnar linkstream) ---
+//
+// One synthetic message trace (~180k events), three ways into the
+// engine: parsing the text edge list (IngestText), decoding the
+// columnar file streamed into memory (IngestColumnar), and handing the
+// engine the memory-mapped columnar view directly (IngestMapped —
+// zero-parse, columns addressed in place). CI pairs the three
+// (tsbench -pair): mapped may never cost more than the streamed
+// decode, and the streamed decode may never cost more than the text
+// parse. IngestMappedWindow measures the windowed promise: a ~1% slice
+// resolved through the skip index touches only its own span.
+
+var (
+	ingestOnce     sync.Once
+	ingestText     []byte
+	ingestColumnar []byte
+	ingestPath     string
+	ingestErr      error
+)
+
+func ingestFixture(b *testing.B) {
+	b.Helper()
+	ingestOnce.Do(func() {
+		s, err := synth.MessageNetwork(synth.MessageConfig{
+			Nodes: 300, Days: 60, MsgsPerPersonDay: 10, Seed: 17,
+			ActivityExponent: 0.8, Reciprocity: 0.3, PartnerAffinity: 0.6,
+		})
+		if err != nil {
+			ingestErr = err
+			return
+		}
+		s.Sort()
+		var text bytes.Buffer
+		if _, err := s.WriteTo(&text); err != nil {
+			ingestErr = err
+			return
+		}
+		ingestText = text.Bytes()
+		var col bytes.Buffer
+		if err := s.WriteColumnar(&col, linkstream.ColumnarOptions{}); err != nil {
+			ingestErr = err
+			return
+		}
+		ingestColumnar = col.Bytes()
+		dir, err := os.MkdirTemp("", "repro-ingest-*")
+		if err != nil {
+			ingestErr = err
+			return
+		}
+		ingestPath = filepath.Join(dir, "trace.lsc")
+		ingestErr = os.WriteFile(ingestPath, ingestColumnar, 0o644)
+	})
+	if ingestErr != nil {
+		b.Fatal(ingestErr)
+	}
+}
+
+// BenchmarkIngestText: the baseline — parse the text edge list, sort,
+// and produce the engine's canonical event buffer.
+func BenchmarkIngestText(b *testing.B) {
+	ingestFixture(b)
+	b.SetBytes(int64(len(ingestText)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewStream()
+		if _, err := s.ReadEvents(bytes.NewReader(ingestText)); err != nil {
+			b.Fatal(err)
+		}
+		ev, _, err := s.EngineEvents(0, 0, true)
+		if err != nil || len(ev) == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestColumnar: decode the columnar bytes into an in-memory
+// stream (the ReadColumnar path), then produce the engine buffer.
+func BenchmarkIngestColumnar(b *testing.B) {
+	ingestFixture(b)
+	b.SetBytes(int64(len(ingestColumnar)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewStream()
+		if err := s.ReadColumnar(bytes.NewReader(ingestColumnar)); err != nil {
+			b.Fatal(err)
+		}
+		ev, _, err := s.EngineEvents(0, 0, true)
+		if err != nil || len(ev) == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestMapped: open the columnar file memory-mapped and hand
+// the engine its canonical event buffer straight off the file bytes —
+// no parse, no intermediate Stream.
+func BenchmarkIngestMapped(b *testing.B) {
+	ingestFixture(b)
+	b.SetBytes(int64(len(ingestColumnar)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := linkstream.OpenMapped(ingestPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev, pre, err := c.EngineEvents(0, 0, true)
+		if err != nil || !pre || len(ev) == 0 {
+			b.Fatal("mapped ingest lost the pre-sorted fast path")
+		}
+		c.Close()
+	}
+}
+
+// BenchmarkIngestMappedWindow: one windowed slice (~1% of the span)
+// off an already-open mapped view, resolved through the skip index.
+func BenchmarkIngestMappedWindow(b *testing.B) {
+	ingestFixture(b)
+	c, err := linkstream.OpenMapped(ingestPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	span := c.TimeMax() - c.TimeMin() + 1
+	start := c.TimeMin() + span/2
+	end := start + span/100
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, pre, err := c.EngineEvents(start, end, true)
+		if err != nil || !pre || len(ev) == 0 {
+			b.Fatal("windowed mapped slice failed")
+		}
+	}
+	b.StopTimer()
+	if c.SliceHits() < int64(b.N) {
+		b.Fatalf("skip index not used: %d hits for %d iterations", c.SliceHits(), b.N)
 	}
 }
 

@@ -1,0 +1,133 @@
+// Command tsconvert converts a link stream into the LSC columnar
+// format: column-separated time/source/destination arrays behind a
+// fixed header that carries the node table, the event count, the time
+// span and a sparse time→offset skip index. Columnar files open
+// memory-mapped (repro.WithStreamPath, tsscale/tsvalidate -stream), so
+// an analysis touches only the pages its windows cover and the engine
+// skips its sort pass entirely — the file is written time-sorted.
+//
+// The input may be text ("<u> <v> <t>" lines), LSB binary or an
+// existing LSC file (re-converted, e.g. to change -skip-every).
+//
+// Usage:
+//
+//	tsconvert -in stream.txt -o stream.lsc
+//	tsconvert -in stream.txt -o stream.lsc -dedup -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/linkstream"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tsconvert:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tsconvert", flag.ContinueOnError)
+	in := fs.String("in", "", "input stream file, any format — text, LSB binary, LSC columnar (default: stdin)")
+	out := fs.String("o", "", "output columnar file (required)")
+	skipEvery := fs.Int("skip-every", linkstream.DefaultSkipEvery,
+		"events per skip-index entry; smaller = finer windowed slicing, larger header")
+	dedup := fs.Bool("dedup", false, "drop exact duplicate events before writing")
+	verify := fs.Bool("verify", false, "re-open the written file memory-mapped and compare it event-for-event against the input")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-o is required")
+	}
+
+	var r io.Reader = stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	s := linkstream.New()
+	if err := s.ReadAny(r); err != nil {
+		return err
+	}
+	if s.NumEvents() == 0 {
+		return fmt.Errorf("no events read")
+	}
+	s.Sort()
+	if *dedup {
+		s.Dedup()
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	werr := s.WriteColumnar(f, linkstream.ColumnarOptions{SkipEvery: *skipEvery})
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(*out)
+		return werr
+	}
+
+	col, err := linkstream.OpenMapped(*out)
+	if err != nil {
+		return fmt.Errorf("re-opening %s: %w", *out, err)
+	}
+	defer col.Close()
+	if *verify {
+		if err := verifyAgainst(s, col); err != nil {
+			return fmt.Errorf("verify %s: %w", *out, err)
+		}
+	}
+
+	flags := "sorted"
+	if col.Canonical() {
+		flags += ",canonical"
+	}
+	fmt.Fprintf(stdout, "%s: %d events, %d nodes, span [%d, %d], %s, %d bytes, %d skip entries\n",
+		*out, col.NumEvents(), col.NumNodes(), col.TimeMin(), col.TimeMax(),
+		flags, col.Size(), col.SkipEntries())
+	if *verify {
+		fmt.Fprintln(stdout, "verify: mapped read-back matches input")
+	}
+	return nil
+}
+
+// verifyAgainst compares the mapped file event-for-event and
+// name-for-name against the stream that produced it.
+func verifyAgainst(s *linkstream.Stream, col *linkstream.Columnar) error {
+	if col.NumNodes() != s.NumNodes() {
+		return fmt.Errorf("node count mismatch: wrote %d, read %d", s.NumNodes(), col.NumNodes())
+	}
+	for i := 0; i < s.NumNodes(); i++ {
+		if s.NodeName(int32(i)) != col.NodeName(int32(i)) {
+			return fmt.Errorf("node %d name mismatch: wrote %q, read %q",
+				i, s.NodeName(int32(i)), col.NodeName(int32(i)))
+		}
+	}
+	got, _, err := col.EngineEvents(0, 0, false)
+	if err != nil {
+		return err
+	}
+	want := s.Events()
+	if len(got) != len(want) {
+		return fmt.Errorf("event count mismatch: wrote %d, read %d", len(want), len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("event %d mismatch: wrote %+v, read %+v", i, want[i], got[i])
+		}
+	}
+	return nil
+}

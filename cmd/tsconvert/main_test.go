@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/linkstream"
+)
+
+func streamText() string {
+	rng := rand.New(rand.NewSource(11))
+	var sb strings.Builder
+	sb.WriteString("# tsconvert test stream\n")
+	nodes := []string{"a", "b", "c", "d", "e"}
+	for i, u := range nodes {
+		for _, v := range nodes[i+1:] {
+			for k := 0; k < 6; k++ {
+				sb.WriteString(u + " " + v + " " + strconv.Itoa(rng.Intn(4000)) + "\n")
+			}
+		}
+	}
+	return sb.String()
+}
+
+func TestConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "stream.lsc")
+	var buf strings.Builder
+	err := run([]string{"-o", out, "-skip-every", "8", "-verify"},
+		strings.NewReader(streamText()), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "verify: mapped read-back matches input") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+
+	// The file must be a sorted columnar stream equal to the text parse.
+	col, err := linkstream.OpenMapped(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	if !col.Sorted() {
+		t.Fatal("tsconvert must write sorted files")
+	}
+	if col.SkipEntries() == 0 {
+		t.Fatal("skip index missing")
+	}
+	want := linkstream.New()
+	if _, err := want.ReadEvents(strings.NewReader(streamText())); err != nil {
+		t.Fatal(err)
+	}
+	want.Sort()
+	got, pre, err := col.EngineEvents(0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pre {
+		t.Fatal("sorted columnar file should report pre-sorted events")
+	}
+	if len(got) != want.NumEvents() {
+		t.Fatalf("events: got %d want %d", len(got), want.NumEvents())
+	}
+	for i, e := range want.Events() {
+		if got[i] != e {
+			t.Fatalf("event %d: got %+v want %+v", i, got[i], e)
+		}
+	}
+}
+
+func TestConvertDedupAndReconvert(t *testing.T) {
+	dir := t.TempDir()
+	text := "a b 5\na b 5\nb c 7\n"
+	first := filepath.Join(dir, "first.lsc")
+	var buf strings.Builder
+	if err := run([]string{"-o", first, "-dedup", "-verify"}, strings.NewReader(text), &buf); err != nil {
+		t.Fatal(err)
+	}
+	col, err := linkstream.OpenMapped(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.NumEvents() != 2 {
+		t.Fatalf("dedup kept %d events, want 2", col.NumEvents())
+	}
+	col.Close()
+
+	// An LSC file is itself valid tsconvert input (ReadAny dispatch).
+	second := filepath.Join(dir, "second.lsc")
+	buf.Reset()
+	if err := run([]string{"-in", first, "-o", second, "-verify"}, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(first)
+	b, _ := os.ReadFile(second)
+	if !bytes.Equal(a, b) {
+		t.Fatal("re-converting an LSC file must be byte-identical")
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		args []string
+		in   string
+	}{
+		{"missing -o", nil, "a b 1\n"},
+		{"empty stream", []string{"-o", filepath.Join(dir, "x.lsc")}, "# nothing\n"},
+		{"malformed stream", []string{"-o", filepath.Join(dir, "y.lsc")}, "a b notatime\n"},
+		{"bad flag", []string{"-skip-every", "zebra"}, ""},
+		{"missing input", []string{"-in", filepath.Join(dir, "nope.txt"), "-o", filepath.Join(dir, "z.lsc")}, ""},
+	}
+	for _, tc := range cases {
+		var buf strings.Builder
+		if err := run(tc.args, strings.NewReader(tc.in), &buf); err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+}

@@ -60,7 +60,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 
-	s, err := f.ReadStream(stdin)
+	s, inputOpts, err := f.Input(stdin)
 	if err != nil {
 		return err
 	}
@@ -70,6 +70,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		sels = repro.AllSelectors()
 	}
 	opts := f.PlanOptions(metrics...)
+	opts = append(opts, inputOpts...)
 	opts = append(opts, repro.WithRefine(*refine), repro.WithSelectors(sels...))
 	if *adaptiveMode {
 		// Execution knobs (orientation, workers, grid shape, refinement,
@@ -89,6 +90,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	defer plan.Close()
 	rep, err := plan.Run(context.Background())
 	if *progress {
 		fmt.Fprintln(os.Stderr)
@@ -98,7 +100,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	res, _ := rep.Scale()
 
-	st := s.ComputeStats()
+	// Stats come from the plan's view of the stream so -in and -stream
+	// print byte-identical headers (a mapped columnar input has no
+	// *Stream until asked for one).
+	ms, err := plan.Stream()
+	if err != nil {
+		return err
+	}
+	st := ms.ComputeStats()
 	fmt.Fprintf(stdout, "events: %d  nodes: %d  span: %ds  activity: %.3f msgs/person/day\n",
 		st.Events, st.Nodes, st.Span, st.EventsPerNodePerDay)
 	fmt.Fprintf(stdout, "saturation scale gamma = %d s (%.2f h) [selector %s, score %.4f]\n",

@@ -55,15 +55,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 
-	s, err := f.ReadStream(stdin)
+	s, inputOpts, err := f.Input(stdin)
 	if err != nil {
 		return err
 	}
 
-	plan, err := repro.NewAnalysis(s, f.PlanOptions(metrics...)...)
+	plan, err := repro.NewAnalysis(s, append(f.PlanOptions(metrics...), inputOpts...)...)
 	if err != nil {
 		return err
 	}
+	defer plan.Close()
 	rep, err := plan.Run(context.Background())
 	if err != nil {
 		return err

@@ -19,6 +19,8 @@ import (
 // exactly one plan option (see PlanOptions).
 type Flags struct {
 	In          string
+	Stream      string
+	ElongSpill  int64
 	Directed    bool
 	Points      int
 	MinDelta    int64
@@ -44,7 +46,11 @@ type Defaults struct {
 // struct they populate.
 func Bind(fs *flag.FlagSet, d Defaults) *Flags {
 	f := &Flags{}
-	fs.StringVar(&f.In, "in", "", "input stream file (default: stdin)")
+	fs.StringVar(&f.In, "in", "", "input stream file, any format — text, LSB binary, LSC columnar — parsed into memory (default: stdin)")
+	fs.StringVar(&f.Stream, "stream", "",
+		"input stream file handed to the plan by path (repro.WithStreamPath): columnar files (cmd/tsconvert) open memory-mapped, skip the engine's sort pass and let windowed passes read only their span; mutually exclusive with -in")
+	fs.Int64Var(&f.ElongSpill, "elong-spill", 0,
+		"cap resident bytes of the elongation pair-span arena; beyond it finished regions spill to an unlinked temp file re-read during scoring (0 = all in RAM; result is bit-identical)")
 	fs.BoolVar(&f.Directed, "directed", false, "respect link orientation")
 	fs.IntVar(&f.Points, "points", d.Points, "number of candidate periods to sweep")
 	fs.Int64Var(&f.MinDelta, "min", 0, "smallest candidate period (default: stream resolution)")
@@ -118,8 +124,28 @@ func (f *Flags) PlanOptions(metrics ...repro.Metric) []repro.Option {
 		repro.WithSpeculate(f.Speculate),
 		repro.WithGridPoints(f.Points),
 		repro.WithMinDelta(f.MinDelta),
+		repro.WithElongationSpill(f.ElongSpill),
 		repro.WithMetrics(metrics...),
 	}
+}
+
+// Input resolves the stream inputs of a command: with -stream the path
+// is handed to the plan (repro.WithStreamPath — columnar files are
+// mapped, never parsed) and the returned stream is nil; otherwise -in
+// (or stdin) is parsed into memory as before. Append the returned
+// options after PlanOptions when building the plan.
+func (f *Flags) Input(stdin io.Reader) (*repro.Stream, []repro.Option, error) {
+	if f.Stream != "" {
+		if f.In != "" {
+			return nil, nil, fmt.Errorf("-in and -stream are mutually exclusive")
+		}
+		return nil, []repro.Option{repro.WithStreamPath(f.Stream)}, nil
+	}
+	s, err := f.ReadStream(stdin)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, nil, nil
 }
 
 // ReadStream reads the link stream from -in, or from stdin when -in is
@@ -135,7 +161,7 @@ func (f *Flags) ReadStream(stdin io.Reader) (*repro.Stream, error) {
 		r = file
 	}
 	s := repro.NewStream()
-	if _, err := s.ReadEvents(r); err != nil {
+	if err := s.ReadAny(r); err != nil {
 		return nil, err
 	}
 	if s.NumEvents() == 0 {
@@ -147,7 +173,7 @@ func (f *Flags) ReadStream(stdin io.Reader) (*repro.Stream, error) {
 // EngineStatsLine renders a run's engine instrumentation in the shared
 // -engine-stats output format.
 func EngineStatsLine(st repro.EngineStats) string {
-	return fmt.Sprintf("engine: %d period CSR builds (+%d deduplicated), %d stream trip enumerations, peak %d periods resident, %d passes; arenas: %d handed (%d reused), %d recycled",
-		st.Builds, st.Dedups, st.StreamBuilds, st.MaxResident, st.Passes,
+	return fmt.Sprintf("engine: %d period CSR builds (+%d deduplicated), %d stream trip enumerations, peak %d periods resident, %d passes (%d sort-skipped); arenas: %d handed (%d reused), %d recycled",
+		st.Builds, st.Dedups, st.StreamBuilds, st.MaxResident, st.Passes, st.SortSkips,
 		st.ArenaHanded, st.ArenaReused, st.ArenaRecycled)
 }

@@ -11,7 +11,9 @@ import (
 
 // Binary stream format, for traces too large for the text edge-list:
 //
-//	magic "LSB1"
+//	magic "LSB" + one version byte ('1' for the current format, kept
+//	printable so version-1 files carry the historical "LSB1" prefix
+//	byte for byte)
 //	uvarint nodeCount, then nodeCount length-prefixed UTF-8 names
 //	uvarint eventCount, then per event:
 //	    uvarint u, uvarint v, svarint delta(t)  (t delta-encoded
@@ -19,11 +21,15 @@ import (
 //	    the stream's current order)
 //
 // Varint timestamps make sorted second-resolution traces a few bytes
-// per event.
+// per event. A reader encountering a version byte it does not know
+// refuses to decode rather than misreading a future layout as varint
+// soup.
 
-var binaryMagic = [4]byte{'L', 'S', 'B', '1'}
+var binaryMagic = [3]byte{'L', 'S', 'B'}
 
-// ErrBadMagic is returned when decoding a stream without the LSB1
+const binaryVersion = '1'
+
+// ErrBadMagic is returned when decoding a stream without the LSB
 // header.
 var ErrBadMagic = errors.New("linkstream: not a binary link stream (bad magic)")
 
@@ -31,6 +37,9 @@ var ErrBadMagic = errors.New("linkstream: not a binary link stream (bad magic)")
 func (s *Stream) WriteBinary(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binaryVersion); err != nil {
 		return err
 	}
 	var buf [binary.MaxVarintLen64]byte
@@ -82,8 +91,11 @@ func (s *Stream) ReadBinary(r io.Reader) error {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return fmt.Errorf("linkstream: reading magic: %w", err)
 	}
-	if magic != binaryMagic {
+	if [3]byte{magic[0], magic[1], magic[2]} != binaryMagic {
 		return ErrBadMagic
+	}
+	if magic[3] != binaryVersion {
+		return fmt.Errorf("linkstream: binary stream version %q not supported (this build reads version %q)", magic[3], byte(binaryVersion))
 	}
 	nodeCount, err := binary.ReadUvarint(br)
 	if err != nil {

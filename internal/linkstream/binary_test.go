@@ -48,6 +48,33 @@ func TestBinaryBadMagic(t *testing.T) {
 	}
 }
 
+// TestBinaryVersionRejected pins the forward-compatibility contract: a
+// file carrying the LSB magic with an unknown version byte is refused
+// with a version error, never misread as the current layout.
+func TestBinaryVersionRejected(t *testing.T) {
+	s := New()
+	if err := s.Add("a", "b", 5); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if data[3] != '1' {
+		t.Fatalf("version byte = %q, want '1' (v1 files keep the historical LSB1 prefix)", data[3])
+	}
+	data[3] = '2'
+	back := New()
+	err := back.ReadBinary(bytes.NewReader(data))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v, want a version error", err)
+	}
+	if errors.Is(err, ErrBadMagic) {
+		t.Fatal("an unknown version is not a bad magic")
+	}
+}
+
 func TestBinaryTruncated(t *testing.T) {
 	s := New()
 	if err := s.Add("a", "b", 5); err != nil {

@@ -1,0 +1,583 @@
+package linkstream
+
+// Columnar binary stream format (LSC): the out-of-core ingest
+// substrate. Unlike the row-oriented LSB codec (binary.go), which must
+// be decoded front to back, LSC stores the stream as three parallel
+// column arrays — times (int64), sources and destinations (int32) —
+// behind a fixed-size index header, so a reader can address any event
+// span directly in the file bytes without parsing anything it does not
+// need. The header carries the node table, event count, time min/max,
+// the stream resolution, a sorted/canonical flag pair, and a sparse
+// time→offset skip index sampling every SkipEvery-th event, so a
+// windowed [start, end) slice binary-searches the skip index and then
+// touches only the pages of its own span.
+//
+// Layout (all fixed-width fields little-endian):
+//
+//	magic "LSC" + version byte (1)
+//	u32 flags                     bit0 sorted, bit1 canonical (U < V)
+//	u64 nodeCount, u64 eventCount
+//	i64 timeMin, i64 timeMax, i64 resolution (0 = unknown)
+//	u64 namesOff, u64 namesLen    node table: uvarint len + bytes each
+//	u64 timesOff                  int64 column, 8-byte aligned
+//	u64 usOff, u64 vsOff          int32 columns
+//	u64 skipOff, u64 skipCount    (i64 time, u64 index) pairs, 8-aligned
+//	u64 skipEvery                 sampling stride the writer used
+//
+// Readers never reinterpret the byte slice as typed slices: all column
+// access goes through binary.LittleEndian, which is alignment-safe for
+// arbitrary input (mmap regions, io.ReadAll buffers, fuzzer corpora)
+// and compiles to single loads on the platforms we care about.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Columnar format constants.
+const (
+	columnarVersion    = 1
+	columnarHeaderSize = 112
+
+	columnarFlagSorted    = 1 << 0 // events stored in Sort order (T, U, V)
+	columnarFlagCanonical = 1 << 1 // every event already has U < V
+
+	// DefaultSkipEvery is the skip-index stride WriteColumnar uses when
+	// ColumnarOptions.SkipEvery is unset: one (time, offset) entry per
+	// 4096 events ≈ 16 B of index per 64 KiB of time column.
+	DefaultSkipEvery = 4096
+)
+
+var columnarMagic = [3]byte{'L', 'S', 'C'}
+
+// ErrBadColumnarMagic is returned when the input does not start with
+// the columnar magic bytes.
+var ErrBadColumnarMagic = errors.New("linkstream: columnar: bad magic (not an LSC stream)")
+
+// IsColumnarMagic reports whether b begins with the columnar (LSC)
+// stream magic. It needs at least 4 bytes to answer.
+func IsColumnarMagic(b []byte) bool {
+	return len(b) >= 4 && b[0] == 'L' && b[1] == 'S' && b[2] == 'C'
+}
+
+// IsBinaryMagic reports whether b begins with the row-binary (LSB)
+// stream magic. It needs at least 4 bytes to answer.
+func IsBinaryMagic(b []byte) bool {
+	return len(b) >= 4 && b[0] == 'L' && b[1] == 'S' && b[2] == 'B'
+}
+
+// ColumnarOptions configures WriteColumnar.
+type ColumnarOptions struct {
+	// SkipEvery is the skip-index sampling stride in events; one entry
+	// is written for every SkipEvery-th event. <= 0 selects
+	// DefaultSkipEvery.
+	SkipEvery int
+}
+
+// WriteColumnar encodes the stream in the columnar (LSC) format.
+// The events are written in their current order; call Sort first to
+// produce a file the engine can consume without re-sorting (tsconvert
+// always does). The sorted header flag is set only when the stream is
+// known sorted, and the canonical flag only when every event already
+// has U < V.
+func (s *Stream) WriteColumnar(w io.Writer, opt ColumnarOptions) error {
+	every := opt.SkipEvery
+	if every <= 0 {
+		every = DefaultSkipEvery
+	}
+
+	// Node table blob: uvarint(len) + bytes per name, in id order.
+	var names bytes.Buffer
+	var vbuf [binary.MaxVarintLen64]byte
+	for _, name := range s.names {
+		n := binary.PutUvarint(vbuf[:], uint64(len(name)))
+		names.Write(vbuf[:n])
+		names.WriteString(name)
+	}
+
+	flags := uint32(0)
+	if s.sorted {
+		flags |= columnarFlagSorted
+	}
+	canonical := true
+	var tMin, tMax int64
+	for i, e := range s.events {
+		if e.U > e.V {
+			canonical = false
+		}
+		if i == 0 || e.T < tMin {
+			tMin = e.T
+		}
+		if i == 0 || e.T > tMax {
+			tMax = e.T
+		}
+	}
+	if canonical {
+		flags |= columnarFlagCanonical
+	}
+	var res int64
+	if s.sorted {
+		res = EventsResolution(s.events)
+	}
+
+	ec := int64(len(s.events))
+	namesOff := int64(columnarHeaderSize)
+	timesOff := align8(namesOff + int64(names.Len()))
+	usOff := timesOff + 8*ec
+	vsOff := usOff + 4*ec
+	skipOff := align8(vsOff + 4*ec)
+	skipCount := int64(0)
+	if ec > 0 && s.sorted {
+		// Only sorted files carry a skip index: windowed slicing needs
+		// monotone times to binary-search against.
+		skipCount = (ec + int64(every) - 1) / int64(every)
+	}
+
+	hdr := make([]byte, columnarHeaderSize)
+	copy(hdr, columnarMagic[:])
+	hdr[3] = columnarVersion
+	le := binary.LittleEndian
+	le.PutUint32(hdr[4:], flags)
+	le.PutUint64(hdr[8:], uint64(len(s.names)))
+	le.PutUint64(hdr[16:], uint64(ec))
+	le.PutUint64(hdr[24:], uint64(tMin))
+	le.PutUint64(hdr[32:], uint64(tMax))
+	le.PutUint64(hdr[40:], uint64(res))
+	le.PutUint64(hdr[48:], uint64(namesOff))
+	le.PutUint64(hdr[56:], uint64(names.Len()))
+	le.PutUint64(hdr[64:], uint64(timesOff))
+	le.PutUint64(hdr[72:], uint64(usOff))
+	le.PutUint64(hdr[80:], uint64(vsOff))
+	le.PutUint64(hdr[88:], uint64(skipOff))
+	le.PutUint64(hdr[96:], uint64(skipCount))
+	le.PutUint64(hdr[104:], uint64(every))
+
+	// bufio sticks the first write error, so a single Flush check at
+	// the end observes any failure along the way.
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bw.Write(hdr)
+	bw.Write(names.Bytes())
+	writePad(bw, timesOff-(namesOff+int64(names.Len())))
+	var cell [8]byte
+	for _, e := range s.events {
+		le.PutUint64(cell[:], uint64(e.T))
+		bw.Write(cell[:8])
+	}
+	for _, e := range s.events {
+		le.PutUint32(cell[:], uint32(e.U))
+		bw.Write(cell[:4])
+	}
+	for _, e := range s.events {
+		le.PutUint32(cell[:], uint32(e.V))
+		bw.Write(cell[:4])
+	}
+	writePad(bw, skipOff-(vsOff+4*ec))
+	for k := int64(0); k < skipCount; k++ {
+		i := k * int64(every)
+		le.PutUint64(cell[:], uint64(s.events[i].T))
+		bw.Write(cell[:8])
+		le.PutUint64(cell[:], uint64(i))
+		bw.Write(cell[:8])
+	}
+	return bw.Flush()
+}
+
+func align8(off int64) int64 { return (off + 7) &^ 7 }
+
+func writePad(w *bufio.Writer, n int64) {
+	for ; n > 0; n-- {
+		w.WriteByte(0)
+	}
+}
+
+// Columnar is a read-only view over the bytes of a columnar (LSC)
+// stream — typically an mmap region from OpenMapped, so column reads
+// fault in only the pages they touch and the file bytes themselves are
+// the storage: opening materialises nothing beyond the node table.
+// Methods are safe for concurrent use.
+type Columnar struct {
+	data  []byte
+	names []string
+
+	flags     uint32
+	events    int
+	tMin      int64
+	tMax      int64
+	res       int64
+	timesOff  int
+	usOff     int
+	vsOff     int
+	skipOff   int
+	skipCount int
+
+	closer    func() error
+	sliceHits atomic.Int64
+}
+
+// OpenColumnar opens a columnar stream over data, which the caller
+// keeps alive (and unmodified) for the lifetime of the view. The
+// header, section bounds, node table and skip index are validated up
+// front; event columns are validated lazily as they are materialised.
+func OpenColumnar(data []byte) (*Columnar, error) {
+	return openColumnar(data, nil)
+}
+
+func openColumnar(data []byte, closer func() error) (*Columnar, error) {
+	if len(data) >= 4 && !IsColumnarMagic(data) {
+		return nil, ErrBadColumnarMagic
+	}
+	if len(data) < columnarHeaderSize {
+		return nil, fmt.Errorf("linkstream: columnar: header: file is %d bytes, want at least %d", len(data), columnarHeaderSize)
+	}
+	if data[3] != columnarVersion {
+		return nil, fmt.Errorf("linkstream: columnar: version %d not supported (this build reads version %d)", data[3], columnarVersion)
+	}
+	le := binary.LittleEndian
+	flags := le.Uint32(data[4:])
+	nodeCount := le.Uint64(data[8:])
+	eventCount := le.Uint64(data[16:])
+	tMin := int64(le.Uint64(data[24:]))
+	tMax := int64(le.Uint64(data[32:]))
+	res := int64(le.Uint64(data[40:]))
+	namesOff := le.Uint64(data[48:])
+	namesLen := le.Uint64(data[56:])
+	timesOff := le.Uint64(data[64:])
+	usOff := le.Uint64(data[72:])
+	vsOff := le.Uint64(data[80:])
+	skipOff := le.Uint64(data[88:])
+	skipCount := le.Uint64(data[96:])
+
+	size := uint64(len(data))
+	section := func(name string, off, length uint64) error {
+		if off < columnarHeaderSize || off > size || length > size-off {
+			return fmt.Errorf("linkstream: columnar: %s section: offset %d length %d outside file of %d bytes", name, off, length, size)
+		}
+		return nil
+	}
+	if eventCount > size/8 {
+		return nil, fmt.Errorf("linkstream: columnar: header: event count %d implausible for a %d-byte file", eventCount, size)
+	}
+	if nodeCount > namesLen || nodeCount > math.MaxInt32 {
+		return nil, fmt.Errorf("linkstream: columnar: header: node count %d implausible for a %d-byte node table", nodeCount, namesLen)
+	}
+	if err := section("names", namesOff, namesLen); err != nil {
+		return nil, err
+	}
+	if err := section("times", timesOff, 8*eventCount); err != nil {
+		return nil, err
+	}
+	if err := section("sources", usOff, 4*eventCount); err != nil {
+		return nil, err
+	}
+	if err := section("destinations", vsOff, 4*eventCount); err != nil {
+		return nil, err
+	}
+	if skipCount > size/16 {
+		return nil, fmt.Errorf("linkstream: columnar: skip section: entry count %d implausible for a %d-byte file", skipCount, size)
+	}
+	if err := section("skip", skipOff, 16*skipCount); err != nil {
+		return nil, err
+	}
+
+	names := make([]string, 0, nodeCount)
+	off, end := namesOff, namesOff+namesLen
+	for i := uint64(0); i < nodeCount; i++ {
+		l, n := binary.Uvarint(data[off:end])
+		if n <= 0 {
+			return nil, fmt.Errorf("linkstream: columnar: names section: node %d at offset %d: bad length varint", i, off)
+		}
+		off += uint64(n)
+		if l > end-off {
+			return nil, fmt.Errorf("linkstream: columnar: names section: node %d at offset %d: name of %d bytes overruns the section", i, off, l)
+		}
+		names = append(names, string(data[off:off+l]))
+		off += l
+	}
+
+	c := &Columnar{
+		data:      data,
+		names:     names,
+		flags:     flags,
+		events:    int(eventCount),
+		tMin:      tMin,
+		tMax:      tMax,
+		res:       res,
+		timesOff:  int(timesOff),
+		usOff:     int(usOff),
+		vsOff:     int(vsOff),
+		skipOff:   int(skipOff),
+		skipCount: int(skipCount),
+		closer:    closer,
+	}
+	prev := -1
+	for k := 0; k < c.skipCount; k++ {
+		idx := c.skipIdx(k)
+		if idx < 0 || idx >= c.events || idx <= prev {
+			return nil, fmt.Errorf("linkstream: columnar: skip section: entry %d at offset %d: event index %d out of order or out of range (%d events)", k, c.skipOff+16*k, idx, c.events)
+		}
+		prev = idx
+	}
+	return c, nil
+}
+
+// OpenMapped opens the columnar stream file at path with the file
+// bytes memory-mapped read-only where the platform supports it
+// (build-tagged; other platforms fall back to reading the whole file).
+// Close releases the mapping.
+func OpenMapped(path string) (*Columnar, error) {
+	data, closer, err := openMappedBytes(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := openColumnar(data, closer)
+	if err != nil {
+		if closer != nil {
+			closer()
+		}
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close releases the underlying mapping (or read buffer). The view
+// must not be used afterwards. Close is a no-op for views opened over
+// caller-owned bytes.
+func (c *Columnar) Close() error {
+	if c.closer == nil {
+		return nil
+	}
+	closer := c.closer
+	c.closer = nil
+	c.data = nil
+	return closer()
+}
+
+// NumNodes returns the node-table size.
+func (c *Columnar) NumNodes() int { return len(c.names) }
+
+// NumEvents returns the event count.
+func (c *Columnar) NumEvents() int { return c.events }
+
+// NodeName returns the interned name of node id, panicking if id is
+// out of range (slice indexing semantics, like Stream.NodeName).
+func (c *Columnar) NodeName(id int32) string { return c.names[id] }
+
+// Sorted reports whether the file stores events in the engine's sort
+// order (T, then U, then V).
+func (c *Columnar) Sorted() bool { return c.flags&columnarFlagSorted != 0 }
+
+// Canonical reports whether every stored event already has U < V.
+func (c *Columnar) Canonical() bool { return c.flags&columnarFlagCanonical != 0 }
+
+// TimeMin and TimeMax return the header's time bounds (both zero for
+// an empty stream).
+func (c *Columnar) TimeMin() int64 { return c.tMin }
+
+// TimeMax returns the header's maximum timestamp.
+func (c *Columnar) TimeMax() int64 { return c.tMax }
+
+// Duration returns the stream span in time units, tMax - tMin + 1,
+// mirroring Stream.Duration. Zero for an empty stream.
+func (c *Columnar) Duration() int64 {
+	if c.events == 0 {
+		return 0
+	}
+	return c.tMax - c.tMin + 1
+}
+
+// Resolution returns the header's stream resolution: the smallest
+// positive gap between consecutive timestamps, 1 if unknown (the file
+// was written unsorted) — mirroring Stream.Resolution's fallback.
+func (c *Columnar) Resolution() int64 {
+	if c.res > 0 {
+		return c.res
+	}
+	return 1
+}
+
+// SliceHits returns how many windowed EngineEvents calls resolved
+// their span through the skip index rather than scanning the stream —
+// the out-of-core promise that a window touches only its own pages.
+func (c *Columnar) SliceHits() int64 { return c.sliceHits.Load() }
+
+// SkipEntries returns the number of entries in the sparse time→offset
+// skip index (0 for unsorted files, which carry none).
+func (c *Columnar) SkipEntries() int { return c.skipCount }
+
+// Size returns the byte length of the underlying columnar file.
+func (c *Columnar) Size() int64 { return int64(len(c.data)) }
+
+func (c *Columnar) timeAt(i int) int64 {
+	return int64(binary.LittleEndian.Uint64(c.data[c.timesOff+8*i:]))
+}
+
+func (c *Columnar) uAt(i int) int32 {
+	return int32(binary.LittleEndian.Uint32(c.data[c.usOff+4*i:]))
+}
+
+func (c *Columnar) vAt(i int) int32 {
+	return int32(binary.LittleEndian.Uint32(c.data[c.vsOff+4*i:]))
+}
+
+func (c *Columnar) skipTime(k int) int64 {
+	return int64(binary.LittleEndian.Uint64(c.data[c.skipOff+16*k:]))
+}
+
+func (c *Columnar) skipIdx(k int) int {
+	return int(binary.LittleEndian.Uint64(c.data[c.skipOff+16*k+8:]))
+}
+
+// firstAtOrAfter returns the index of the first event with T >= t,
+// narrowing through the sparse skip index first so the inner binary
+// search touches at most one skip bucket of the time column.
+func (c *Columnar) firstAtOrAfter(t int64) int {
+	lo, hi := 0, c.events
+	if c.skipCount > 0 {
+		k := sort.Search(c.skipCount, func(i int) bool { return c.skipTime(i) >= t })
+		if k > 0 {
+			lo = c.skipIdx(k - 1)
+		}
+		if k < c.skipCount {
+			if h := c.skipIdx(k) + 1; h < hi {
+				hi = h
+			}
+		}
+	}
+	return lo + sort.Search(hi-lo, func(i int) bool { return c.timeAt(lo+i) >= t })
+}
+
+// windowRange resolves [start, end) to an event index range on a
+// sorted file. start >= end selects the whole stream.
+func (c *Columnar) windowRange(start, end int64) (int, int) {
+	if start >= end {
+		return 0, c.events
+	}
+	c.sliceHits.Add(1)
+	lo := c.firstAtOrAfter(start)
+	hi := c.firstAtOrAfter(end)
+	if hi < lo { // corrupt sorted flag; never on writer output
+		hi = lo
+	}
+	return lo, hi
+}
+
+// materialize decodes events [lo, hi) into a fresh slice, validating
+// node ids as it goes and optionally orienting each pair U < V.
+func (c *Columnar) materialize(lo, hi int, orient bool) ([]Event, error) {
+	n := int32(len(c.names))
+	out := make([]Event, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		u, v := c.uAt(i), c.vAt(i)
+		if u < 0 || u >= n || v < 0 || v >= n || u == v {
+			return nil, fmt.Errorf("linkstream: columnar: events section: event %d at offset %d: bad node pair (%d,%d) with %d nodes", i, c.usOff+4*i, u, v, n)
+		}
+		if orient && u > v {
+			u, v = v, u
+		}
+		out = append(out, Event{U: u, V: v, T: c.timeAt(i)})
+	}
+	return out, nil
+}
+
+// EngineEvents returns the events of [start, end) (start >= end
+// selects the whole stream) in the engine's order — sorted by
+// (T, U, V) and, when canonical is requested, with every pair oriented
+// U < V. On a sorted file the span is located through the skip index
+// and only its own column bytes are read; preSorted then reports true:
+// no sort work was performed because the storage order already is the
+// engine's order. Unsorted files are materialised in full and sorted
+// here (preSorted false).
+func (c *Columnar) EngineEvents(start, end int64, canonical bool) ([]Event, bool, error) {
+	if c.Sorted() {
+		lo, hi := c.windowRange(start, end)
+		ev, err := c.materialize(lo, hi, canonical && !c.Canonical())
+		if err != nil {
+			return nil, false, err
+		}
+		return ev, true, nil
+	}
+	ev, err := c.materialize(0, c.events, false)
+	if err != nil {
+		return nil, false, err
+	}
+	SortEvents(ev)
+	if start < end {
+		ev = WindowEvents(ev, start, end)
+	}
+	if canonical && !c.Canonical() {
+		for i, e := range ev {
+			if e.U > e.V {
+				ev[i].U, ev[i].V = e.V, e.U
+			}
+		}
+	}
+	return ev, false, nil
+}
+
+// Stream materialises the whole file into an in-memory Stream with
+// the same node table, event order and sortedness.
+func (c *Columnar) Stream() (*Stream, error) {
+	ev, err := c.materialize(0, c.events, false)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{
+		events: ev,
+		names:  append([]string(nil), c.names...),
+		sorted: c.Sorted(),
+	}
+	if len(c.names) > 0 {
+		s.index = make(map[string]int32, len(c.names))
+		for id, name := range c.names {
+			s.index[name] = int32(id)
+		}
+	}
+	return s, nil
+}
+
+// ReadColumnar decodes a columnar (LSC) stream from r, replacing the
+// stream's contents. This is the streamed entry point — it reads r in
+// full; to analyse a large file without holding a parsed copy, open it
+// with OpenMapped instead and hand the view to the engine directly.
+func (s *Stream) ReadColumnar(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("linkstream: columnar: read: %w", err)
+	}
+	c, err := OpenColumnar(data)
+	if err != nil {
+		return err
+	}
+	st, err := c.Stream()
+	if err != nil {
+		return err
+	}
+	*s = *st
+	return nil
+}
+
+// ReadAny decodes a stream from r in whichever supported format its
+// leading magic selects — columnar (LSC), row-binary (LSB), or the
+// text edge list — replacing the stream's contents. Text streams whose
+// first bytes happen to spell a magic prefix are not supported; write
+// such corpora through the binary codecs.
+func (s *Stream) ReadAny(r io.Reader) error {
+	br := bufio.NewReader(r)
+	head, _ := br.Peek(4)
+	switch {
+	case IsColumnarMagic(head):
+		return s.ReadColumnar(br)
+	case IsBinaryMagic(head):
+		return s.ReadBinary(br)
+	default:
+		_, err := s.ReadEvents(br)
+		return err
+	}
+}

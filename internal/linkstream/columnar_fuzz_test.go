@@ -1,0 +1,92 @@
+package linkstream
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// FuzzColumnarDecode throws arbitrary byte soup at the columnar (LSC)
+// opener and the lazy column materialisation behind it. The
+// invariants: no input panics; every rejection is a positioned error
+// naming the section it refused (header, names, times, sources,
+// destinations, skip, events); and a file that opens cleanly
+// materialises only structurally valid streams — node ids in range, no
+// self loops — or reports an events-section error.
+func FuzzColumnarDecode(f *testing.F) {
+	// Seed with real writer output at several shapes, then mutations of
+	// it; the fuzzer takes it from there.
+	seed := func(sorted bool, skipEvery, events int) []byte {
+		rng := rand.New(rand.NewSource(int64(skipEvery*1000 + events)))
+		s := New()
+		names := []string{"a", "b", "c", "d"}
+		for i := 0; i < events; i++ {
+			u := names[rng.Intn(len(names))]
+			v := names[rng.Intn(len(names))]
+			if u == v {
+				continue
+			}
+			s.Add(u, v, int64(rng.Intn(500)))
+		}
+		if sorted {
+			s.Sort()
+		}
+		var buf bytes.Buffer
+		s.WriteColumnar(&buf, ColumnarOptions{SkipEvery: skipEvery})
+		return buf.Bytes()
+	}
+	f.Add(seed(true, 4, 100))
+	f.Add(seed(true, 0, 1))
+	f.Add(seed(false, 8, 50))
+	f.Add(seed(true, 2, 0))
+	valid := seed(true, 4, 100)
+	for _, cut := range []int{3, 4, columnarHeaderSize - 1, columnarHeaderSize, len(valid) / 2} {
+		f.Add(append([]byte(nil), valid[:cut]...))
+	}
+	for _, off := range []int{3, 8, 16, 48, 64, 88, 96, columnarHeaderSize + 1} {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 0xA5
+		f.Add(mut)
+	}
+	f.Add([]byte("LSC\x01 short"))
+	f.Add([]byte("not a columnar stream at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := OpenColumnar(data)
+		if err != nil {
+			if err != ErrBadColumnarMagic && !strings.Contains(err.Error(), "columnar") {
+				t.Fatalf("open error not positioned: %v", err)
+			}
+			return
+		}
+		checkEvents := func(ev []Event, err error) {
+			if err != nil {
+				if !strings.Contains(err.Error(), "columnar") {
+					t.Fatalf("decode error not positioned: %v", err)
+				}
+				return
+			}
+			n := int32(c.NumNodes())
+			for i, e := range ev {
+				if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n || e.U == e.V {
+					t.Fatalf("event %d structurally invalid: %+v with %d nodes", i, e, n)
+				}
+			}
+		}
+		ev, _, err := c.EngineEvents(0, 0, true)
+		checkEvents(ev, err)
+		ev, _, err = c.EngineEvents(10, 200, false)
+		checkEvents(ev, err)
+		st, err := c.Stream()
+		if err != nil {
+			if !strings.Contains(err.Error(), "columnar") {
+				t.Fatalf("Stream error not positioned: %v", err)
+			}
+			return
+		}
+		if verr := st.Validate(); verr != nil {
+			t.Fatalf("materialised stream invalid: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,36 @@
+//go:build unix
+
+package linkstream
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// openMappedBytes maps the file at path read-only and returns the
+// mapping plus its unmap closer. Platforms without mmap get the
+// full-read fallback in columnar_mmap_fallback.go instead.
+func openMappedBytes(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, nil, nil
+	}
+	if int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("linkstream: columnar: %s: %d bytes exceeds the address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("linkstream: columnar: mmap %s: %w", path, err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

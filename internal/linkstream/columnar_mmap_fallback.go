@@ -1,0 +1,16 @@
+//go:build !unix
+
+package linkstream
+
+import "os"
+
+// openMappedBytes on platforms without a usable mmap falls back to
+// reading the whole file; OpenMapped keeps working, just without the
+// touch-only-your-span page economy.
+func openMappedBytes(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

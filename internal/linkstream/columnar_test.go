@@ -1,0 +1,292 @@
+package linkstream
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// columnarFixture builds a random multi-edge stream, sorts it and
+// returns both the stream and its columnar encoding.
+func columnarFixture(t *testing.T, seed int64, skipEvery int) (*Stream, []byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := New()
+	names := []string{"a", "b", "c", "d", "e", "f", "g"}
+	for i := 0; i < 400; i++ {
+		u := names[rng.Intn(len(names))]
+		v := names[rng.Intn(len(names))]
+		if u == v {
+			continue
+		}
+		if err := s.Add(u, v, int64(rng.Intn(10_000)-500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Sort()
+	var buf bytes.Buffer
+	if err := s.WriteColumnar(&buf, ColumnarOptions{SkipEvery: skipEvery}); err != nil {
+		t.Fatal(err)
+	}
+	return s, buf.Bytes()
+}
+
+func TestColumnarRoundTrip(t *testing.T) {
+	s, data := columnarFixture(t, 1, 16)
+	c, err := OpenColumnar(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != s.NumNodes() || c.NumEvents() != s.NumEvents() {
+		t.Fatalf("got %d nodes %d events, want %d nodes %d events",
+			c.NumNodes(), c.NumEvents(), s.NumNodes(), s.NumEvents())
+	}
+	for i := 0; i < s.NumNodes(); i++ {
+		if c.NodeName(int32(i)) != s.NodeName(int32(i)) {
+			t.Fatalf("node %d: %q vs %q", i, c.NodeName(int32(i)), s.NodeName(int32(i)))
+		}
+	}
+	if !c.Sorted() {
+		t.Fatal("sorted flag lost")
+	}
+	t0, t1, _ := s.Span()
+	if c.TimeMin() != t0 || c.TimeMax() != t1 {
+		t.Fatalf("span [%d,%d], want [%d,%d]", c.TimeMin(), c.TimeMax(), t0, t1)
+	}
+	if c.Duration() != s.Duration() || c.Resolution() != s.Resolution() {
+		t.Fatalf("duration/resolution %d/%d, want %d/%d",
+			c.Duration(), c.Resolution(), s.Duration(), s.Resolution())
+	}
+	if c.SkipEntries() == 0 {
+		t.Fatal("sorted file should carry a skip index")
+	}
+
+	// Full materialisation equals the stream, event for event.
+	back, err := c.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEvents() != s.NumEvents() || !back.Sorted() {
+		t.Fatalf("materialised %d events (sorted=%v)", back.NumEvents(), back.Sorted())
+	}
+	for i, e := range s.Events() {
+		if back.Events()[i] != e {
+			t.Fatalf("event %d: %+v vs %+v", i, back.Events()[i], e)
+		}
+	}
+}
+
+func TestColumnarEngineEventsWindows(t *testing.T) {
+	s, data := columnarFixture(t, 2, 4)
+	c, err := OpenColumnar(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := [][2]int64{
+		{0, 0},        // whole stream
+		{-600, 11000}, // superset
+		{100, 2000},
+		{2000, 2001},
+		{9999, 10500}, // tail
+		{-500, -499},
+		{4000, 4000}, // start >= end -> whole stream
+	}
+	for _, canonical := range []bool{false, true} {
+		for _, w := range windows {
+			want, _, err := s.Clone().EngineEvents(w[0], w[1], canonical)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, pre, err := c.EngineEvents(w[0], w[1], canonical)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pre {
+				t.Fatalf("window %v: sorted file must report preSorted", w)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("window %v canonical=%v: %d events, want %d", w, canonical, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("window %v canonical=%v event %d: %+v vs %+v", w, canonical, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	// Every windowed call (start < end) went through the skip index.
+	if hits := c.SliceHits(); hits != 2*5 {
+		t.Fatalf("SliceHits = %d, want 10", hits)
+	}
+}
+
+func TestColumnarUnsortedFile(t *testing.T) {
+	s := New()
+	for _, e := range []struct {
+		u, v string
+		t    int64
+	}{{"x", "y", 30}, {"y", "z", 10}, {"z", "x", 20}} {
+		if err := s.Add(e.u, e.v, e.t); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.WriteColumnar(&buf, ColumnarOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenColumnar(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sorted() {
+		t.Fatal("unsorted stream must not set the sorted flag")
+	}
+	if c.SkipEntries() != 0 {
+		t.Fatal("unsorted file must not carry a skip index")
+	}
+	got, pre, err := c.EngineEvents(15, 25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre {
+		t.Fatal("unsorted file cannot be pre-sorted")
+	}
+	if len(got) != 1 || got[0].T != 20 || got[0].U > got[0].V {
+		t.Fatalf("got %+v", got)
+	}
+	if c.SliceHits() != 0 {
+		t.Fatal("unsorted path must not count slice hits")
+	}
+}
+
+func TestColumnarVersionRejected(t *testing.T) {
+	_, data := columnarFixture(t, 3, 0)
+	bad := append([]byte(nil), data...)
+	bad[3] = columnarVersion + 1
+	if _, err := OpenColumnar(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v, want a version error", err)
+	}
+}
+
+func TestColumnarBadMagic(t *testing.T) {
+	if _, err := OpenColumnar([]byte("NOPE this is not a columnar stream, not even close, padding padding padding padding padding")); !errors.Is(err, ErrBadColumnarMagic) {
+		t.Fatalf("err = %v, want ErrBadColumnarMagic", err)
+	}
+}
+
+func TestColumnarTruncated(t *testing.T) {
+	_, data := columnarFixture(t, 4, 8)
+	for _, cut := range []int{0, 3, 4, columnarHeaderSize - 1, columnarHeaderSize, len(data) / 2, len(data) - 1} {
+		if _, err := OpenColumnar(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d should error", cut)
+		}
+	}
+}
+
+func TestColumnarCorruptNodeID(t *testing.T) {
+	s := New()
+	if err := s.Add("a", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Sort()
+	var buf bytes.Buffer
+	if err := s.WriteColumnar(&buf, ColumnarOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	c, err := OpenColumnar(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stomp the single source id with an out-of-range value.
+	data[c.usOff] = 0xFF
+	data[c.usOff+1] = 0xFF
+	if _, _, err := c.EngineEvents(0, 0, false); err == nil || !strings.Contains(err.Error(), "events section") {
+		t.Fatalf("err = %v, want an events-section error", err)
+	}
+}
+
+func TestColumnarEmptyStream(t *testing.T) {
+	s := New()
+	s.AddNode("lonely")
+	var buf bytes.Buffer
+	if err := s.WriteColumnar(&buf, ColumnarOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenColumnar(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumEvents() != 0 || c.NumNodes() != 1 || c.Duration() != 0 {
+		t.Fatalf("events=%d nodes=%d duration=%d", c.NumEvents(), c.NumNodes(), c.Duration())
+	}
+	ev, _, err := c.EngineEvents(0, 0, true)
+	if err != nil || len(ev) != 0 {
+		t.Fatalf("ev=%v err=%v", ev, err)
+	}
+}
+
+func TestOpenMappedMatchesOpenColumnar(t *testing.T) {
+	s, data := columnarFixture(t, 5, 8)
+	path := filepath.Join(t.TempDir(), "stream.lsc")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, pre, err := m.EngineEvents(0, 0, false)
+	if err != nil || !pre {
+		t.Fatalf("pre=%v err=%v", pre, err)
+	}
+	for i, e := range s.Events() {
+		if got[i] != e {
+			t.Fatalf("event %d: %+v vs %+v", i, got[i], e)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil { // double Close is a no-op
+		t.Fatal(err)
+	}
+	if _, err := OpenMapped(filepath.Join(t.TempDir(), "missing.lsc")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestReadColumnarAndReadAny(t *testing.T) {
+	s, data := columnarFixture(t, 6, 0)
+
+	back := New()
+	if err := back.ReadColumnar(bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEvents() != s.NumEvents() {
+		t.Fatalf("ReadColumnar: %d events, want %d", back.NumEvents(), s.NumEvents())
+	}
+
+	// ReadAny dispatches on the leading magic: LSC, LSB, then text.
+	var lsb bytes.Buffer
+	if err := s.WriteBinary(&lsb); err != nil {
+		t.Fatal(err)
+	}
+	for name, input := range map[string][]byte{
+		"columnar": data,
+		"binary":   lsb.Bytes(),
+		"text":     []byte("a b 1\nb c 2\n"),
+	} {
+		any := New()
+		if err := any.ReadAny(bytes.NewReader(input)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if any.NumEvents() == 0 {
+			t.Fatalf("%s: no events", name)
+		}
+	}
+}

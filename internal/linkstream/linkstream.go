@@ -116,8 +116,16 @@ func (s *Stream) Sort() {
 	if s.sorted {
 		return
 	}
-	sort.SliceStable(s.events, func(i, j int) bool {
-		a, b := s.events[i], s.events[j]
+	SortEvents(s.events)
+	s.sorted = true
+}
+
+// SortEvents sorts events in the engine's canonical order — stably by
+// (T, U, V) — the exact order Stream.Sort produces and the columnar
+// format's sorted flag promises.
+func SortEvents(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
 		if a.T != b.T {
 			return a.T < b.T
 		}
@@ -126,7 +134,26 @@ func (s *Stream) Sort() {
 		}
 		return a.V < b.V
 	})
-	s.sorted = true
+}
+
+// EngineEvents returns the events of [start, end) (start >= end
+// selects the whole stream) in the engine's order — sorted by
+// (T, U, V) and, when canonical is requested, with every pair oriented
+// U < V. It is the in-memory implementation of the engine's stream
+// source: the stream is sorted in place as a side effect, and the
+// returned slice aliases the stream's storage unless canonical forced
+// an oriented copy. preSorted is always false — the sort pass (even if
+// an idempotent no-op) belongs to this call.
+func (s *Stream) EngineEvents(start, end int64, canonical bool) ([]Event, bool, error) {
+	s.Sort()
+	ev := s.events
+	if start < end {
+		ev = WindowEvents(ev, start, end)
+	}
+	if canonical {
+		ev = Canonical(ev)
+	}
+	return ev, false, nil
 }
 
 // Sorted reports whether the events are known to be in time order.

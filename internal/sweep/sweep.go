@@ -144,6 +144,11 @@ type RunStats struct {
 	StreamBuilds int64
 	Periods      int64
 	MaxResident  int64
+	// SortSkips counts the passes whose event source was already in
+	// engine order (a sorted columnar stream handed to RunSource), so
+	// the sort/canonicalise pass was skipped. SortSkips == Passes means
+	// every pass of the run took the pre-sorted fast path.
+	SortSkips int64
 	// Arena accounting of the size-classed CSR arena pool: how many of
 	// this run's CSR builds were handed an arena, how many of those
 	// reused a shelved arena of the same size class (the rest allocated
@@ -160,6 +165,7 @@ type RunStats struct {
 // takes the maximum.
 func (s *RunStats) Add(o RunStats) {
 	s.Passes += o.Passes
+	s.SortSkips += o.SortSkips
 	s.Builds += o.Builds
 	s.Dedups += o.Dedups
 	s.StreamBuilds += o.StreamBuilds
@@ -378,9 +384,12 @@ type ShardedTripObserver interface {
 // sweep stage); periodDedups counts (window, ∆) jobs that joined an
 // already-scheduled coinciding job instead of building their own CSR;
 // streamBuilds counts raw-stream trip enumerations (one per distinct
-// event window that requested stream trips). Tests use these to assert
-// the build-each-CSR-once, bounded-in-flight, one-pass-per-analysis and
-// dedup guarantees.
+// event window that requested stream trips); sortSkips counts engine
+// passes whose source was already in engine order so the
+// sort/canonicalise pass was skipped (pre-sorted columnar streams).
+// Tests use these to assert the build-each-CSR-once,
+// bounded-in-flight, one-pass-per-analysis, dedup and sort-skip
+// guarantees.
 var (
 	periodBuilds atomic.Int64
 	periodsAlive atomic.Int64
@@ -388,6 +397,7 @@ var (
 	engineRuns   atomic.Int64
 	periodDedups atomic.Int64
 	streamBuilds atomic.Int64
+	sortSkips    atomic.Int64
 )
 
 // ResetBuildStats zeroes the engine's build instrumentation.
@@ -398,6 +408,7 @@ func ResetBuildStats() {
 	engineRuns.Store(0)
 	periodDedups.Store(0)
 	streamBuilds.Store(0)
+	sortSkips.Store(0)
 }
 
 // BuildStats returns how many period CSR arenas were built since the
@@ -423,6 +434,12 @@ func DedupCount() int64 { return periodDedups.Load() }
 // observers requested stream trips (eagerly or as runs), however many
 // segments share that window.
 func StreamBuildCount() int64 { return streamBuilds.Load() }
+
+// SortSkipCount returns how many engine passes since the last
+// ResetBuildStats consumed a pre-sorted source (RunSource over a
+// sorted columnar stream) and therefore skipped the engine's
+// sort/canonicalise pass entirely.
+func SortSkipCount() int64 { return sortSkips.Load() }
 
 // Run executes one engine pass over the whole stream: it validates the
 // inputs, prepares the shared stream view (plus the raw-stream trips if

@@ -56,6 +56,23 @@ type SegmentObserver struct {
 // windowed reports whether the segment restricts the stream at all.
 func (seg SegmentObserver) windowed() bool { return seg.Start < seg.End }
 
+// StreamSource abstracts where an engine pass's event buffer comes
+// from: an in-memory *linkstream.Stream (sorted and canonicalised on
+// demand) or a pre-sorted columnar view (*linkstream.Columnar) whose
+// EngineEvents materialises only the requested time span — windowed
+// passes over a mapped file touch only their span's pages — and skips
+// the engine's sort pass entirely (SortSkipCount instruments this).
+type StreamSource interface {
+	NumNodes() int
+	NumEvents() int
+	// EngineEvents returns the events of [start, end) (start >= end
+	// selects everything) in the engine's order — sorted by (T, U, V)
+	// and, when canonical, with every pair oriented U < V. preSorted
+	// reports that no sort work was performed because the source's
+	// storage order already is the engine's order.
+	EngineEvents(start, end int64, canonical bool) (events []linkstream.Event, preSorted bool, err error)
+}
+
 // streamGroup collects the scopes whose event windows coincide: they
 // share one raw-stream trip enumeration. lanes caches the eager
 // per-destination lanes when a member also needs the flat collection,
@@ -86,13 +103,23 @@ type streamGroup struct {
 // error returned is ctx.Err(). Periods whose observers already ran
 // keep their results; no partially scored period is ever delivered.
 func RunWindowed(ctx context.Context, s *linkstream.Stream, opt Options, segments ...SegmentObserver) error {
+	return RunSource(ctx, s, opt, segments...)
+}
+
+// RunSource is RunWindowed over any StreamSource. With an in-memory
+// stream it is exactly RunWindowed; with a sorted columnar view the
+// engine's sort/canonicalise pass is skipped (counted by
+// SortSkipCount and RunStats.SortSkips) and only the hull of the
+// registered segments' windows is ever materialised — the rest of the
+// file is never read.
+func RunSource(ctx context.Context, src StreamSource, opt Options, segments ...SegmentObserver) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if s.NumEvents() == 0 {
+	if src.NumEvents() == 0 {
 		return ErrNoEvents
 	}
 	if len(segments) == 0 {
@@ -128,13 +155,35 @@ func RunWindowed(ctx context.Context, s *linkstream.Stream, opt Options, segment
 		return fmt.Errorf("sweep: unsupported lane width %d (want 0, 4 or 8)", opt.LaneWidth)
 	}
 
-	s.Sort()
-	events := s.Events()
-	if !opt.Directed {
-		events = linkstream.Canonical(events)
+	// Materialise only the hull of the registered windows: for a mapped
+	// columnar source, events outside [min Start, max End) are never
+	// read. Any whole-stream segment widens the hull to everything.
+	var hullStart, hullEnd int64
+	whole := false
+	for i, seg := range segments {
+		if !seg.windowed() {
+			whole = true
+			break
+		}
+		if i == 0 || seg.Start < hullStart {
+			hullStart = seg.Start
+		}
+		if i == 0 || seg.End > hullEnd {
+			hullEnd = seg.End
+		}
+	}
+	if whole {
+		hullStart, hullEnd = 0, 0
+	}
+	events, preSorted, err := src.EngineEvents(hullStart, hullEnd, !opt.Directed)
+	if err != nil {
+		return err
+	}
+	if preSorted {
+		sortSkips.Add(1)
 	}
 	engineRuns.Add(1)
-	n := s.NumNodes()
+	n := src.NumNodes()
 
 	e := &engine{ctx: ctx, opt: opt, n: n, width: temporal.ResolveLaneWidth(opt.LaneWidth)}
 	if opt.Stats != nil {
@@ -144,6 +193,9 @@ func RunWindowed(ctx context.Context, s *linkstream.Stream, opt Options, segment
 		defer func() {
 			st := opt.Stats
 			st.Passes++
+			if preSorted {
+				st.SortSkips++
+			}
 			st.Builds += e.runBuilds.Load()
 			st.Dedups += e.dedups
 			st.StreamBuilds += e.streamBuilds

@@ -24,6 +24,8 @@ import (
 	"context"
 	"errors"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/linkstream"
 	"repro/internal/sweep"
@@ -37,6 +39,11 @@ type Options struct {
 	// MaxInFlight bounds the periods the sweep engine keeps resident;
 	// <= 0 selects the engine default.
 	MaxInFlight int
+	// SpillBytes caps the resident bytes of the elongation observer's
+	// delta-encoded pair-span arena; beyond the cap finished regions
+	// spill to an unlinked temp file re-read during scoring. <= 0 keeps
+	// the whole arena in RAM. The curve is bit-identical either way.
+	SpillBytes int64
 }
 
 func (o Options) engine() sweep.Options {
@@ -341,26 +348,7 @@ func (idx *pairIndex) pair(u, v int32) []tripSpan {
 // Because any trip contains a minimal trip within its own interval,
 // searching minimal trips only is sufficient.
 func (idx *pairIndex) minDurationWithin(u, v int32, a, b int64) (int64, bool) {
-	sp := idx.pair(u, v)
-	// Manual binary search: this runs once per series trip, and the
-	// sort.Search closure overhead is measurable at that call rate.
-	lo, hi := 0, len(sp)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if sp[mid].dep < a {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	best := int64(-1)
-	for i := lo; i < len(sp) && sp[i].arr <= b; i++ {
-		d := sp[i].arr - sp[i].dep
-		if best < 0 || d < best {
-			best = d
-		}
-	}
-	return best, best >= 0
+	return minDurationIn(idx.pair(u, v), a, b)
 }
 
 // ElongationPoint is the Figure 8 (right) value at one period.
@@ -378,49 +366,62 @@ type ElongationPoint struct {
 }
 
 // ElongationObserver computes the Figure 8 (right) curve. The pair
-// index over the raw stream's minimal trips is built incrementally from
-// the engine's streaming trip runs (never holding the flat trip slice),
-// and each period's scan over the minimal trips of G∆ is sharded across
-// the engine's worker pool: every destination block is scored on the
-// worker that swept it, into per-lane partial sums that ObservePeriod
-// folds in lane order — bit-for-bit deterministic for any worker count
-// and identical to the eager ElongationObserverReference.
+// spans of the raw stream's minimal trips are built incrementally from
+// the engine's streaming trip runs (never holding the flat trip slice)
+// into a delta-encoded destination-major arena — ~3-5 B per span
+// instead of the flat index's 16, with only one int64 offset per node
+// — that can spill finished regions to disk beyond SpillBytes, so
+// Section 8 validation runs on streams whose span population exceeds
+// RAM. Each period's scan over the minimal trips of G∆ is sharded
+// across the engine's worker pool: every destination block is scored
+// on the worker that swept it (its destinations' regions decoded into
+// pooled scratch, re-read from the spill shelf if needed), into
+// per-lane partial sums that ObservePeriod folds in lane order —
+// bit-for-bit deterministic for any worker count, any spill cap, and
+// identical to the eager ElongationObserverReference.
 type ElongationObserver struct {
-	t0      int64
-	builder *pairIndexBuilder
-	idx     *pairIndex
-	points  []ElongationPoint
+	// SpillBytes caps the arena's resident bytes (Options.SpillBytes);
+	// set before the run begins. <= 0 keeps everything in RAM.
+	SpillBytes int64
+
+	t0        int64
+	arena     *spanArena
+	points    []ElongationPoint
+	remaining atomic.Int64
+	scratch   sync.Pool // of *destSpans
 }
 
 // NewElongationObserver returns an empty elongation observer.
 func NewElongationObserver() *ElongationObserver { return &ElongationObserver{} }
 
 // Needs implements sweep.Observer: streaming stream-trip runs for the
-// pair index, sharded per-period trip scoring for the scan.
+// pair-span arena, sharded per-period trip scoring for the scan.
 func (o *ElongationObserver) Needs() sweep.Needs {
 	return sweep.Needs{StreamTripRuns: true, TripShards: true}
 }
 
 // Begin implements sweep.Observer.
 func (o *ElongationObserver) Begin(v *sweep.StreamView) error {
+	if o.arena != nil {
+		o.arena.release() // a previous aborted run's spill shelf
+	}
 	o.t0 = v.T0
-	o.builder = newPairIndexBuilder(v.N)
-	o.idx = nil
+	o.arena = newSpanArena(v.N, o.SpillBytes)
 	o.points = make([]ElongationPoint, len(v.Grid))
+	o.remaining.Store(int64(len(v.Grid)))
 	return nil
 }
 
 // ObserveTripRun implements sweep.TripRunObserver: each destination's
-// run is merged into the incremental pair index the moment it arrives.
+// run is encoded into the arena the moment it arrives, spilling if the
+// resident encoding passed the cap.
 func (o *ElongationObserver) ObserveTripRun(dest int32, run []temporal.Trip) error {
-	o.builder.addRun(dest, run)
-	return nil
+	return o.arena.addRun(dest, run)
 }
 
 // FinishTripRuns implements sweep.TripRunObserver.
 func (o *ElongationObserver) FinishTripRuns() error {
-	o.idx = o.builder.finish()
-	o.builder = nil
+	o.arena.finish()
 	return nil
 }
 
@@ -448,11 +449,22 @@ func (o *ElongationObserver) NewTripShard(delta int64, blocks, lanesPerBlock int
 }
 
 // ObserveTripBlock scores one destination block of the period's minimal
-// trips against the stream pair index, accumulating per-lane partials.
+// trips against the stream pair-span arena, accumulating per-lane
+// partials. Each lane holds one destination's trips, so its arena
+// region is decoded once (into pooled scratch, off the spill shelf if
+// it was flushed) and queried for every trip of the lane.
 func (s *elongShard) ObserveTripBlock(block int, lanes [][]temporal.Trip) error {
+	ds, _ := s.o.scratch.Get().(*destSpans)
+	if ds == nil {
+		ds = &destSpans{}
+	}
+	defer s.o.scratch.Put(ds)
 	for l, lane := range lanes {
 		if len(lane) == 0 {
 			continue
+		}
+		if err := s.o.arena.decodeDest(int32(block*s.lanes+l), ds); err != nil {
+			return err
 		}
 		pa := &s.partials[block*s.lanes+l]
 		for _, tr := range lane {
@@ -466,7 +478,7 @@ func (s *elongShard) ObserveTripBlock(block int, lanes [][]temporal.Trip) error 
 			// belongs to the next window).
 			a := s.o.t0 + tr.Dep*s.delta
 			b := s.o.t0 + (tr.Arr+1)*s.delta - 1
-			durL, ok := s.o.idx.minDurationWithin(tr.U, tr.V, a, b)
+			durL, ok := ds.minDurationWithin(tr.U, a, b)
 			if !ok || durL <= 0 {
 				// Cannot happen for trips spanning >= 2 windows (the
 				// series trip implies a stream trip in the interval and
@@ -503,6 +515,12 @@ func (o *ElongationObserver) ObservePeriod(p *sweep.Period) error {
 		pt.MeanElongation = sum / float64(pt.Trips)
 	}
 	o.points[p.Index] = pt
+	// Every period's blocks are decoded before its ObservePeriod runs,
+	// so once the last period is observed no decode can follow: close
+	// the spill shelf (if any) right away instead of waiting for GC.
+	if o.remaining.Add(-1) == 0 {
+		o.arena.release()
+	}
 	return nil
 }
 
@@ -521,6 +539,7 @@ func ElongationCurve(ctx context.Context, s *linkstream.Stream, grid []int64, op
 		return nil, errors.New("validate: empty grid")
 	}
 	obs := NewElongationObserver()
+	obs.SpillBytes = opt.SpillBytes
 	if err := sweep.Run(ctx, s, grid, opt.engine(), obs); err != nil {
 		return nil, err
 	}

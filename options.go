@@ -117,6 +117,8 @@ type planConfig struct {
 	observers     []SweepObserver
 	adaptive      *AdaptiveConfig
 	progress      func(ProgressEvent)
+	streamPath    string
+	elongSpill    int64
 }
 
 func (c *planConfig) metricOn(m Metric) bool { return c.metrics[m] }
@@ -345,6 +347,39 @@ func WithAdaptive(cfg AdaptiveConfig) Option {
 	}
 }
 
+// WithStreamPath builds the plan over a stream file instead of an
+// in-memory Stream; the stream argument of NewAnalysis must be nil.
+// The format is detected from the file's magic: columnar streams
+// (written by cmd/tsconvert) are memory-mapped where the platform
+// supports it and handed to the engine without any parse — pre-sorted
+// files skip the engine's sort pass (EngineStats.SortSkips) and
+// windowed passes read only their span's pages via the file's skip
+// index; binary (LSB) and text streams are parsed into memory as
+// usual. Call Plan.Close when done with a plan built this way to
+// release the mapping.
+func WithStreamPath(path string) Option {
+	return func(c *planConfig) error {
+		if path == "" {
+			return fmt.Errorf("repro: empty stream path")
+		}
+		c.streamPath = path
+		return nil
+	}
+}
+
+// WithElongationSpill caps the resident bytes of the elongation
+// metric's delta-encoded pair-span arena; past the cap, finished span
+// regions spill to an unlinked temp file that scoring re-reads
+// sequentially, so MetricElongation runs on streams whose span
+// population exceeds RAM. <= 0 (the default) keeps the arena in RAM.
+// The curve is bit-identical for any cap.
+func WithElongationSpill(bytes int64) Option {
+	return func(c *planConfig) error {
+		c.elongSpill = bytes
+		return nil
+	}
+}
+
 // WithProgress registers a progress hook: fn receives one ProgressEvent
 // per engine milestone (run planned, raw-stream trips enumerated, each
 // period scored), with Pass set to the bisection round for multi-pass
@@ -377,7 +412,8 @@ const (
 )
 
 // EngineStats aggregates the engine instrumentation of a plan's run:
-// passes, period CSR builds, (window, ∆) dedup hits, raw-stream trip
-// enumerations, periods delivered, and the peak number of periods
-// simultaneously resident.
+// passes (and how many of them skipped the sort because the source was
+// a pre-sorted columnar stream — SortSkips), period CSR builds,
+// (window, ∆) dedup hits, raw-stream trip enumerations, periods
+// delivered, and the peak number of periods simultaneously resident.
 type EngineStats = sweep.RunStats

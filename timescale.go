@@ -101,6 +101,44 @@
 // share one layer arena and one backward sweep, and segments sharing an
 // event window share one raw-stream trip enumeration.
 //
+// # Stream formats and out-of-core ingest
+//
+// A stream can reach the engine three ways. Text ("<u> <v> <t>" per
+// line) and the row-oriented LSB binary codec (WriteBinary/ReadBinary,
+// versioned header — unknown future versions are refused, never
+// misdecoded) both parse into an in-memory Stream; Stream.ReadAny
+// detects the format from the leading bytes. The LSC columnar format
+// (cmd/tsconvert, linkstream.WriteColumnar) is the out-of-core path:
+// parallel time/source/destination column arrays behind an index
+// header (node table, event count, time span, sorted/canonical flags,
+// sparse time→offset skip index), opened memory-mapped where the
+// platform supports it and handed to the engine with zero parse.
+//
+// WithStreamPath builds a plan over such a file (the stream argument
+// of NewAnalysis must be nil):
+//
+//	plan, err := repro.NewAnalysis(nil, repro.WithStreamPath("trace.lsc"))
+//	defer plan.Close() // releases the mapping
+//	report, err := plan.Run(ctx)
+//
+// Because tsconvert writes the columns time-sorted, the engine skips
+// its sort/canonicalise pass entirely (EngineStats.SortSkips counts
+// the passes that took the fast path), and every windowed pass
+// binary-searches the skip index so a [Start, End) window materialises
+// only its own span — the rest of the file's pages are never touched.
+// The report is bit-identical to the same analysis over the parsed
+// text stream; the equivalence suite pins this across seeds ×
+// orientations. Non-columnar paths given to WithStreamPath are simply
+// parsed into memory, so one flag serves every format.
+//
+// The elongation metric is out-of-core on the other axis: its pair
+// index over the raw stream's minimal-trip spans is a delta-encoded
+// destination-major arena, and WithElongationSpill caps its resident
+// bytes — beyond the cap, finished regions spill to an unlinked temp
+// file re-read sequentially during scoring. The curve is bit-identical
+// for any cap, so Section 8 validation runs on streams whose span
+// population exceeds RAM.
+//
 // # Performance tuning
 //
 // Every speed knob is bit-exact: any setting produces identical
