@@ -28,6 +28,7 @@ import (
 
 	"repro"
 	"repro/internal/cli"
+	"repro/internal/serve"
 	"repro/internal/textplot"
 )
 
@@ -52,6 +53,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	adaptiveMode := fs.Bool("adaptive", false,
 		"segment activity modes and determine per-segment scales; the global sweep, every segment sweep and any -metrics extras share one fused engine pass")
 	progress := fs.Bool("progress", false, "stream per-period progress to stderr while the analysis runs")
+	jsonOut := fs.Bool("json", false,
+		"print the report as the versioned JSON wire envelope (the exact bytes tsserve's result endpoint returns for the same plan) instead of the human tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,6 +100,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		// The same bytes tsserve serves for this plan: the CI serve-e2e
+		// leg diffs them against an HTTP-fetched report.
+		data, err := serve.EncodeReport(rep)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(stdout, "%s\n", data); err != nil {
+			return err
+		}
+		if f.EngineStats {
+			fmt.Fprintf(os.Stderr, "%s\n", cli.EngineStatsLine(rep.EngineStats()))
+		}
+		return nil
 	}
 	res, _ := rep.Scale()
 

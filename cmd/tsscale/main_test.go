@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/serve"
 )
 
 func streamText(t *testing.T) string {
@@ -143,5 +145,30 @@ func TestRunAdaptiveFusedMetrics(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Fatalf("missing %q in output:\n%s", want, s)
 		}
+	}
+}
+
+// TestRunJSON: -json prints exactly one versioned report envelope —
+// the bytes tsserve would serve for the same plan.
+func TestRunJSON(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-points", "10", "-refine", "0", "-json"}, strings.NewReader(streamText(t)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := serve.DecodeReport([]byte(strings.TrimSpace(out.String())))
+	if err != nil {
+		t.Fatalf("output is not a report envelope: %v\n%s", err, out.String())
+	}
+	if _, ok := rep.Scale(); !ok {
+		t.Fatal("decoded report carries no saturation scale")
+	}
+	// Deterministic: a second run prints the same bytes.
+	var again strings.Builder
+	if err := run([]string{"-points", "10", "-refine", "0", "-json"}, strings.NewReader(streamText(t)), &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out.String() {
+		t.Fatal("two identical runs printed different JSON")
 	}
 }

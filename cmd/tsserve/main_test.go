@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, os.Stderr); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-stream-root", "/nonexistent/streams"}, os.Stderr); err == nil ||
+		!strings.Contains(err.Error(), "-stream-root") {
+		t.Fatalf("missing stream root: %v", err)
+	}
+	// A file is not a root.
+	dir := t.TempDir()
+	f := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(f, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-stream-root", f}, os.Stderr); err == nil ||
+		!strings.Contains(err.Error(), "not a directory") {
+		t.Fatalf("file as stream root: %v", err)
+	}
+	// An unbindable address surfaces as the listen error.
+	if err := run([]string{"-addr", "256.0.0.1:bad"}, os.Stderr); err == nil {
+		t.Fatal("unbindable address accepted")
+	}
+}
+
+func TestRootLabel(t *testing.T) {
+	if got := rootLabel(""); !strings.Contains(got, "inline") {
+		t.Fatalf("empty root label %q", got)
+	}
+	if got := rootLabel("/srv/streams"); got != "/srv/streams" {
+		t.Fatalf("root label %q", got)
+	}
+}

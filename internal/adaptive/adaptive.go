@@ -136,31 +136,33 @@ func (c Config) coreOptions(grid []int64) core.Options {
 
 // Segment is one maximal run of bins sharing an activity mode.
 type Segment struct {
-	Start, End   int64 // raw time, [Start, End)
-	HighActivity bool
-	Events       int
+	// Start, End bound the segment in raw time, [Start, End).
+	Start        int64 `json:"start"`
+	End          int64 `json:"end"`
+	HighActivity bool  `json:"high_activity"`
+	Events       int   `json:"events"`
 	// Bins is the number of activity-profile bins the segment spans.
-	Bins int
+	Bins int `json:"bins"`
 	// Gamma is the per-segment saturation scale (filled by Analyze;
 	// 0 if the segment had too few events to analyse).
-	Gamma int64
+	Gamma int64 `json:"gamma"`
 }
 
 // Analysis is the outcome of the adaptive method.
 type Analysis struct {
 	// Segments partition the period of study [t0, t1+1).
-	Segments []Segment
+	Segments []Segment `json:"segments"`
 	// TwoMode reports whether two activity modes were detected; if
 	// false, Segments has a single entry covering the whole stream.
-	TwoMode bool
+	TwoMode bool `json:"two_mode"`
 	// Global is the plain occupancy-method result on the whole stream,
 	// for comparison.
-	Global core.Result
+	Global core.Result `json:"global"`
 	// GlobalGamma is Global.Gamma, kept for convenience.
-	GlobalGamma int64
+	GlobalGamma int64 `json:"global_gamma"`
 	// MinGamma is the smallest per-segment scale — the conservative
 	// choice if the whole stream must use one window length.
-	MinGamma int64
+	MinGamma int64 `json:"min_gamma"`
 }
 
 // ErrNoEvents mirrors core.ErrNoEvents.

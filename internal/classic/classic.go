@@ -17,24 +17,24 @@ import (
 
 // Point holds every Figure 2 quantity for one aggregation period.
 type Point struct {
-	Delta int64
+	Delta int64 `json:"delta"`
 
 	// Figure 2 top-left.
-	MeanDensity float64
-	MeanDegree  float64
+	MeanDensity float64 `json:"mean_density"`
+	MeanDegree  float64 `json:"mean_degree"`
 
 	// Figure 2 top-right.
-	MeanNonIsolated float64
-	MeanLargestComp float64
+	MeanNonIsolated float64 `json:"mean_non_isolated"`
+	MeanLargestComp float64 `json:"mean_largest_comp"`
 
 	// Figure 2 bottom: mean distances over all couples and start times
 	// with a finite distance. MeanDistTime is in window counts
 	// (dtime = arr - dep + 1); MeanDistAbsTime = Delta * MeanDistTime is
 	// in raw time units.
-	MeanDistTime    float64
-	MeanDistHops    float64
-	MeanDistAbsTime float64
-	FinitePairs     int64
+	MeanDistTime    float64 `json:"mean_dist_time"`
+	MeanDistHops    float64 `json:"mean_dist_hops"`
+	MeanDistAbsTime float64 `json:"mean_dist_abs_time"`
+	FinitePairs     int64   `json:"finite_pairs"`
 }
 
 // Options configures the sweep.

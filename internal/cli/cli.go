@@ -74,6 +74,37 @@ func BindEngine(fs *flag.FlagSet, workers, maxInFlight *int) {
 		"max aggregation periods resident in the sweep engine (0 = engine default)")
 }
 
+// ServeFlags is the flag surface of the serving commands (tsserve):
+// where to listen, where stream refs resolve, the queue's budgets, and
+// the engine defaults filled into specs that leave theirs zero. The
+// engine flags reuse the exact analysis-command bindings (BindEngine,
+// -lane-width), so operator budgets cannot drift from the CLI surface.
+type ServeFlags struct {
+	Addr         string
+	StreamRoot   string
+	MaxJobs      int
+	TenantBudget int
+	CacheEntries int
+	Workers      int
+	MaxInFlight  int
+	LaneWidth    int
+}
+
+// BindServe registers the serving flags on fs.
+func BindServe(fs *flag.FlagSet) *ServeFlags {
+	f := &ServeFlags{}
+	fs.StringVar(&f.Addr, "addr", "localhost:7487", "address to listen on")
+	fs.StringVar(&f.StreamRoot, "stream-root", "",
+		"directory plan-spec stream refs resolve under; refs are confined to it and rejected when unset (inline-event specs always work)")
+	fs.IntVar(&f.MaxJobs, "max-jobs", 0, "max admitted unfinished runs across all tenants (0 = 64)")
+	fs.IntVar(&f.TenantBudget, "tenant-budget", 0, "max concurrently executing runs per tenant (0 = 2)")
+	fs.IntVar(&f.CacheEntries, "cache-entries", 0, "completed results retained for cache hits (0 = 128)")
+	BindEngine(fs, &f.Workers, &f.MaxInFlight)
+	fs.IntVar(&f.LaneWidth, "lane-width", 0,
+		"default destinations relaxed per sweep pass for specs that leave lane_width unset: 4 or 8 (0 = architecture default)")
+	return f
+}
+
 // ParseMetrics parses the -metrics flag, always including base and
 // rejecting anything outside allowed (nil allows every metric).
 func (f *Flags) ParseMetrics(base []repro.Metric, allowed []repro.Metric) ([]repro.Metric, error) {

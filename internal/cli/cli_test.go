@@ -2,6 +2,7 @@ package cli
 
 import (
 	"flag"
+	"io"
 	"strings"
 	"testing"
 
@@ -126,5 +127,135 @@ func TestEngineStatsLine(t *testing.T) {
 		if !strings.Contains(line, want) {
 			t.Fatalf("missing %q in %q", want, line)
 		}
+	}
+}
+
+// TestErrorPaths is the table-driven flag→option error surface: every
+// misuse of the shared flags must fail at the layer that owns it —
+// parse time for malformed values, Input for conflicting sources, plan
+// construction for values the engine rejects — with an error naming
+// the problem.
+func TestErrorPaths(t *testing.T) {
+	stream := func(t *testing.T) *repro.Stream {
+		t.Helper()
+		s := repro.NewStream()
+		for i := int64(0); i < 20; i++ {
+			if err := s.Add("a", "b", i*13%200+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	cases := []struct {
+		name    string
+		args    []string
+		stage   string // "parse" | "input" | "metrics" | "plan"
+		wantSub string
+	}{
+		{
+			name:    "conflicting -in and -stream",
+			args:    []string{"-in", "a.txt", "-stream", "b.lsc"},
+			stage:   "input",
+			wantSub: "mutually exclusive",
+		},
+		{
+			name:    "unknown metric name",
+			args:    []string{"-metrics", "vibes"},
+			stage:   "metrics",
+			wantSub: "vibes",
+		},
+		{
+			name:    "invalid lane width",
+			args:    []string{"-lane-width", "5"},
+			stage:   "plan",
+			wantSub: "lane width 5",
+		},
+		{
+			name:    "negative lane width",
+			args:    []string{"-lane-width", "-4"},
+			stage:   "plan",
+			wantSub: "lane width",
+		},
+		{
+			name:    "non-numeric points",
+			args:    []string{"-points", "many"},
+			stage:   "parse",
+			wantSub: "invalid value",
+		},
+		{
+			name:    "non-numeric min delta",
+			args:    []string{"-min", "1h"},
+			stage:   "parse",
+			wantSub: "invalid value",
+		},
+		{
+			name:    "unknown flag",
+			args:    []string{"-gamma-please"},
+			stage:   "parse",
+			wantSub: "flag provided but not defined",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("test", flag.ContinueOnError)
+			fs.SetOutput(io.Discard)
+			f := Bind(fs, Defaults{Points: 48, Metrics: "occupancy", MetricsHelp: "metrics"})
+			err := fs.Parse(tc.args)
+			if tc.stage == "parse" {
+				if err == nil {
+					t.Fatal("parse accepted the arguments")
+				}
+				if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+					t.Fatalf("parse error %q does not mention %q", err, tc.wantSub)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+
+			switch tc.stage {
+			case "input":
+				_, _, err = f.Input(strings.NewReader(""))
+			case "metrics":
+				_, err = f.ParseMetrics([]repro.Metric{repro.MetricOccupancy}, nil)
+			case "plan":
+				_, err = repro.NewAnalysis(stream(t), f.PlanOptions(repro.MetricOccupancy)...)
+			default:
+				t.Fatalf("unknown stage %q", tc.stage)
+			}
+			if err == nil {
+				t.Fatalf("%s stage accepted the flags", tc.stage)
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("%s error %q does not mention %q", tc.stage, err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestBindServeDefaults pins the serving flag surface and its
+// defaults.
+func TestBindServeDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("tsserve", flag.ContinueOnError)
+	f := BindServe(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Addr != "localhost:7487" || f.StreamRoot != "" || f.MaxJobs != 0 || f.TenantBudget != 0 {
+		t.Fatalf("defaults: %+v", f)
+	}
+	fs = flag.NewFlagSet("tsserve", flag.ContinueOnError)
+	f = BindServe(fs)
+	err := fs.Parse([]string{"-addr", ":0", "-stream-root", "/srv/streams",
+		"-max-jobs", "9", "-tenant-budget", "3", "-cache-entries", "7",
+		"-workers", "2", "-max-inflight", "1", "-lane-width", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Addr != ":0" || f.StreamRoot != "/srv/streams" || f.MaxJobs != 9 ||
+		f.TenantBudget != 3 || f.CacheEntries != 7 || f.Workers != 2 ||
+		f.MaxInFlight != 1 || f.LaneWidth != 8 {
+		t.Fatalf("overrides: %+v", f)
 	}
 }

@@ -169,25 +169,27 @@ func LinearGrid(lo, hi int64, points int) []int64 {
 	return out
 }
 
-// SweepPoint is the outcome of analysing one candidate period.
+// SweepPoint is the outcome of analysing one candidate period. The
+// json tags are the wire contract of the serving layer (the root
+// package's Report marshalling).
 type SweepPoint struct {
-	Delta  int64
-	Trips  int       // number of minimal trips in G∆
-	Scores []float64 // parallel to Options.Selectors
+	Delta  int64     `json:"delta"`
+	Trips  int       `json:"trips"`  // number of minimal trips in G∆
+	Scores []float64 `json:"scores"` // parallel to Options.Selectors
 }
 
 // Result is the outcome of the occupancy method.
 type Result struct {
 	// Gamma is the saturation scale: the ∆ maximising the primary
 	// selector's score.
-	Gamma int64
+	Gamma int64 `json:"gamma"`
 	// Score is the primary selector's score at Gamma.
-	Score float64
+	Score float64 `json:"score"`
 	// Selector is the name of the primary selector.
-	Selector string
+	Selector string `json:"selector,omitempty"`
 	// Points holds the full sweep curve (sorted by Delta), e.g. the
 	// M-K proximity curve of Figure 3 (right).
-	Points []SweepPoint
+	Points []SweepPoint `json:"points,omitempty"`
 }
 
 // OccupancySample aggregates the stream at period delta and returns the

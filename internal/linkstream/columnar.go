@@ -32,7 +32,9 @@ package linkstream
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -413,6 +415,27 @@ func (c *Columnar) SkipEntries() int { return c.skipCount }
 
 // Size returns the byte length of the underlying columnar file.
 func (c *Columnar) Size() int64 { return int64(len(c.data)) }
+
+// HeaderHash returns a hex SHA-256 fingerprint of the stream's
+// identity sections: the fixed header (version, flags, node and event
+// counts, time span, resolution, section offsets), the node table and
+// the sparse skip index. Because the skip index samples an event time
+// every stride, the fingerprint pins the stream's content shape
+// without reading the event columns — it is the stream reference the
+// serving layer embeds in job specs: a file that was re-converted,
+// re-sorted, renamed in place or regenerated with different events
+// hashes differently, while bit-identical copies at different paths
+// hash the same.
+func (c *Columnar) HeaderHash() string {
+	h := sha256.New()
+	h.Write(c.data[:columnarHeaderSize])
+	le := binary.LittleEndian
+	namesOff := le.Uint64(c.data[48:])
+	namesLen := le.Uint64(c.data[56:])
+	h.Write(c.data[namesOff : namesOff+namesLen])
+	h.Write(c.data[c.skipOff : c.skipOff+16*c.skipCount])
+	return hex.EncodeToString(h.Sum(nil))
+}
 
 func (c *Columnar) timeAt(i int) int64 {
 	return int64(binary.LittleEndian.Uint64(c.data[c.timesOff+8*i:]))

@@ -290,3 +290,69 @@ func TestReadColumnarAndReadAny(t *testing.T) {
 		}
 	}
 }
+
+// TestColumnarHeaderHash pins the HeaderHash contract: identical bytes
+// hash identically (the hash is a content fingerprint, not a path
+// identity), while a different stream, a different skip stride, or a
+// single flipped header byte all change it.
+func TestColumnarHeaderHash(t *testing.T) {
+	_, data := columnarFixture(t, 1, 16)
+	a, err := OpenColumnar(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := a.HeaderHash()
+	if len(h) != 64 {
+		t.Fatalf("hash %q is not hex sha256", h)
+	}
+	b, err := OpenColumnar(append([]byte(nil), data...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.HeaderHash() != h {
+		t.Fatal("bit-identical copies must hash the same")
+	}
+
+	_, other := columnarFixture(t, 2, 16)
+	oc, err := OpenColumnar(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc.HeaderHash() == h {
+		t.Fatal("different streams must hash differently")
+	}
+
+	_, restride := columnarFixture(t, 1, 8)
+	rc, err := OpenColumnar(restride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.HeaderHash() == h {
+		t.Fatal("a re-converted file (different skip stride) must hash differently")
+	}
+
+	mut := append([]byte(nil), data...)
+	mut[24] ^= 0x01 // timeMin low byte
+	mc, err := OpenColumnar(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.HeaderHash() == h {
+		t.Fatal("a mutated header must hash differently")
+	}
+
+	// The mapped open path must agree with the in-memory one.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.lsc")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.HeaderHash() != h {
+		t.Fatal("OpenMapped must hash like OpenColumnar")
+	}
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzPlanCodec throws arbitrary bytes at the plan decoder and pins
+// three properties: decoding never panics, whatever decodes re-encodes
+// and decodes again to the same spec (round-trip equality), and
+// messages carrying any version other than CodecVersion are rejected
+// with an error naming the version field. The seed corpus covers the
+// valid shapes plus the rejection edges (truncations, mutated
+// versions, unknown fields).
+func FuzzPlanCodec(f *testing.F) {
+	seed := [][]byte{
+		[]byte(`{"v":1,"plan":{}}`),
+		[]byte(`{"v":1,"plan":{"metrics":["occupancy","loss"],"directed":true}}`),
+		[]byte(`{"v":1,"plan":{"stream":{"path":"a.lsc","hash":"ff"},"grid":[60,3600]}}`),
+		[]byte(`{"v":1,"plan":{"inline":[{"u":"a","v":"b","t":1}],"workers":3}}`),
+		[]byte(`{"v":1,"plan":{"windows":[{"start":0,"end":9}],"adaptive":{"bins":96}}}`),
+		[]byte(`{"v":2,"plan":{}}`),
+		[]byte(`{"v":1}`),
+		[]byte(`{"v":1,"plan":{"nope":1}}`),
+		[]byte(`{"v":1,"plan":{}`),
+		[]byte(`{"v":1,"plan":{}}garbage`),
+		[]byte(``),
+		[]byte(`[]`),
+		[]byte(`"v"`),
+	}
+	if spec, err := EncodePlan(fullSpec()); err == nil {
+		seed = append(seed, spec)
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodePlan(data) // must not panic, whatever data is
+		if err != nil {
+			// Version errors must name the field and the version spoken.
+			if strings.Contains(err.Error(), "unsupported codec version") &&
+				!strings.Contains(err.Error(), "v: unsupported codec version") {
+				t.Fatalf("version rejection does not name the v field: %v", err)
+			}
+			return
+		}
+		// Anything accepted must round-trip exactly.
+		out, err := EncodePlan(spec)
+		if err != nil {
+			t.Fatalf("decoded spec failed to encode: %v", err)
+		}
+		again, err := DecodePlan(out)
+		if err != nil {
+			t.Fatalf("re-encoded spec failed to decode: %v\nwire: %s", err, out)
+		}
+		if !reflect.DeepEqual(again, spec) {
+			t.Fatalf("round trip mismatch:\nfirst  %+v\nsecond %+v", spec, again)
+		}
+		// And its cache key must be derivable and stable.
+		k1, err := SpecKey(spec, "fuzz")
+		if err != nil {
+			t.Fatalf("spec key: %v", err)
+		}
+		k2, err := SpecKey(again, "fuzz")
+		if err != nil {
+			t.Fatalf("spec key (second): %v", err)
+		}
+		if k1 != k2 {
+			t.Fatal("round-tripped spec derived a different cache key")
+		}
+	})
+}
+
+// FuzzReportCodec pins the same never-panic and round-trip properties
+// for report envelopes.
+func FuzzReportCodec(f *testing.F) {
+	f.Add([]byte(`{"v":1,"report":{"global":{}}}`))
+	f.Add([]byte(`{"v":1,"report":{"scale":{"gamma":3600,"score":0.9},"global":{}}}`))
+	f.Add([]byte(`{"v":2,"report":{"global":{}}}`))
+	f.Add([]byte(`{"v":1,"report":`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := DecodeReport(data)
+		if err != nil {
+			return
+		}
+		out, err := EncodeReport(rep)
+		if err != nil {
+			t.Fatalf("decoded report failed to encode: %v", err)
+		}
+		if _, err := DecodeReport(out); err != nil {
+			t.Fatalf("re-encoded report failed to decode: %v\nwire: %s", err, out)
+		}
+	})
+}

@@ -5,18 +5,18 @@ package sweep
 // sweeps that produce the occupancy distribution instead of a separate
 // one-sweep-per-destination distance pass.
 type DistancePoint struct {
-	Delta int64
+	Delta int64 `json:"delta"`
 	// MeanTime is the mean distance in time, in window counts
 	// (dtime = arr - dep + 1).
-	MeanTime float64
+	MeanTime float64 `json:"mean_time"`
 	// MeanHops is the mean distance in hops.
-	MeanHops float64
+	MeanHops float64 `json:"mean_hops"`
 	// MeanAbsTime = Delta * MeanTime is the mean distance in raw time
 	// units.
-	MeanAbsTime float64
+	MeanAbsTime float64 `json:"mean_abs_time"`
 	// FinitePairs is the number of (u, v, t) triples with a finite
 	// distance.
-	FinitePairs int64
+	FinitePairs int64 `json:"finite_pairs"`
 }
 
 // DistanceObserver collects the Figure 2 distance curves across the

@@ -29,7 +29,10 @@ package sweep
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -112,23 +115,64 @@ const (
 	StagePeriod
 )
 
+// stageNames are the Stage wire names, the ones the serving codec and
+// SSE progress streams carry; UnmarshalJSON accepts exactly these.
+var stageNames = [...]string{"planned", "stream-trips", "period"}
+
+// String returns the stage's wire name.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("Stage(%d)", uint8(s))
+}
+
+// MarshalJSON encodes the stage as its wire name, so serialised
+// progress events read "period" rather than an enum ordinal and the
+// ordinals can be reordered without breaking consumers.
+func (s Stage) MarshalJSON() ([]byte, error) {
+	if int(s) >= len(stageNames) {
+		return nil, fmt.Errorf("sweep: stage: unknown stage %d", uint8(s))
+	}
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON decodes a stage wire name.
+func (s *Stage) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return fmt.Errorf("sweep: stage: %w", err)
+	}
+	for i, n := range stageNames {
+		if n == name {
+			*s = Stage(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("sweep: stage: unknown stage %q (want %s)", name, strings.Join(stageNames[:], ", "))
+}
+
 // ProgressEvent is one milestone of an engine run, delivered through
 // Options.Progress. Counter fields are this run's running totals (not
 // the package-level counters), so a consumer can render completion
-// without any engine query.
+// without any engine query. The json tags are the wire contract of the
+// serving layer's SSE progress stream (internal/serve).
 type ProgressEvent struct {
 	// Pass is filled by multi-pass drivers (a bisection runs one engine
 	// pass per refinement round); a single Run leaves it 0.
-	Pass int
+	Pass int `json:"pass"`
 	// Stage identifies the milestone; Delta is set for StagePeriod.
-	Stage Stage
-	Delta int64
+	Stage Stage `json:"stage"`
+	Delta int64 `json:"delta,omitempty"`
 	// PeriodsDone / PeriodsTotal count (segment, ∆) periods delivered to
 	// their observers, out of all the run will deliver.
-	PeriodsDone, PeriodsTotal int
+	PeriodsDone  int `json:"periods_done"`
+	PeriodsTotal int `json:"periods_total"`
 	// Builds, Dedups and StreamBuilds mirror RunStats for this run so
 	// far.
-	Builds, Dedups, StreamBuilds int64
+	Builds       int64 `json:"builds"`
+	Dedups       int64 `json:"dedups"`
+	StreamBuilds int64 `json:"stream_builds"`
 }
 
 // RunStats aggregates the engine instrumentation of one or more runs
@@ -138,17 +182,17 @@ type ProgressEvent struct {
 // periods were delivered to observers, the peak number of simultaneously
 // resident periods, and how many engine passes contributed.
 type RunStats struct {
-	Passes       int64
-	Builds       int64
-	Dedups       int64
-	StreamBuilds int64
-	Periods      int64
-	MaxResident  int64
+	Passes       int64 `json:"passes"`
+	Builds       int64 `json:"builds"`
+	Dedups       int64 `json:"dedups"`
+	StreamBuilds int64 `json:"stream_builds"`
+	Periods      int64 `json:"periods"`
+	MaxResident  int64 `json:"max_resident"`
 	// SortSkips counts the passes whose event source was already in
 	// engine order (a sorted columnar stream handed to RunSource), so
 	// the sort/canonicalise pass was skipped. SortSkips == Passes means
 	// every pass of the run took the pre-sorted fast path.
-	SortSkips int64
+	SortSkips int64 `json:"sort_skips"`
 	// Arena accounting of the size-classed CSR arena pool: how many of
 	// this run's CSR builds were handed an arena, how many of those
 	// reused a shelved arena of the same size class (the rest allocated
@@ -156,9 +200,9 @@ type RunStats struct {
 	// recycled must balance once a run completes — finished, failed or
 	// cancelled; the engine's teardown paths guarantee it and the
 	// cancellation tests assert it.
-	ArenaHanded   int64
-	ArenaReused   int64
-	ArenaRecycled int64
+	ArenaHanded   int64 `json:"arena_handed"`
+	ArenaReused   int64 `json:"arena_reused"`
+	ArenaRecycled int64 `json:"arena_recycled"`
 }
 
 // Add folds another accumulator into s: counters sum, MaxResident

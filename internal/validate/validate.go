@@ -52,13 +52,13 @@ func (o Options) engine() sweep.Options {
 
 // LossPoint is the Figure 8 (left) value at one aggregation period.
 type LossPoint struct {
-	Delta int64
+	Delta int64 `json:"delta"`
 	// Lost is the proportion of the stream's shortest transitions whose
 	// two hops fall in the same aggregation window — exactly the
 	// transitions that no longer exist in the aggregated series.
-	Lost float64
+	Lost float64 `json:"lost"`
 	// Total is the number of shortest transitions of the stream.
-	Total int
+	Total int `json:"total"`
 }
 
 // TransitionLossObserver computes the Figure 8 (left) curve from the
@@ -353,16 +353,16 @@ func (idx *pairIndex) minDurationWithin(u, v int32, a, b int64) (int64, bool) {
 
 // ElongationPoint is the Figure 8 (right) value at one period.
 type ElongationPoint struct {
-	Delta int64
+	Delta int64 `json:"delta"`
 	// MeanElongation is the mean, over the minimal trips of G∆ spanning
 	// at least two windows, of (tv - tu + 1)·∆ / timeL (Definition 8).
-	MeanElongation float64
+	MeanElongation float64 `json:"mean_elongation"`
 	// Trips is the number of trips entering the mean.
-	Trips int
+	Trips int `json:"trips"`
 	// Unmatched counts trips for which no stream trip was found inside
 	// the window interval; it is always 0 for consistent inputs and is
 	// reported for failure-injection tests.
-	Unmatched int
+	Unmatched int `json:"unmatched,omitempty"`
 }
 
 // ElongationObserver computes the Figure 8 (right) curve. The pair

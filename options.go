@@ -88,11 +88,12 @@ func ParseMetrics(spec string) ([]Metric, error) {
 type Window struct {
 	// Start, End bound the window's events to [Start, End) in raw
 	// stream time.
-	Start, End int64
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
 	// Grid is the window's candidate aggregation periods; empty derives
 	// a logarithmic grid from the window's own resolution and span,
 	// like the adaptive per-segment analysis does.
-	Grid []int64
+	Grid []int64 `json:"grid,omitempty"`
 }
 
 // planConfig is the frozen state of a Plan. Options mutate it during

@@ -12,31 +12,32 @@ type Curves struct {
 	// Occupancy is the occupancy-method curve (MetricOccupancy): one
 	// scored point per candidate period, refinement points included and
 	// merged in ∆ order when the plan refines.
-	Occupancy []SweepPoint
+	Occupancy []SweepPoint `json:"occupancy,omitempty"`
 	// Classic is the Figure 2 classical-properties curve
 	// (MetricClassic).
-	Classic []ClassicPoint
+	Classic []ClassicPoint `json:"classic,omitempty"`
 	// Distance is the Figure 2 mean temporal-distance curve
 	// (MetricDistance).
-	Distance []DistancePoint
+	Distance []DistancePoint `json:"distance,omitempty"`
 	// TransitionLoss is the Section 8 lost-transitions curve
 	// (MetricTransitionLoss).
-	TransitionLoss []LossPoint
+	TransitionLoss []LossPoint `json:"transition_loss,omitempty"`
 	// Elongation is the Section 8 trip-elongation curve
 	// (MetricElongation).
-	Elongation []ElongationPoint
+	Elongation []ElongationPoint `json:"elongation,omitempty"`
 }
 
 // WindowReport is the outcome of one Window of the plan: the window's
 // curves and, when the occupancy metric ran, its saturation scale.
 type WindowReport struct {
 	// Start, End are the window bounds, [Start, End) in raw time.
-	Start, End int64
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
 	// Scale is the occupancy-method outcome on the window's events; the
 	// zero Result when the plan did not request MetricOccupancy.
-	Scale Result
+	Scale Result `json:"scale"`
 	// Curves are the window's metric curves.
-	Curves Curves
+	Curves Curves `json:"curves"`
 }
 
 // Report is the immutable outcome of Plan.Run.

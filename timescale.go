@@ -139,6 +139,43 @@
 // for any cap, so Section 8 validation runs on streams whose span
 // population exceeds RAM.
 //
+// # Serving analyses
+//
+// The wire surface (wire.go) expresses an analysis request as data:
+// PlanSpec is the serialisable form of NewAnalysis's functional
+// options, every field mapping onto exactly one option
+// (PlanSpec.Options), with the stream referenced either by columnar
+// file — path plus Columnar header hash, so a receiver can refuse a
+// ref whose file changed — or by events inlined in the spec. Report
+// gains a deterministic JSON form whose bytes are identical whenever
+// the results are: per-run engine instrumentation (EngineStats) stays
+// out of it by design, since results are pinned bit-identical across
+// worker counts, lane widths and in-flight budgets while the
+// instrumentation of a particular run is not.
+//
+//	spec := &repro.PlanSpec{
+//		Stream:  &repro.StreamRef{Path: "trace.lsc"},
+//		Metrics: []string{"occupancy", "loss"},
+//		Refine:  4,
+//	}
+//	plan, err := spec.NewPlan()        // same plan as hand-written options
+//	defer plan.Close()
+//	report, err := plan.Run(ctx)
+//
+// On top of it, internal/serve and cmd/tsserve provide
+// analysis-as-a-service: a versioned envelope codec (unknown versions
+// and fields rejected by name, fuzz-pinned), a bounded job queue with
+// per-tenant concurrency budgets, and a result cache keyed by the
+// spec's result identity — stream fingerprint plus every
+// result-affecting knob, never the execution hints — so coinciding
+// submissions cost one engine run. Attached clients hold leases on
+// their run; when the last one disconnects the run's context is
+// cancelled and the engine unwinds through the same abort paths as a
+// local Run. An HTTP-fetched report is byte-identical to the same
+// plan run in-process (tsscale -json prints the same envelope for
+// offline comparison). See the README's "Serving analyses" section
+// for the endpoint walkthrough.
+//
 // # Performance tuning
 //
 // Every speed knob is bit-exact: any setting produces identical
