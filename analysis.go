@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/linkstream"
+	"repro/internal/metrics"
 	"repro/internal/sweep"
 	"repro/internal/validate"
 )
@@ -251,6 +252,11 @@ type metricObservers struct {
 	dst   *DistanceObserver
 	loss  *TransitionLossObserver
 	elong *ElongationObserver
+	deg   *metrics.DegreeObserver
+	clu   *metrics.ClusteringObserver
+	comp  *metrics.ComponentsObserver
+	core  *metrics.CorenessObserver
+	wgt   *metrics.WeightedObserver
 }
 
 // newMetricObservers returns fresh observers for the plan's non-occupancy
@@ -275,6 +281,26 @@ func (p *Plan) newMetricObservers() (metricObservers, []sweep.Observer) {
 		mo.elong.SpillBytes = p.cfg.elongSpill
 		obs = append(obs, mo.elong)
 	}
+	if p.cfg.metricOn(MetricDegree) {
+		mo.deg = metrics.NewDegreeObserver()
+		obs = append(obs, mo.deg)
+	}
+	if p.cfg.metricOn(MetricClustering) {
+		mo.clu = metrics.NewClusteringObserver()
+		obs = append(obs, mo.clu)
+	}
+	if p.cfg.metricOn(MetricComponents) {
+		mo.comp = metrics.NewComponentsObserver()
+		obs = append(obs, mo.comp)
+	}
+	if p.cfg.metricOn(MetricCoreness) {
+		mo.core = metrics.NewCorenessObserver()
+		obs = append(obs, mo.core)
+	}
+	if p.cfg.metricOn(MetricWeighted) {
+		mo.wgt = metrics.NewWeightedObserver()
+		obs = append(obs, mo.wgt)
+	}
 	return mo, obs
 }
 
@@ -292,6 +318,22 @@ func (mo metricObservers) curves() Curves {
 	}
 	if mo.elong != nil {
 		cv.Elongation = mo.elong.Points()
+	}
+	// Snapshot-metric curves, in enum order.
+	if mo.deg != nil {
+		cv.Snapshots = append(cv.Snapshots, mo.deg.Curve())
+	}
+	if mo.clu != nil {
+		cv.Snapshots = append(cv.Snapshots, mo.clu.Curve())
+	}
+	if mo.comp != nil {
+		cv.Snapshots = append(cv.Snapshots, mo.comp.Curve())
+	}
+	if mo.core != nil {
+		cv.Snapshots = append(cv.Snapshots, mo.core.Curve())
+	}
+	if mo.wgt != nil {
+		cv.Snapshots = append(cv.Snapshots, mo.wgt.Curve())
 	}
 	return cv
 }

@@ -65,3 +65,45 @@ func TestAggregateErrors(t *testing.T) {
 		t.Fatal("missing file should error")
 	}
 }
+
+func TestAggregateMetrics(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-delta", "100", "-metrics", "degree,weighted",
+		"-workers", "2", "-max-inflight", "1", "-lane-width", "4", "-engine-stats"},
+		strings.NewReader(sample), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"snapshot metric degree", "mean_degree", "degree_entropy",
+		"snapshot metric weighted", "mean_weight", "stability",
+		"engine:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "snapshot metric clustering") {
+		t.Fatalf("unrequested metric appeared:\n%s", s)
+	}
+}
+
+func TestAggregateMetricsRejectsSweepMetrics(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-delta", "100", "-metrics", "occupancy"}, strings.NewReader(sample), &out); err == nil {
+		t.Fatal("sweep metric accepted")
+	} else if !strings.Contains(err.Error(), "tsscale") {
+		t.Fatalf("error %q does not point at the sweeping commands", err)
+	}
+	if err := run([]string{"-delta", "100", "-metrics", "vibes"}, strings.NewReader(sample), &out); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}
+
+func TestAggregateBadLaneWidth(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-delta", "100", "-metrics", "degree", "-lane-width", "5"}, strings.NewReader(sample), &out); err == nil {
+		t.Fatal("lane width 5 accepted")
+	}
+}

@@ -45,7 +45,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		Points:  repro.DefaultGridPoints,
 		Metrics: "occupancy",
 		MetricsHelp: "comma-separated metrics computed in one fused engine pass: " +
-			"occupancy,classic,distance,loss,elongation (occupancy always included; extra metrics see the unrefined grid)",
+			"occupancy,classic,distance,loss,elongation,degree,clustering,components,coreness,weighted " +
+			"(occupancy always included; extra metrics see the unrefined grid; see docs/METRICS.md)",
 	})
 	refine := fs.Int("refine", 4, "extra refinement points around the best period (0 = off)")
 	curve := fs.Bool("curve", false, "print the full proximity curve")
@@ -234,6 +235,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintln(stdout, "\nvalidation (Section 8):")
 		fmt.Fprint(stdout, textplot.Table(header, rows))
 	}
+	cli.SnapshotTables(stdout, rep.Snapshots())
 	if *curve {
 		pts := make([]textplot.XY, 0, len(res.Points))
 		for _, p := range res.Points {

@@ -39,9 +39,11 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("tsvalidate", flag.ContinueOnError)
 	f := cli.Bind(fs, cli.Defaults{
-		Points:      20,
-		Metrics:     "loss,elongation",
-		MetricsHelp: "comma-separated validation metrics to compute: loss,elongation",
+		Points:  20,
+		Metrics: "loss,elongation",
+		MetricsHelp: "comma-separated validation metrics to compute: loss,elongation, " +
+			"plus any snapshot metric (degree,clustering,components,coreness,weighted) to judge " +
+			"the scale against its stability (see docs/METRICS.md)",
 	})
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,7 +52,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	// selected the run still prints the saturation scale.
 	metrics, err := f.ParseMetrics(
 		[]repro.Metric{repro.MetricOccupancy},
-		[]repro.Metric{repro.MetricOccupancy, repro.MetricTransitionLoss, repro.MetricElongation})
+		[]repro.Metric{repro.MetricOccupancy, repro.MetricTransitionLoss, repro.MetricElongation,
+			repro.MetricDegree, repro.MetricClustering, repro.MetricComponents,
+			repro.MetricCoreness, repro.MetricWeighted})
 	if err != nil {
 		return err
 	}
@@ -109,6 +113,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fmt.Fprint(stdout, textplot.Table(header, rows))
 	if loss != nil {
 		fmt.Fprintf(stdout, "\nshortest transitions in the stream: %d\n", loss[0].Total)
+	}
+	// Snapshot metrics judge the scale from the other side: how stable
+	// each structural series is across the same candidate periods.
+	if snaps := rep.Snapshots(); len(snaps) > 0 {
+		srows := make([][]string, 0, len(snaps)*2)
+		for _, c := range snaps {
+			for _, ser := range c.Series {
+				srows = append(srows, []string{c.Metric, ser.Name, fmt.Sprintf("%.3f", ser.Stability)})
+			}
+		}
+		fmt.Fprintln(stdout, "\nsnapshot-metric stability (1 = plateau across periods):")
+		fmt.Fprint(stdout, textplot.Table([]string{"metric", "series", "stability"}, srows))
 	}
 	if f.EngineStats {
 		fmt.Fprintf(stdout, "\n%s\n", cli.EngineStatsLine(rep.EngineStats()))

@@ -140,3 +140,85 @@ func ExampleEarliestArrivals() {
 	// Output:
 	// e reaches b in window 2 after 2 hops
 }
+
+// The snapshot metrics judge a time scale by the stability of
+// structural properties: WithMetrics selects them by enum value, the
+// Report returns one generic MetricCurve per metric with the values of
+// every series across the candidate grid.
+func ExampleWithMetrics() {
+	plan, err := repro.NewAnalysis(figure1(),
+		repro.WithMetrics(repro.MetricDegree, repro.MetricComponents),
+		repro.WithGrid(1, 4, 11),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := plan.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, curve := range report.Snapshots() {
+		fmt.Println(curve.Metric, "series:", len(curve.Series), "deltas:", curve.Deltas)
+	}
+	// Output:
+	// degree series: 3 deltas: [1 4 11]
+	// components series: 2 deltas: [1 4 11]
+}
+
+// Report.Snapshot fetches one metric's curve by name; Curve.Get one
+// series of it. Each series carries a stability score in [0, 1]: how
+// close the values stay to a plateau across aggregation periods.
+func ExampleReport_Snapshot() {
+	plan, err := repro.NewAnalysis(figure1(),
+		repro.WithMetrics(repro.MetricDegree),
+		repro.WithGrid(1, 4, 11),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := plan.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	curve, ok := report.Snapshot("degree")
+	if !ok {
+		log.Fatal("degree curve missing")
+	}
+	mean, _ := curve.Get("mean_degree")
+	for i, delta := range curve.Deltas {
+		fmt.Printf("delta %2d: mean degree %.2f\n", delta, mean.Values[i])
+	}
+	fmt.Printf("stability in [0, 1]: %v\n", mean.Stability >= 0 && mean.Stability <= 1)
+	// Output:
+	// delta  1: mean degree 0.33
+	// delta  4: mean degree 1.20
+	// delta 11: mean degree 2.00
+	// stability in [0, 1]: true
+}
+
+// MetricWeighted is the weighted aggregation of GraphTempo/pyTempNet
+// (AggregateNet): each window's edges weighted by how many stream
+// events collapsed onto them. The total contact count is invariant in
+// ∆ — every event lands in exactly one window at any period.
+func ExampleMetricWeighted() {
+	plan, err := repro.NewAnalysis(figure1(),
+		repro.WithMetrics(repro.MetricWeighted),
+		repro.WithGrid(4, 11),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := plan.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	curve, _ := report.Snapshot("weighted")
+	meanW, _ := curve.Get("mean_weight")
+	maxW, _ := curve.Get("max_weight")
+	for i, delta := range curve.Deltas {
+		fmt.Printf("delta %2d: mean weight %.2f, max weight %.0f\n", delta, meanW.Values[i], maxW.Values[i])
+	}
+	// Output:
+	// delta  4: mean weight 1.00, max weight 1
+	// delta 11: mean weight 1.80, max weight 3
+}

@@ -1,5 +1,5 @@
 // Package cli holds the flag surface shared by the analysis commands
-// (tsscale, tsvalidate, tsfigures): one binding registers the common
+// (tsscale, tsvalidate, tsaggregate, tsfigures): one binding registers the common
 // flags — input, orientation, grid shape, engine budgets, metric
 // selection, instrumentation — and one mapping turns them into
 // repro.Option values, so the command flags and the library's plan
@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro"
+	"repro/internal/textplot"
 )
 
 // Flags is the shared analysis-command flag set; every field maps onto
@@ -56,8 +58,7 @@ func Bind(fs *flag.FlagSet, d Defaults) *Flags {
 	fs.Int64Var(&f.MinDelta, "min", 0, "smallest candidate period (default: stream resolution)")
 	fs.StringVar(&f.Metrics, "metrics", d.Metrics, d.MetricsHelp)
 	BindEngine(fs, &f.Workers, &f.MaxInFlight)
-	fs.IntVar(&f.LaneWidth, "lane-width", 0,
-		"destinations relaxed per sweep pass: 4 or 8 (0 = architecture default); every width is bit-identical")
+	BindLaneWidth(fs, &f.LaneWidth)
 	fs.BoolVar(&f.Speculate, "speculate", false,
 		"speculative bracket bisection: sweep both refinement half-midpoints per engine pass (same result, fewer passes)")
 	fs.BoolVar(&f.EngineStats, "engine-stats", false,
@@ -72,6 +73,14 @@ func BindEngine(fs *flag.FlagSet, workers, maxInFlight *int) {
 	fs.IntVar(workers, "workers", 0, "engine parallelism (0 = all CPUs)")
 	fs.IntVar(maxInFlight, "max-inflight", 0,
 		"max aggregation periods resident in the sweep engine (0 = engine default)")
+}
+
+// BindLaneWidth registers the -lane-width flag with the shared usage
+// text, so every command that exposes the knob describes it
+// identically.
+func BindLaneWidth(fs *flag.FlagSet, laneWidth *int) {
+	fs.IntVar(laneWidth, "lane-width", 0,
+		"destinations relaxed per sweep pass: 4 or 8 (0 = architecture default); every width is bit-identical")
 }
 
 // ServeFlags is the flag surface of the serving commands (tsserve):
@@ -199,6 +208,34 @@ func (f *Flags) ReadStream(stdin io.Reader) (*repro.Stream, error) {
 		return nil, fmt.Errorf("no events read")
 	}
 	return s, nil
+}
+
+// SnapshotTables renders the snapshot-metric curves (repro.MetricDegree
+// and friends) in the shared output format of tsscale and tsaggregate:
+// one table per metric — one row per candidate period, one column per
+// series — followed by the per-series stability scores.
+func SnapshotTables(w io.Writer, curves []repro.MetricCurve) {
+	for _, c := range curves {
+		header := []string{"period (s)"}
+		for _, ser := range c.Series {
+			header = append(header, ser.Name)
+		}
+		rows := make([][]string, 0, len(c.Deltas))
+		for i, d := range c.Deltas {
+			row := []string{fmt.Sprintf("%d", d)}
+			for _, ser := range c.Series {
+				row = append(row, fmt.Sprintf("%.4g", ser.Values[i]))
+			}
+			rows = append(rows, row)
+		}
+		fmt.Fprintf(w, "\nsnapshot metric %s:\n", c.Metric)
+		fmt.Fprint(w, textplot.Table(header, rows))
+		stab := make([]string, 0, len(c.Series))
+		for _, ser := range c.Series {
+			stab = append(stab, fmt.Sprintf("%s %.3f", ser.Name, ser.Stability))
+		}
+		fmt.Fprintf(w, "stability (1 = plateau): %s\n", strings.Join(stab, ", "))
+	}
 }
 
 // EngineStatsLine renders a run's engine instrumentation in the shared

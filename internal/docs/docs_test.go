@@ -1,0 +1,176 @@
+// Package docs pins the documentation to the code it documents: every
+// ```go fence in README.md and docs/*.md must be a complete, compiling
+// file (fragments use plain fences), and every intra-repo markdown
+// link must resolve. CI runs this as its doc-freshness leg, so a
+// renamed identifier or a moved file breaks the build, not the reader.
+package docs
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the working directory (internal/docs during
+// go test) to the directory holding go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// docFiles is the checked documentation set: the README plus
+// everything under docs/.
+func docFiles(t *testing.T, root string) []string {
+	t.Helper()
+	files := []string{filepath.Join(root, "README.md")}
+	matches, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, matches...)
+}
+
+// snippet is one fenced code block of a markdown file.
+type snippet struct {
+	file string // repo-relative path
+	line int    // 1-based line of the opening fence
+	lang string
+	body string
+}
+
+// fences extracts every fenced block of a markdown file.
+func fences(t *testing.T, root, path string) []snippet {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []snippet
+	var cur *snippet
+	var body []string
+	for i, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "```") {
+			if cur != nil {
+				body = append(body, line)
+			}
+			continue
+		}
+		if cur == nil {
+			cur = &snippet{file: rel, line: i + 1, lang: strings.TrimPrefix(trimmed, "```")}
+			body = body[:0]
+			continue
+		}
+		cur.body = strings.Join(body, "\n")
+		out = append(out, *cur)
+		cur = nil
+	}
+	if cur != nil {
+		t.Errorf("%s:%d: unclosed code fence", rel, cur.line)
+	}
+	return out
+}
+
+// TestGoSnippetsCompile requires every ```go fence to be a complete
+// file (starting with a package clause, imports included) and compiles
+// them all as one throwaway module that replaces repro with this
+// checkout — so documentation examples break when the API they show
+// does.
+func TestGoSnippetsCompile(t *testing.T) {
+	root := repoRoot(t)
+	var gos []snippet
+	for _, path := range docFiles(t, root) {
+		for _, s := range fences(t, root, path) {
+			if s.lang == "go" {
+				gos = append(gos, s)
+			}
+		}
+	}
+	if len(gos) == 0 {
+		t.Fatal("no ```go snippets found — the README quickstart should be one")
+	}
+	dir := t.TempDir()
+	mod := fmt.Sprintf("module docsnippets\n\ngo 1.23\n\nrequire repro v0.0.0\n\nreplace repro => %s\n", root)
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(mod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range gos {
+		if !strings.HasPrefix(strings.TrimSpace(s.body), "package ") {
+			t.Errorf("%s:%d: ```go block is not a complete file (no package clause); make it compile or use a plain ``` fence for fragments", s.file, s.line)
+			continue
+		}
+		sub := filepath.Join(dir, fmt.Sprintf("snippet_%02d", i))
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sub, "snippet.go"), []byte(s.body+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("compiling %s:%d as snippet_%02d", s.file, s.line, i)
+	}
+	if t.Failed() {
+		return
+	}
+	if testing.Short() {
+		t.Skip("snippet fence shapes validated; skipping compile in -short mode")
+	}
+	cmd := exec.Command("go", "build", "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOPROXY=off", "GOFLAGS=-mod=mod")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("doc snippets do not compile: %v\n%s", err, out)
+	}
+}
+
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestIntraRepoLinks resolves every relative markdown link of the
+// documentation set against the working tree.
+func TestIntraRepoLinks(t *testing.T) {
+	root := repoRoot(t)
+	for _, path := range docFiles(t, root) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken intra-repo link %q (%s)", rel, m[1], resolved)
+			}
+		}
+	}
+}

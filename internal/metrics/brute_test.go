@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linkstream"
+	"repro/internal/sweep"
+)
+
+// The brute-force suite cross-checks the observers on tiny (≤ 12 node)
+// randomized streams against the adjacency-matrix references, and pins
+// a few windows whose metric values are small enough to compute by
+// hand.
+
+// randomStream builds an n-node stream of `events` uniform events over
+// [0, horizon).
+func randomStream(t *testing.T, rng *rand.Rand, n, events int, horizon int64) *linkstream.Stream {
+	t.Helper()
+	s := linkstream.New()
+	s.EnsureNodes(n)
+	for i := 0; i < events; i++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n - 1))
+		if v >= u {
+			v++
+		}
+		if err := s.AddID(u, v, rng.Int63n(horizon)); err != nil {
+			t.Fatalf("AddID: %v", err)
+		}
+	}
+	return s
+}
+
+func TestBruteForceSmallStreams(t *testing.T) {
+	grid := []int64{37, 120, 333, 1000}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10) // 3..12 nodes
+		events := 1 + rng.Intn(60)
+		s := randomStream(t, rng, n, events, 1000)
+		for _, directed := range []bool{false, true} {
+			ref := references(t, s, grid, directed)
+			got := runAll(t, s, grid, sweep.Options{Directed: directed, Workers: 2})
+			compareToReference(t, got, ref)
+		}
+	}
+}
+
+// runAllOne aggregates one stream at a single ∆ and returns the
+// (single-point) curves.
+func runAllOne(t *testing.T, s *linkstream.Stream, delta int64, directed bool) engineResult {
+	t.Helper()
+	return runAll(t, s, []int64{delta}, sweep.Options{Directed: directed})
+}
+
+func expectClose(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if !closeTo(got, want) {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+// TestTriangleHandComputed pins a 5-node stream whose single window is
+// a triangle on nodes {0, 1, 2} plus two isolated nodes.
+func TestTriangleHandComputed(t *testing.T) {
+	s := linkstream.New()
+	s.EnsureNodes(5)
+	for _, e := range [][3]int64{{0, 1, 0}, {1, 2, 1}, {0, 2, 2}} {
+		if err := s.AddID(int32(e[0]), int32(e[1]), e[2]); err != nil {
+			t.Fatalf("AddID: %v", err)
+		}
+	}
+	r := runAllOne(t, s, 10, false)
+
+	expectClose(t, "mean_degree", r.Deg[0].MeanDegree, 6.0/5)
+	expectClose(t, "max_degree", r.Deg[0].MaxDegree, 2)
+	// Degree classes: two nodes at 0, three at 2.
+	expectClose(t, "degree_entropy", r.Deg[0].DegreeEntropy,
+		-(0.4*math.Log(0.4) + 0.6*math.Log(0.6)))
+
+	expectClose(t, "transitivity", r.Clu[0].Transitivity, 1)
+	expectClose(t, "mean_clustering", r.Clu[0].MeanClustering, 3.0/5)
+
+	expectClose(t, "mean_components", r.Com[0].MeanComponents, 1)
+	expectClose(t, "giant_fraction", r.Com[0].GiantFraction, 3.0/5)
+
+	expectClose(t, "max_coreness", r.Cor[0].MaxCoreness, 2)
+	expectClose(t, "mean_coreness", r.Cor[0].MeanCoreness, 6.0/5)
+
+	// Three distinct edges, one contact each: uniform weights.
+	expectClose(t, "mean_weight", r.Wgt[0].MeanWeight, 1)
+	expectClose(t, "max_weight", r.Wgt[0].MaxWeight, 1)
+	expectClose(t, "weight_entropy", r.Wgt[0].WeightEntropy, 1)
+	if r.Wgt[0].TotalContacts != 3 {
+		t.Errorf("total_contacts = %d, want 3", r.Wgt[0].TotalContacts)
+	}
+}
+
+// TestWeightedHandComputed pins the weighted aggregation on a window
+// with a repeated contact: 0–1 three times, 1–2 once.
+func TestWeightedHandComputed(t *testing.T) {
+	s := linkstream.New()
+	s.EnsureNodes(3)
+	for _, e := range [][3]int64{{0, 1, 0}, {0, 1, 1}, {0, 1, 2}, {1, 2, 3}} {
+		if err := s.AddID(int32(e[0]), int32(e[1]), e[2]); err != nil {
+			t.Fatalf("AddID: %v", err)
+		}
+	}
+	r := runAllOne(t, s, 10, false)
+	w := r.Wgt[0]
+	expectClose(t, "mean_weight", w.MeanWeight, 2) // 4 contacts / 2 edges
+	expectClose(t, "max_weight", w.MaxWeight, 3)
+	expectClose(t, "weight_entropy", w.WeightEntropy,
+		-(0.75*math.Log(0.75)+0.25*math.Log(0.25))/math.Log(2))
+	if w.TotalContacts != 4 {
+		t.Errorf("total_contacts = %d, want 4", w.TotalContacts)
+	}
+}
+
+// TestDirectedHandComputed pins orientation semantics on a reciprocal
+// pair: events 0→1, 1→0 and 1→2 in one window. Directed, the snapshot
+// keeps three edges and degree counts both directions; undirected, the
+// reciprocal pair collapses to one edge of weight two.
+func TestDirectedHandComputed(t *testing.T) {
+	s := linkstream.New()
+	s.EnsureNodes(3)
+	for _, e := range [][3]int64{{0, 1, 0}, {1, 0, 1}, {1, 2, 2}} {
+		if err := s.AddID(int32(e[0]), int32(e[1]), e[2]); err != nil {
+			t.Fatalf("AddID: %v", err)
+		}
+	}
+
+	dir := runAllOne(t, s, 10, true)
+	expectClose(t, "directed mean_degree", dir.Deg[0].MeanDegree, 2) // 2·3 edges / 3 nodes
+	expectClose(t, "directed max_degree", dir.Deg[0].MaxDegree, 3)   // node 1: out 2, in 1
+	// Underlying undirected graph is the path 0–1–2 either way.
+	expectClose(t, "directed transitivity", dir.Clu[0].Transitivity, 0)
+	expectClose(t, "directed mean_components", dir.Com[0].MeanComponents, 1)
+	expectClose(t, "directed giant_fraction", dir.Com[0].GiantFraction, 1)
+	expectClose(t, "directed max_coreness", dir.Cor[0].MaxCoreness, 1)
+	expectClose(t, "directed mean_coreness", dir.Cor[0].MeanCoreness, 1)
+	// Three distinct ordered pairs, one contact each.
+	expectClose(t, "directed mean_weight", dir.Wgt[0].MeanWeight, 1)
+	expectClose(t, "directed weight_entropy", dir.Wgt[0].WeightEntropy, 1)
+
+	und := runAllOne(t, s, 10, false)
+	expectClose(t, "undirected mean_degree", und.Deg[0].MeanDegree, 4.0/3) // 2 edges
+	expectClose(t, "undirected max_degree", und.Deg[0].MaxDegree, 2)
+	expectClose(t, "undirected mean_weight", und.Wgt[0].MeanWeight, 1.5) // 3 contacts / 2 edges
+	expectClose(t, "undirected max_weight", und.Wgt[0].MaxWeight, 2)
+	expectClose(t, "undirected weight_entropy", und.Wgt[0].WeightEntropy,
+		-(2.0/3*math.Log(2.0/3)+1.0/3*math.Log(1.0/3))/math.Log(2))
+	if und.Wgt[0].TotalContacts != 3 {
+		t.Errorf("undirected total_contacts = %d, want 3", und.Wgt[0].TotalContacts)
+	}
+}
+
+// TestEmptyWindows pins the empty-window conventions: with ∆ slicing
+// the span so some windows are empty, every per-window mean counts the
+// empty windows as zero except the giant fraction, which counts 1/N
+// (an empty snapshot's largest "component" is a single node — the
+// series.Stats convention).
+func TestEmptyWindows(t *testing.T) {
+	s := linkstream.New()
+	s.EnsureNodes(4)
+	// Events at t = 0 and t = 99; ∆ = 10 gives 10 windows, 8 empty.
+	for _, e := range [][3]int64{{0, 1, 0}, {2, 3, 99}} {
+		if err := s.AddID(int32(e[0]), int32(e[1]), e[2]); err != nil {
+			t.Fatalf("AddID: %v", err)
+		}
+	}
+	r := runAllOne(t, s, 10, false)
+	expectClose(t, "mean_degree", r.Deg[0].MeanDegree, 2*(2.0/4)/10)
+	expectClose(t, "max_degree", r.Deg[0].MaxDegree, 2.0/10)
+	expectClose(t, "mean_components", r.Com[0].MeanComponents, 2.0/10)
+	expectClose(t, "giant_fraction", r.Com[0].GiantFraction, (2.0/4+2.0/4+8.0/4)/10)
+	expectClose(t, "mean_weight", r.Wgt[0].MeanWeight, 2.0/10)
+	if r.Wgt[0].TotalContacts != 2 {
+		t.Errorf("total_contacts = %d, want 2", r.Wgt[0].TotalContacts)
+	}
+	// The references agree on the conventions.
+	ref := references(t, s, []int64{10}, false)
+	compareToReference(t, r, ref)
+}

@@ -509,3 +509,49 @@ func TestQueueInvalidSpecs(t *testing.T) {
 		t.Fatalf("invalid specs reached admission: %+v", st)
 	}
 }
+
+// TestQueueSnapshotMetrics: the snapshot-metric curves flow through
+// the serving path untouched — a served report with snapshot metrics
+// is byte-identical to the same plan run in-process, and the curves
+// are present in the wire form.
+func TestQueueSnapshotMetrics(t *testing.T) {
+	q := NewQueue(QueueConfig{})
+	defer q.Close()
+
+	spec := &repro.PlanSpec{
+		Inline:     inlineWorkload(t, 29),
+		Metrics:    []string{"occupancy", "degree", "clustering", "components", "coreness", "weighted"},
+		GridPoints: 6,
+	}
+	job, err := q.Submit(context.Background(), spec, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := job.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(served.Snapshots()); got != 5 {
+		t.Fatalf("served report has %d snapshot curves, want 5", got)
+	}
+
+	plan, err := spec.NewPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := plan.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := EncodeReport(served)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeReport(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("served snapshot-metric report differs from the in-process run")
+	}
+}

@@ -258,6 +258,23 @@ type Needs struct {
 	// declares Trips, the period's trips are recycled block by block and
 	// never held whole.
 	TripShards bool
+	// Snapshots requests Period.Graph, the period's layer arena itself:
+	// each layer is one non-empty window's deduplicated edge set, in
+	// window order. This is the lane the snapshot-metric observers
+	// (internal/metrics) build on — the engine hands out the one CSR it
+	// already built for the period, so requesting it adds no build and
+	// no sweep. The arena is recycled when ObservePeriod returns;
+	// observers must extract what they keep inside the call.
+	Snapshots bool
+	// EdgeWeights requests Period.EdgeWeights, the weighted-aggregation
+	// lane: the contact count of every edge of the period's layer arena
+	// (edge weight = number of stream events falling in the window, the
+	// GraphTempo / pyTempNet AggregateNet semantics), aligned
+	// index-for-index with the arena's edge order. Observers normally
+	// declare Snapshots alongside it to receive the arena the weights
+	// index into. Computed as one more task of the period's shared
+	// build — never a second CSR construction.
+	EdgeWeights bool
 }
 
 func (n Needs) union(o Needs) Needs {
@@ -269,13 +286,16 @@ func (n Needs) union(o Needs) Needs {
 		StreamTrips:    n.StreamTrips || o.StreamTrips,
 		StreamTripRuns: n.StreamTripRuns || o.StreamTripRuns,
 		TripShards:     n.TripShards || o.TripShards,
+		Snapshots:      n.Snapshots || o.Snapshots,
+		EdgeWeights:    n.EdgeWeights || o.EdgeWeights,
 	}
 }
 
 // perPeriod reports whether any per-period product requires building
 // the period's CSR at all.
 func (n Needs) perPeriod() bool {
-	return n.Trips || n.Occupancies || n.Distances || n.WindowStats || n.TripShards
+	return n.Trips || n.Occupancies || n.Distances || n.WindowStats ||
+		n.TripShards || n.Snapshots || n.EdgeWeights
 }
 
 // sweeps reports whether the backward temporal-path sweep must run.
@@ -341,6 +361,21 @@ type Period struct {
 	// Windows holds the classical per-snapshot statistics. Populated
 	// for Needs.WindowStats.
 	Windows series.Stats
+	// Graph is the period's layer arena: layer li is window key
+	// Graph.Keys[li]'s deduplicated edge set (edge e of the layer is
+	// Graph.Ends[2e], Graph.Ends[2e+1]), ascending by packed (U, V) key
+	// within the layer; empty windows have no layer. Populated for
+	// Needs.Snapshots. The arena is recycled when ObservePeriod
+	// returns — observers must not retain it or anything it backs.
+	Graph *temporal.CSR
+	// EdgeWeights is the weighted aggregation of the period: entry e is
+	// the number of stream events that window's edge e aggregates (its
+	// contact count), indexed exactly like Graph's edge list — the
+	// weight of Graph.Ends[2e], Graph.Ends[2e+1] is EdgeWeights[e], and
+	// the weights of layer li are EdgeWeights[Graph.Off[li]:
+	// Graph.Off[li+1]]. Populated for Needs.EdgeWeights; valid only
+	// during the call, like Graph.
+	EdgeWeights []int32
 	// Shard is the receiving observer's own per-period TripShard, set
 	// only while a ShardedTripObserver's ObservePeriod runs. Every
 	// block has been observed by the time it is handed back.
@@ -501,6 +536,10 @@ func Run(ctx context.Context, s *linkstream.Stream, grid []int64, opt Options, o
 // task.
 const statsBlock = -1
 
+// weightsBlock is the pseudo block index of a period's edge-weight
+// (weighted aggregation) task.
+const weightsBlock = -2
+
 // scope is the engine-internal state of one registered SegmentObserver:
 // its window's slice of the shared event buffer wrapped in a
 // StreamView, the union of its observers' needs, the slice bounds in
@@ -564,6 +603,7 @@ type job struct {
 	blockTrips [][]temporal.Trip  // one slot per (block, lane), written lock-free
 	sink       *temporal.DistSink // per-destination slots, written lock-free
 	stats      series.Stats       // written by the stats task
+	weights    []int32            // written by the weights task
 
 	// shards flattens every target observer's TripShard for the block
 	// fan-out; targetShards maps them back per (target, observer) for
@@ -808,15 +848,22 @@ func (e *engine) produce() {
 		if sp.needs.WindowStats {
 			ntasks++
 		}
+		if sp.needs.EdgeWeights {
+			ntasks++
+		}
 		if ntasks == 0 {
-			// Unreachable while perPeriod() gates the pipeline, but
-			// keep the accounting sound.
+			// Snapshot-only specs (Needs.Snapshots without any sweep,
+			// stats or weights product): the CSR just built is the
+			// product, so finalize hands it to the observers right here.
 			e.finalize(j)
 			continue
 		}
 		j.pending.Store(int32(ntasks))
 		if sp.needs.WindowStats {
 			e.tasks <- task{j: j, block: statsBlock}
+		}
+		if sp.needs.EdgeWeights {
+			e.tasks <- task{j: j, block: weightsBlock}
 		}
 		if sp.needs.sweeps() {
 			for b := 0; b < e.blocks; b++ {
@@ -838,6 +885,8 @@ func (e *engine) worker() {
 	// laneBuf receives shard-only trip lanes (recycled block by block);
 	// jobs that keep their trips write straight into j.blockTrips.
 	laneBuf := make([][]temporal.Trip, e.width)
+	// wscratch is the worker's sort buffer for edge-weight tasks.
+	var wscratch temporal.CSRScratch
 	var localHist *dist.Histogram
 	var cur *job // job the worker's occupancy sink holds data for
 
@@ -900,6 +949,9 @@ func (e *engine) worker() {
 		}
 		if t.block == statsBlock {
 			j.stats = e.windowStats(j)
+		} else if t.block == weightsBlock {
+			v := j.spec.view()
+			j.weights = temporal.EdgeWeightsCSR(v.Events, v.T0, j.spec.delta, j.csr, &wscratch)
 		} else {
 			needs := j.spec.needs
 			if needs.Occupancies && cur != j {
@@ -981,6 +1033,7 @@ func (e *engine) finalize(j *job) {
 		j.blockTrips = nil
 		j.sink = nil
 		j.hist = nil
+		j.weights = nil
 		j.shards = nil
 		j.targetShards = nil
 		periodsAlive.Add(-1)
@@ -1014,6 +1067,12 @@ func (e *engine) finalize(j *job) {
 		}
 		if sc.needs.WindowStats {
 			p.Windows = j.stats
+		}
+		if sc.needs.Snapshots {
+			p.Graph = j.csr
+		}
+		if sc.needs.EdgeWeights {
+			p.EdgeWeights = j.weights
 		}
 		for oi, o := range sc.seg.Observers {
 			p.Shard = nil

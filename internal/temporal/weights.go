@@ -1,0 +1,65 @@
+package temporal
+
+import (
+	"slices"
+
+	"repro/internal/linkstream"
+	"repro/internal/snapshot"
+)
+
+// EdgeWeightsCSR computes the weighted aggregation of a period: the
+// contact count of every edge of the CSR that BuildCSR produced from
+// the same (events, t0, delta) — edge weight = number of stream events
+// the window collapses onto that edge, the AggregateNet semantics of
+// pyTempNet / GraphTempo.
+//
+// The result is aligned index-for-index with c's edge list: entry e is
+// the weight of the edge at c.Ends[2e], c.Ends[2e+1], and layer li's
+// weights are the slice [c.Off[li], c.Off[li+1]). The alignment holds
+// because buildCSRInto deduplicates each window by sorting its packed
+// (U, V) keys ascending and compacting: re-sorting the same window's
+// keys here visits the distinct keys in exactly that order, so a
+// run-length count over the sorted keys fills the window's weight
+// slots in CSR edge order. Per layer, the weights sum to the window's
+// event count.
+//
+// events must be the same pre-sorted (and, for undirected analyses,
+// canonicalised) buffer the CSR was built from. scratch is reused
+// across calls like in BuildCSR; use one per goroutine.
+func EdgeWeightsCSR(events []linkstream.Event, t0, delta int64, c *CSR, scratch *CSRScratch) []int32 {
+	out := make([]int32, c.Off[len(c.Off)-1])
+	i, li := 0, 0
+	for i < len(events) {
+		k := (events[i].T - t0) / delta
+		end := i
+		for end < len(events) && (events[end].T-t0)/delta == k {
+			end++
+		}
+		buf := scratch.keys[:0]
+		for _, e := range events[i:end] {
+			buf = append(buf, snapshot.PackEdge(e.U, e.V))
+		}
+		scratch.keys = buf
+		slices.Sort(buf)
+		accumulateRuns(buf, out[c.Off[li]:c.Off[li+1]])
+		li++
+		i = end
+	}
+	return out
+}
+
+// accumulateRuns run-length counts the sorted keys into w: w[j] ends up
+// holding the multiplicity of the j-th distinct key. len(w) must equal
+// the number of distinct keys — the weighted-aggregation accumulator
+// contract, pinned by the fuzz target in weights_test.go.
+func accumulateRuns(sorted []uint64, w []int32) {
+	ei := -1
+	var prev uint64
+	for _, key := range sorted {
+		if ei < 0 || key != prev {
+			ei++
+			prev = key
+		}
+		w[ei]++
+	}
+}

@@ -39,11 +39,34 @@ const (
 	// MetricElongation is the Section 8 mean trip elongation factor per
 	// period.
 	MetricElongation
+	// MetricDegree is the snapshot degree-distribution curve: per-∆
+	// mean degree, max degree and degree entropy, averaged over the
+	// windows (see docs/METRICS.md).
+	MetricDegree
+	// MetricClustering is the snapshot clustering curve: per-∆
+	// transitivity (global clustering) and mean local clustering
+	// coefficient of the underlying undirected simple graph.
+	MetricClustering
+	// MetricComponents is the snapshot connected-component curve: per-∆
+	// mean component count (among non-isolated nodes) and mean
+	// giant-component fraction.
+	MetricComponents
+	// MetricCoreness is the snapshot k-core curve: per-∆ mean degeneracy
+	// (max coreness) and mean coreness over all nodes.
+	MetricCoreness
+	// MetricWeighted is the weighted-aggregation curve
+	// (GraphTempo/pyTempNet AggregateNet semantics — edge weight =
+	// contact count per window): per-∆ mean and max edge weight,
+	// normalised weight entropy, and the total contact count.
+	MetricWeighted
 
 	numMetrics
 )
 
-var metricNames = [numMetrics]string{"occupancy", "classic", "distance", "loss", "elongation"}
+var metricNames = [numMetrics]string{
+	"occupancy", "classic", "distance", "loss", "elongation",
+	"degree", "clustering", "components", "coreness", "weighted",
+}
 
 // String returns the metric's canonical name, the one ParseMetrics
 // accepts.

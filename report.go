@@ -5,6 +5,20 @@ package repro
 // engine instrumentation of the run, replacing the per-entry-point
 // result shapes of the deprecated API.
 
+import "repro/internal/metrics"
+
+// MetricCurve is the generic value-vs-∆ curve of one snapshot metric
+// (MetricDegree, MetricClustering, MetricComponents, MetricCoreness,
+// MetricWeighted): named series over the candidate grid, each with a
+// stability score in [0, 1] from the Section-7 M-K proximity selector
+// — 1 means the series is flat across ∆ (a plateau), 0 means it never
+// stops drifting. See docs/METRICS.md for every series' definition.
+type MetricCurve = metrics.Curve
+
+// MetricSeries is one named value sequence of a MetricCurve, indexed
+// like the curve's Deltas.
+type MetricSeries = metrics.Series
+
 // Curves holds every built-in curve computed for one scope (the whole
 // stream or one window). Only the curves of the plan's requested
 // metrics are non-nil; each is in candidate-grid order.
@@ -25,6 +39,11 @@ type Curves struct {
 	// Elongation is the Section 8 trip-elongation curve
 	// (MetricElongation).
 	Elongation []ElongationPoint `json:"elongation,omitempty"`
+	// Snapshots are the snapshot-metric curves (MetricDegree,
+	// MetricClustering, MetricComponents, MetricCoreness,
+	// MetricWeighted), one MetricCurve per requested metric in enum
+	// order.
+	Snapshots []MetricCurve `json:"snapshots,omitempty"`
 }
 
 // WindowReport is the outcome of one Window of the plan: the window's
@@ -76,6 +95,22 @@ func (r *Report) TransitionLoss() []LossPoint { return r.global.TransitionLoss }
 
 // Elongation returns the whole-stream trip-elongation curve.
 func (r *Report) Elongation() []ElongationPoint { return r.global.Elongation }
+
+// Snapshots returns the whole-stream snapshot-metric curves, one per
+// requested snapshot metric ("degree", "clustering", "components",
+// "coreness", "weighted") in enum order.
+func (r *Report) Snapshots() []MetricCurve { return r.global.Snapshots }
+
+// Snapshot returns the whole-stream curve of the named snapshot metric
+// and whether the plan computed it.
+func (r *Report) Snapshot(name string) (MetricCurve, bool) {
+	for _, c := range r.global.Snapshots {
+		if c.Metric == name {
+			return c, true
+		}
+	}
+	return MetricCurve{}, false
+}
 
 // NumWindows returns how many plan windows were analysed.
 func (r *Report) NumWindows() int { return len(r.windows) }

@@ -22,8 +22,11 @@
 //	report, err := plan.Run(ctx)
 //	fmt.Println("gamma:", report.Gamma(), "seconds")
 //
-// Options select metrics (WithMetrics: occupancy, classical
-// properties, distances, transition loss, elongation), candidate grids
+// Options select metrics (WithMetrics: the sweep metrics — occupancy,
+// classical properties, distances, transition loss, elongation — and
+// the per-∆ snapshot metrics — degree, clustering, components,
+// coreness, weighted aggregation — each a MetricCurve in the Report;
+// see docs/METRICS.md), candidate grids
 // (WithGrid, WithGridPoints, WithMinDelta), extra analysis windows
 // (WithWindows), the refinement policy (WithRefine), activity-adaptive
 // segmentation (WithAdaptive), worker and memory budgets (WithWorkers,
@@ -62,7 +65,13 @@
 // (NewTransitionLossObserver, NewElongationObserver) and the distance
 // curves (NewDistanceObserver) are all such observers; MultiSweep runs
 // any combination of them — or custom ones — in one fused pass, so a
-// new metric is a ~50-line observer rather than a new sweep loop.
+// new metric is a ~50-line observer rather than a new sweep loop. The
+// snapshot metrics (internal/metrics: degree, clustering, components,
+// coreness, weighted aggregation) ride two further lanes of the same
+// build — SweepNeeds.Snapshots hands ObservePeriod the period's layer
+// arena itself, and SweepNeeds.EdgeWeights its per-edge contact
+// counts — so scoring the structure of G∆ adds no pass and no build
+// either; docs/ARCHITECTURE.md walks through writing one.
 //
 // Period scheduling is a bounded in-flight pipeline. At most
 // Options.MaxInFlight periods are resident at once (layer arena plus

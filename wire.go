@@ -77,8 +77,9 @@ type PlanSpec struct {
 	Inline []InlineEvent `json:"inline,omitempty"`
 
 	// Metrics are the metric names WithMetrics/ParseMetrics accept
-	// ("occupancy", "classic", "distance", "loss", "elongation"); nil
-	// selects the default set (occupancy alone).
+	// ("occupancy", "classic", "distance", "loss", "elongation",
+	// "degree", "clustering", "components", "coreness", "weighted");
+	// nil selects the default set (occupancy alone).
 	Metrics []string `json:"metrics,omitempty"`
 	// Selectors are selector names (see ParseSelectors); nil selects
 	// the paper's M-K proximity selector.
