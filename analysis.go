@@ -48,6 +48,11 @@ type Plan struct {
 	matOnce sync.Once
 	mat     *Stream
 	matErr  error
+
+	// Close is idempotent: the mapping is released exactly once however
+	// many times (or from however many goroutines) Close is called.
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // NewAnalysis builds an analysis plan over the stream. The zero-option
@@ -159,6 +164,16 @@ func NewAnalysis(s *Stream, opts ...Option) (*Plan, error) {
 	if len(cfg.windows) > 0 && !cfg.anyMetric() {
 		return nil, errors.New("repro: plan windows need at least one metric")
 	}
+	if cfg.noGlobal {
+		switch {
+		case cfg.adaptive != nil:
+			return nil, errors.New("repro: WithWindowsOnly and WithAdaptive cannot be combined")
+		case len(cfg.windows) == 0:
+			return nil, errors.New("repro: WithWindowsOnly needs WithWindows windows to analyse")
+		case len(cfg.observers) > 0:
+			return nil, errors.New("repro: WithWindowsOnly drops the global scope custom observers attach to")
+		}
+	}
 	return &Plan{s: s, col: col, cfg: cfg}, nil
 }
 
@@ -217,12 +232,15 @@ func (p *Plan) Stream() (*Stream, error) {
 
 // Close releases resources a WithStreamPath plan holds on behalf of
 // the caller — the columnar file mapping. Plans over in-memory streams
-// hold nothing; calling Close on them (or twice) is a no-op.
+// hold nothing. Close is idempotent and safe for concurrent use: the
+// first call unmaps, every later call returns the same result without
+// touching the mapping again.
 func (p *Plan) Close() error {
-	if p.col != nil {
-		return p.col.Close()
+	if p.col == nil {
+		return nil
 	}
-	return nil
+	p.closeOnce.Do(func() { p.closeErr = p.col.Close() })
+	return p.closeErr
 }
 
 // Run executes the plan and returns its Report. An already-cancelled
@@ -354,6 +372,40 @@ func (p *Plan) coreOptions(grid []int64) core.Options {
 	}
 }
 
+// windowGrids resolves the candidate grid of every plan window, in
+// WithWindows order: an explicit Window.Grid is used as-is, an empty
+// one derives a logarithmic grid from the window's own resolution and
+// span, exactly like the adaptive per-segment grids. A columnar source
+// materialises just each window's span here, through the skip index —
+// not the whole file. The shard partitioner (PartitionSpec) calls this
+// too, so coordinator-side chunking and a local run resolve identical
+// grids.
+func (p *Plan) windowGrids() ([][]int64, error) {
+	c := &p.cfg
+	src := p.engineSource()
+	grids := make([][]int64, len(c.windows))
+	for i := range c.windows {
+		w := &c.windows[i]
+		grid := w.Grid
+		if len(grid) == 0 {
+			sub, _, err := src.EngineEvents(w.Start, w.End, false)
+			if err != nil {
+				return nil, err
+			}
+			if len(sub) == 0 {
+				return nil, fmt.Errorf("repro: window [%d, %d) has no events", w.Start, w.End)
+			}
+			points := c.gridPoints
+			if points <= 0 {
+				points = core.DefaultGridPoints
+			}
+			grid = core.LogGrid(linkstream.EventsResolution(sub), linkstream.EventsDuration(sub), points)
+		}
+		grids[i] = grid
+	}
+	return grids, nil
+}
+
 // scopeRun is the per-scope execution state of a standard (non-adaptive)
 // run: the global scope or one plan window.
 type scopeRun struct {
@@ -387,7 +439,7 @@ func (p *Plan) runStandard(ctx context.Context) (*Report, error) {
 	}
 
 	var runs []*scopeRun
-	if c.anyMetric() || len(c.observers) > 0 {
+	if (c.anyMetric() || len(c.observers) > 0) && !c.noGlobal {
 		sr := &scopeRun{grid: c.grid}
 		if c.metricOn(MetricOccupancy) {
 			search, err := core.NewScaleSearch(p.coreOptions(c.grid))
@@ -402,31 +454,15 @@ func (p *Plan) runStandard(ctx context.Context) (*Report, error) {
 		runs = append(runs, sr)
 	}
 	if len(c.windows) > 0 {
-		// Window grids default to the window's own resolution and span,
-		// exactly like the adaptive per-segment grids. A columnar source
-		// materialises just the window's span here, through the skip
-		// index — not the whole file.
-		src := p.engineSource()
+		grids, err := p.windowGrids()
+		if err != nil {
+			return nil, err
+		}
 		for i := range c.windows {
 			w := &c.windows[i]
-			grid := w.Grid
-			if len(grid) == 0 {
-				sub, _, err := src.EngineEvents(w.Start, w.End, false)
-				if err != nil {
-					return nil, err
-				}
-				if len(sub) == 0 {
-					return nil, fmt.Errorf("repro: window [%d, %d) has no events", w.Start, w.End)
-				}
-				points := c.gridPoints
-				if points <= 0 {
-					points = core.DefaultGridPoints
-				}
-				grid = core.LogGrid(linkstream.EventsResolution(sub), linkstream.EventsDuration(sub), points)
-			}
-			sr := &scopeRun{window: w, start: w.Start, end: w.End, grid: grid}
+			sr := &scopeRun{window: w, start: w.Start, end: w.End, grid: grids[i]}
 			if c.metricOn(MetricOccupancy) {
-				search, err := core.NewScaleSearch(p.coreOptions(grid))
+				search, err := core.NewScaleSearch(p.coreOptions(grids[i]))
 				if err != nil {
 					return nil, fmt.Errorf("repro: window [%d, %d): %w", w.Start, w.End, err)
 				}

@@ -17,13 +17,19 @@
 // plan fuses the occupancy method with every requested -metrics curve
 // (and, with -adaptive, the per-segment scale searches), and the whole
 // run is a Plan.Run whose Report feeds the output tables.
+//
+// With -coordinator the same flags become a PlanSpec submitted to a
+// tsserve coordinator (see cmd/tsserve), whose distributed fold is
+// byte-identical to running the plan locally.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 
 	"repro"
@@ -56,6 +62,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	progress := fs.Bool("progress", false, "stream per-period progress to stderr while the analysis runs")
 	jsonOut := fs.Bool("json", false,
 		"print the report as the versioned JSON wire envelope (the exact bytes tsserve's result endpoint returns for the same plan) instead of the human tables")
+	coordinator := fs.String("coordinator", "",
+		"submit the analysis to a tsserve coordinator at this URL instead of running locally; -stream paths resolve under the coordinator's stream root, and the folded report is byte-identical to a local run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,14 +72,17 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 
-	s, inputOpts, err := f.Input(stdin)
-	if err != nil {
-		return err
-	}
-
 	var sels []repro.Selector
 	if *allSel {
 		sels = repro.AllSelectors()
+	}
+	if *coordinator != "" {
+		return runCoordinator(*coordinator, f, metrics, sels, *refine, *adaptiveMode, *jsonOut, *curve, *allSel, stdin, stdout)
+	}
+
+	s, inputOpts, err := f.Input(stdin)
+	if err != nil {
+		return err
 	}
 	opts := f.PlanOptions(metrics...)
 	opts = append(opts, inputOpts...)
@@ -117,8 +128,6 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		return nil
 	}
-	res, _ := rep.Scale()
-
 	// Stats come from the plan's view of the stream so -in and -stream
 	// print byte-identical headers (a mapped columnar input has no
 	// *Stream until asked for one).
@@ -129,10 +138,19 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	st := ms.ComputeStats()
 	fmt.Fprintf(stdout, "events: %d  nodes: %d  span: %ds  activity: %.3f msgs/person/day\n",
 		st.Events, st.Nodes, st.Span, st.EventsPerNodePerDay)
+	return renderReport(stdout, f, rep, sels, *curve, *allSel)
+}
+
+// renderReport prints the human tables of a report — shared by the
+// local run and the coordinator-submitted run, whose folded report
+// renders identically (minus the stream-stats header, which needs the
+// stream itself).
+func renderReport(stdout io.Writer, f *cli.Flags, rep *repro.Report, sels []repro.Selector, curve, allSel bool) error {
+	res, _ := rep.Scale()
 	fmt.Fprintf(stdout, "saturation scale gamma = %d s (%.2f h) [selector %s, score %.4f]\n",
 		res.Gamma, float64(res.Gamma)/3600, res.Selector, res.Score)
 
-	if *allSel {
+	if allSel {
 		rows := make([][]string, 0, len(sels))
 		for i, sel := range sels {
 			best := repro.BestPoint(res.Points, i)
@@ -236,7 +254,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprint(stdout, textplot.Table(header, rows))
 	}
 	cli.SnapshotTables(stdout, rep.Snapshots())
-	if *curve {
+	if curve {
 		pts := make([]textplot.XY, 0, len(res.Points))
 		for _, p := range res.Points {
 			pts = append(pts, textplot.XY{X: float64(p.Delta) / 3600, Y: p.Scores[0]})
@@ -254,4 +272,69 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "\n%s\n", cli.EngineStatsLine(rep.EngineStats()))
 	}
 	return nil
+}
+
+// runCoordinator maps the flags onto a PlanSpec and submits it to a
+// tsserve coordinator. A -stream path travels as-is in the spec — it
+// resolves under the coordinator's stream root, not locally — while
+// -in/stdin input is inlined into the spec. The folded report comes
+// back over the same wire envelope tsserve uses, so -json prints
+// coordinator bytes that diff clean against a local `tsscale -json`
+// run of the same plan.
+func runCoordinator(coordURL string, f *cli.Flags, metrics []repro.Metric, sels []repro.Selector,
+	refine int, adaptiveMode, jsonOut, curve, allSel bool, stdin io.Reader, stdout io.Writer) error {
+	spec := &repro.PlanSpec{
+		Directed:   f.Directed,
+		GridPoints: f.Points,
+		MinDelta:   f.MinDelta,
+		Refine:     refine,
+		Speculate:  f.Speculate,
+	}
+	for _, m := range metrics {
+		spec.Metrics = append(spec.Metrics, m.String())
+	}
+	for _, sel := range sels {
+		spec.Selectors = append(spec.Selectors, sel.Name())
+	}
+	if adaptiveMode {
+		spec.Adaptive = &repro.AdaptiveSpec{}
+	}
+	if f.Stream != "" {
+		if f.In != "" {
+			return fmt.Errorf("-in and -stream are mutually exclusive")
+		}
+		spec.Stream = &repro.StreamRef{Path: f.Stream}
+	} else {
+		s, err := f.ReadStream(stdin)
+		if err != nil {
+			return err
+		}
+		spec.Inline = repro.InlineEventsOf(s)
+	}
+
+	body, err := serve.EncodePlan(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(coordURL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("coordinator: status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if jsonOut {
+		_, err := fmt.Fprintf(stdout, "%s\n", data)
+		return err
+	}
+	rep, err := serve.DecodeReport(data)
+	if err != nil {
+		return err
+	}
+	return renderReport(stdout, f, rep, sels, curve, allSel)
 }

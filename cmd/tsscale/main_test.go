@@ -2,11 +2,14 @@ package main
 
 import (
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/distrib"
 	"repro/internal/serve"
 )
 
@@ -170,5 +173,68 @@ func TestRunJSON(t *testing.T) {
 	}
 	if again.String() != out.String() {
 		t.Fatal("two identical runs printed different JSON")
+	}
+}
+
+// TestRunCoordinator: -coordinator submits the flags as a PlanSpec to
+// a coordinator with one registered worker; the folded -json bytes are
+// identical to a local run, and the human tables render without a
+// stream-stats header (the coordinator never ships the stream back).
+func TestRunCoordinator(t *testing.T) {
+	worker := httptest.NewServer(serve.NewServer(serve.NewQueue(serve.QueueConfig{})))
+	defer worker.Close()
+	coord := httptest.NewServer(distrib.NewCoordinator(distrib.Config{}).Handler())
+	defer coord.Close()
+	resp, err := http.Post(coord.URL+"/v1/workers", "application/json",
+		strings.NewReader(`{"name":"w1","url":"`+worker.URL+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: status %d", resp.StatusCode)
+	}
+
+	flags := []string{"-points", "8", "-refine", "2", "-metrics", "occupancy,classic", "-json"}
+	var local strings.Builder
+	if err := run(flags, strings.NewReader(streamText(t)), &local); err != nil {
+		t.Fatal(err)
+	}
+	var remote strings.Builder
+	if err := run(append([]string{"-coordinator", coord.URL}, flags...),
+		strings.NewReader(streamText(t)), &remote); err != nil {
+		t.Fatal(err)
+	}
+	if remote.String() != local.String() {
+		t.Fatalf("coordinator JSON differs from local run:\nlocal:  %s\nremote: %s", local.String(), remote.String())
+	}
+
+	var human strings.Builder
+	if err := run([]string{"-coordinator", coord.URL, "-points", "8", "-refine", "0", "-curve"},
+		strings.NewReader(streamText(t)), &human); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(human.String(), "saturation scale gamma =") {
+		t.Fatalf("output:\n%s", human.String())
+	}
+	if strings.Contains(human.String(), "events:") {
+		t.Fatalf("coordinator run printed a stream-stats header:\n%s", human.String())
+	}
+}
+
+// TestRunCoordinatorErrors: a coordinator error surfaces its HTTP body,
+// and the -in/-stream exclusivity check still guards the remote path.
+func TestRunCoordinatorErrors(t *testing.T) {
+	coord := httptest.NewServer(distrib.NewCoordinator(distrib.Config{}).Handler())
+	defer coord.Close()
+	// No stream root on the coordinator: a -stream ref must be rejected.
+	err := run([]string{"-coordinator", coord.URL, "-stream", "x.lsc"}, strings.NewReader(""), new(strings.Builder))
+	if err == nil || !strings.Contains(err.Error(), "stream root") {
+		t.Fatalf("want stream-root rejection, got %v", err)
+	}
+	err = run([]string{"-coordinator", coord.URL, "-stream", "x.lsc", "-in", "y.txt"},
+		strings.NewReader(""), new(strings.Builder))
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("want exclusivity error, got %v", err)
 	}
 }

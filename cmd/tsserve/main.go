@@ -24,6 +24,19 @@
 // run or hit the result cache. Execution hints (workers, lane width,
 // in-flight budget) never split the cache, because the engine pins
 // results bit-identical across them.
+//
+// Distributed execution builds on the same process in two roles:
+//
+//	tsserve -coordinator -stream-root /streams            # coordinator
+//	tsserve -stream-root /streams -join http://coord:7487 # worker
+//
+// A coordinator partitions each POSTed job's (window, ∆) space into
+// shard specs, dispatches them to registered workers over POST
+// /v1/shards, and folds the partials in lane order — the report is
+// byte-identical to a local run, with per-shard timeouts, retry across
+// workers and local fallback absorbing worker faults. A worker is an
+// ordinary tsserve plus a registration heartbeat (-join); shards ride
+// its normal queue, cache included.
 package main
 
 import (
@@ -38,6 +51,7 @@ import (
 	"syscall"
 
 	"repro/internal/cli"
+	"repro/internal/distrib"
 	"repro/internal/serve"
 )
 
@@ -62,26 +76,60 @@ func run(args []string, logw *os.File) error {
 		}
 	}
 
-	queue := serve.NewQueue(serve.QueueConfig{
-		MaxJobs:            f.MaxJobs,
-		TenantBudget:       f.TenantBudget,
-		CacheEntries:       f.CacheEntries,
-		StreamRoot:         f.StreamRoot,
-		DefaultWorkers:     f.Workers,
-		DefaultMaxInFlight: f.MaxInFlight,
-		DefaultLaneWidth:   f.LaneWidth,
-	})
-	defer queue.Close()
+	if f.Coordinator && f.Join != "" {
+		return errors.New("-coordinator and -join are mutually exclusive: a process is either the coordinator or a worker")
+	}
+
+	var handler http.Handler
+	if f.Coordinator {
+		handler = distrib.NewCoordinator(distrib.Config{
+			StreamRoot:   f.StreamRoot,
+			Shards:       f.Shards,
+			ShardTimeout: f.ShardTimeout,
+			Retries:      f.ShardRetries,
+			Workers:      f.Workers,
+			MaxInFlight:  f.MaxInFlight,
+			LaneWidth:    f.LaneWidth,
+		}).Handler()
+	} else {
+		queue := serve.NewQueue(serve.QueueConfig{
+			MaxJobs:            f.MaxJobs,
+			TenantBudget:       f.TenantBudget,
+			CacheEntries:       f.CacheEntries,
+			StreamRoot:         f.StreamRoot,
+			DefaultWorkers:     f.Workers,
+			DefaultMaxInFlight: f.MaxInFlight,
+			DefaultLaneWidth:   f.LaneWidth,
+		})
+		defer queue.Close()
+		handler = serve.NewServer(queue)
+	}
 
 	ln, err := net.Listen("tcp", f.Addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(logw, "tsserve: listening on http://%s (stream root: %s)\n", ln.Addr(), rootLabel(f.StreamRoot))
+	role := "tsserve"
+	if f.Coordinator {
+		role = "tsserve coordinator"
+	}
+	fmt.Fprintf(logw, "%s: listening on http://%s (stream root: %s)\n", role, ln.Addr(), rootLabel(f.StreamRoot))
 
-	srv := &http.Server{Handler: serve.NewServer(queue)}
+	srv := &http.Server{Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if f.Join != "" {
+		advertise := f.Advertise
+		if advertise == "" {
+			advertise = "http://" + ln.Addr().String()
+		}
+		name := f.Name
+		if name == "" {
+			name = advertise
+		}
+		fmt.Fprintf(logw, "tsserve: joining coordinator %s as %q (advertising %s)\n", f.Join, name, advertise)
+		go distrib.JoinLoop(ctx, nil, f.Join, name, advertise, 0)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {

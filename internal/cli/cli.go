@@ -12,6 +12,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/textplot"
@@ -97,6 +98,18 @@ type ServeFlags struct {
 	Workers      int
 	MaxInFlight  int
 	LaneWidth    int
+
+	// Distributed-execution surface. Coordinator switches the process
+	// into coordinator mode; Join/Advertise/Name make it a worker that
+	// registers with a coordinator; Shards, ShardTimeout and
+	// ShardRetries shape the coordinator's dispatch.
+	Coordinator  bool
+	Join         string
+	Advertise    string
+	Name         string
+	Shards       int
+	ShardTimeout time.Duration
+	ShardRetries int
 }
 
 // BindServe registers the serving flags on fs.
@@ -111,6 +124,20 @@ func BindServe(fs *flag.FlagSet) *ServeFlags {
 	BindEngine(fs, &f.Workers, &f.MaxInFlight)
 	fs.IntVar(&f.LaneWidth, "lane-width", 0,
 		"default destinations relaxed per sweep pass for specs that leave lane_width unset: 4 or 8 (0 = architecture default)")
+	fs.BoolVar(&f.Coordinator, "coordinator", false,
+		"serve as a shard coordinator: partition jobs across registered workers and fold their partials (byte-identical to a local run)")
+	fs.StringVar(&f.Join, "join", "",
+		"coordinator URL to register with as a worker (e.g. http://host:7487); keeps a heartbeat and re-registers after coordinator restarts")
+	fs.StringVar(&f.Advertise, "advertise", "",
+		"base URL the coordinator should dispatch shards to (default http://<addr>)")
+	fs.StringVar(&f.Name, "name", "",
+		"worker name for registration (default the advertise URL)")
+	fs.IntVar(&f.Shards, "shards", 0,
+		"chunks each scope's candidate grid splits into (0 = one per live worker)")
+	fs.DurationVar(&f.ShardTimeout, "shard-timeout", 0,
+		"per-attempt bound on one shard dispatch (0 = 60s)")
+	fs.IntVar(&f.ShardRetries, "shard-retries", 0,
+		"extra dispatch attempts per shard before the coordinator runs it locally (0 = 3)")
 	return f
 }
 

@@ -51,16 +51,17 @@ type SweepRunner func(grid []int64, obs sweep.Observer) error
 // half's points simply stay in the dedup set — speculation changes pass
 // batching, never the Result.
 type ScaleSearch struct {
-	opt     Options
-	sels    []dist.Selector
-	seen    map[int64]bool
-	points  []SweepPoint
-	cur     *OccupancyObserver
-	curGrid []int64
-	pending []int64 // bisection midpoints staged but not yet requested
-	rounds  int     // bisection bracket recomputations remaining
-	refined bool
-	done    bool
+	opt       Options
+	sels      []dist.Selector
+	seen      map[int64]bool
+	points    []SweepPoint
+	cur       *OccupancyObserver
+	curGrid   []int64
+	requested bool    // a NextGrid/Next request is outstanding
+	pending   []int64 // bisection midpoints staged but not yet requested
+	rounds    int     // bisection bracket recomputations remaining
+	refined   bool
+	done      bool
 }
 
 // NewScaleSearch validates opt and stages the initial sweep request.
@@ -95,11 +96,26 @@ func NewScaleSearch(opt Options) (*ScaleSearch, error) {
 // observer to register for it. ok is false when the search is complete
 // (or a previous request has not been absorbed yet).
 func (sc *ScaleSearch) Next() (grid []int64, obs sweep.Observer, ok bool) {
-	if sc.done || sc.cur != nil || sc.curGrid == nil {
+	if sc.done || sc.requested || sc.curGrid == nil {
 		return nil, nil, false
 	}
 	sc.cur = NewOccupancyObserver(sc.sels)
+	sc.requested = true
 	return sc.curGrid, sc.cur, true
+}
+
+// NextGrid is the observer-less half of the request protocol, for
+// callers whose engine passes run elsewhere (a shard coordinator
+// dispatching grids to workers): it returns the pending candidate grid
+// without allocating an observer. Fold the scored points back with
+// AbsorbPoints. ok is false when the search is complete or a previous
+// request has not been absorbed yet.
+func (sc *ScaleSearch) NextGrid() (grid []int64, ok bool) {
+	if sc.done || sc.requested || sc.curGrid == nil {
+		return nil, false
+	}
+	sc.requested = true
+	return sc.curGrid, true
 }
 
 // Absorb folds the scored points of the last Next request into the
@@ -110,7 +126,38 @@ func (sc *ScaleSearch) Absorb() error {
 		return errors.New("core: Absorb without a pending sweep request")
 	}
 	pts := sc.cur.Points()
-	sc.cur, sc.curGrid = nil, nil
+	sc.cur = nil
+	return sc.absorb(pts)
+}
+
+// AbsorbPoints folds externally scored points into the search — the
+// partial-fold entry point matching NextGrid. pts must hold one scored
+// point per period of the last NextGrid grid, in grid order (exactly
+// what OccupancyObserver.Points returns for that grid), so a
+// coordinator folding per-shard partials reproduces Absorb bit for
+// bit.
+func (sc *ScaleSearch) AbsorbPoints(pts []SweepPoint) error {
+	if !sc.requested {
+		return errors.New("core: AbsorbPoints without a pending sweep request")
+	}
+	if sc.cur != nil {
+		return errors.New("core: AbsorbPoints on an observer-backed request; call Absorb")
+	}
+	if len(pts) != len(sc.curGrid) {
+		return fmt.Errorf("core: AbsorbPoints: %d points for a %d-period grid", len(pts), len(sc.curGrid))
+	}
+	for i, p := range pts {
+		if p.Delta != sc.curGrid[i] {
+			return fmt.Errorf("core: AbsorbPoints: point %d scores ∆=%d, grid wants ∆=%d", i, p.Delta, sc.curGrid[i])
+		}
+	}
+	return sc.absorb(pts)
+}
+
+// absorb is the shared fold: merge the scored points and stage the
+// next round (refinement or bisection) or finish.
+func (sc *ScaleSearch) absorb(pts []SweepPoint) error {
+	sc.curGrid, sc.requested = nil, false
 	if sc.points == nil {
 		sc.points = pts
 	} else {

@@ -1,0 +1,470 @@
+package distrib
+
+// The acceptance pins of the distributed subsystem: a coordinator
+// fanning shards over real HTTP workers produces a report
+// byte-identical to a local run (golden-pinned), and stays
+// byte-identical under every injected fault — workers killed
+// mid-shard, slow workers timing out, corrupted partials, diverged
+// stream files, an empty registry.
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/linkstream"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden distributed-report fixtures")
+
+// traceStream is the deterministic workload every e2e test shards.
+func traceStream(t testing.TB, seed int64) *repro.Stream {
+	t.Helper()
+	s, err := synth.TimeUniform(synth.TimeUniformConfig{
+		Nodes: 9, LinksPerPair: 3, T: 20_000, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// writeTrace writes the stream's columnar encoding as trace.lsc under
+// dir and returns the worker-relative path.
+func writeTrace(t testing.TB, dir string, s *repro.Stream) string {
+	t.Helper()
+	sc := s.Clone()
+	sc.Sort()
+	f, err := os.Create(filepath.Join(dir, "trace.lsc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.WriteColumnar(f, linkstream.ColumnarOptions{SkipEvery: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return "trace.lsc"
+}
+
+// newWorker starts one tsserve-shaped worker over root, optionally
+// wrapped by a fault middleware.
+func newWorker(t testing.TB, root string, wrap func(http.Handler) http.Handler) *httptest.Server {
+	t.Helper()
+	q := serve.NewQueue(serve.QueueConfig{StreamRoot: root})
+	var h http.Handler = serve.NewServer(q)
+	if wrap != nil {
+		h = wrap(h)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(func() {
+		ts.Close()
+		q.Close()
+	})
+	return ts
+}
+
+func register(t testing.TB, c *Coordinator, workers ...*httptest.Server) {
+	t.Helper()
+	for i, w := range workers {
+		if err := c.Registry().Register(string(rune('a'+i)), w.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// jobSpec is the e2e job: multiple metrics, a window, refinement —
+// every fold path at once.
+func jobSpec(s *repro.Stream, path string) *repro.PlanSpec {
+	t0, t1, _ := s.Span()
+	return &repro.PlanSpec{
+		Stream:     &repro.StreamRef{Path: path},
+		Metrics:    []string{"occupancy", "classic", "loss"},
+		GridPoints: 8,
+		Refine:     2,
+		Windows:    []repro.Window{{Start: t0, End: (t0 + t1) / 2}},
+	}
+}
+
+// localReport runs the job in one process against the resolved path
+// and returns its encoded report — the parity reference.
+func localReport(t testing.TB, spec *repro.PlanSpec, root string) []byte {
+	t.Helper()
+	local := *spec
+	if local.Stream != nil {
+		ref := *local.Stream
+		ref.Path = filepath.Join(root, ref.Path)
+		local.Stream = &ref
+	}
+	plan, err := local.NewPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	rep, err := plan.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := serve.EncodeReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func coordinatorReport(t testing.TB, c *Coordinator, spec *repro.PlanSpec) []byte {
+	t.Helper()
+	rep, err := c.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := serve.EncodeReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry(50 * time.Millisecond)
+	if err := r.Register("", "http://x"); err == nil {
+		t.Fatal("nameless worker registered")
+	}
+	if err := r.Register("w1", ""); err == nil {
+		t.Fatal("url-less worker registered")
+	}
+	if err := r.Register("w1", "http://w1"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Heartbeat("ghost") {
+		t.Fatal("heartbeat for unknown worker accepted")
+	}
+	if live := r.Live(); len(live) != 1 || live[0].Name != "w1" {
+		t.Fatalf("live = %+v", live)
+	}
+	for i := 0; i < maxFails; i++ {
+		r.MarkFail("w1")
+	}
+	if live := r.Live(); len(live) != 0 {
+		t.Fatalf("failed worker still live: %+v", live)
+	}
+	if snap := r.Snapshot(); len(snap) != 1 || !snap[0].Dead {
+		t.Fatalf("snapshot = %+v, want one dead worker", snap)
+	}
+	if !r.Heartbeat("w1") {
+		t.Fatal("heartbeat for known worker refused")
+	}
+	if live := r.Live(); len(live) != 1 {
+		t.Fatal("heartbeat did not revive the worker")
+	}
+	time.Sleep(80 * time.Millisecond)
+	if live := r.Live(); len(live) != 0 {
+		t.Fatalf("expired worker still live: %+v", live)
+	}
+	if err := r.Register("w1", "http://w1b"); err != nil {
+		t.Fatal(err)
+	}
+	if live := r.Live(); len(live) != 1 || live[0].URL != "http://w1b" {
+		t.Fatalf("re-registration did not revive: %+v", live)
+	}
+}
+
+// TestCoordinatorParity is the tentpole acceptance pin: a distributed
+// run over three real HTTP workers is byte-identical to the local run
+// and to the golden fixture.
+func TestCoordinatorParity(t *testing.T) {
+	root := t.TempDir()
+	s := traceStream(t, 21)
+	path := writeTrace(t, root, s)
+	spec := jobSpec(s, path)
+	want := localReport(t, spec, root)
+
+	w1 := newWorker(t, root, nil)
+	w2 := newWorker(t, root, nil)
+	w3 := newWorker(t, root, nil)
+	c := NewCoordinator(Config{StreamRoot: root})
+	register(t, c, w1, w2, w3)
+
+	got := coordinatorReport(t, c, spec)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("distributed report diverges from local:\nlocal: %s\ndist:  %s", want, got)
+	}
+	st := c.Stats()
+	if st.ShardsDispatched == 0 {
+		t.Fatal("no shards were dispatched")
+	}
+	if st.LocalRuns != 0 || st.LocalShardRuns != 0 {
+		t.Fatalf("healthy fan-out fell back locally: %+v", st)
+	}
+
+	golden := filepath.Join("testdata", "distrib_report.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pinned, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got, pinned) {
+		t.Fatalf("distributed report diverges from golden %s:\ngolden: %s\ngot:    %s", golden, pinned, got)
+	}
+}
+
+// TestCoordinatorNoWorkersFallback: an empty registry degrades to one
+// local run with an identical report.
+func TestCoordinatorNoWorkersFallback(t *testing.T) {
+	root := t.TempDir()
+	s := traceStream(t, 22)
+	path := writeTrace(t, root, s)
+	spec := jobSpec(s, path)
+	want := localReport(t, spec, root)
+
+	c := NewCoordinator(Config{StreamRoot: root})
+	got := coordinatorReport(t, c, spec)
+	if !bytes.Equal(got, want) {
+		t.Fatal("fallback report diverges from local")
+	}
+	st := c.Stats()
+	if st.LocalRuns != 1 || st.ShardsDispatched != 0 {
+		t.Fatalf("stats = %+v, want one whole-plan local run", st)
+	}
+}
+
+// shardFault wraps a worker so its /v1/shards endpoint misbehaves;
+// every other endpoint passes through.
+func shardFault(fail func(w http.ResponseWriter, r *http.Request)) func(http.Handler) http.Handler {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/shards" {
+				fail(w, r)
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// TestCoordinatorFaults: every injected fault — a worker dying
+// mid-shard, a worker slower than the shard timeout, corrupted
+// partials, a wrong lane echo — still converges to the byte-identical
+// report via retry, re-dispatch and local fallback.
+func TestCoordinatorFaults(t *testing.T) {
+	root := t.TempDir()
+	s := traceStream(t, 23)
+	path := writeTrace(t, root, s)
+	spec := jobSpec(s, path)
+	want := localReport(t, spec, root)
+
+	cases := []struct {
+		name  string
+		fault func(w http.ResponseWriter, r *http.Request)
+		check func(t *testing.T, st Stats)
+	}{
+		{
+			// The connection drops after the shard is accepted — a worker
+			// killed mid-shard.
+			name: "killed mid-shard",
+			fault: func(w http.ResponseWriter, r *http.Request) {
+				panic(http.ErrAbortHandler)
+			},
+			check: func(t *testing.T, st Stats) {
+				if st.ShardRetries == 0 {
+					t.Fatalf("no retries recorded: %+v", st)
+				}
+			},
+		},
+		{
+			name: "slower than the shard timeout",
+			fault: func(w http.ResponseWriter, r *http.Request) {
+				select {
+				case <-time.After(2 * time.Second):
+				case <-r.Context().Done():
+				}
+			},
+			check: func(t *testing.T, st Stats) {
+				if st.ShardTimeouts == 0 {
+					t.Fatalf("no timeouts recorded: %+v", st)
+				}
+			},
+		},
+		{
+			name: "corrupt partial",
+			fault: func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				w.Write([]byte(`{"v":1,"partial":`))
+			},
+			check: func(t *testing.T, st Stats) {
+				if st.CorruptPartials == 0 {
+					t.Fatalf("no corrupt partials recorded: %+v", st)
+				}
+			},
+		},
+		{
+			name: "wrong lane echo",
+			fault: func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				w.Write([]byte(`{"v":1,"partial":{"lane":9999,"report":{}}}`))
+			},
+			check: func(t *testing.T, st Stats) {
+				if st.CorruptPartials == 0 {
+					t.Fatalf("no corrupt partials recorded: %+v", st)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := newWorker(t, root, shardFault(tc.fault))
+			good := newWorker(t, root, nil)
+			c := NewCoordinator(Config{
+				StreamRoot:   root,
+				ShardTimeout: 150 * time.Millisecond,
+				Backoff:      time.Millisecond,
+			})
+			register(t, c, bad, good)
+			got := coordinatorReport(t, c, spec)
+			if !bytes.Equal(got, want) {
+				t.Fatal("faulted run diverges from local report")
+			}
+			tc.check(t, c.Stats())
+		})
+	}
+}
+
+// TestCoordinatorHashMismatch: a worker whose stream file diverged
+// answers 409; the coordinator counts the rejection and the shard
+// still converges (here via local fallback — the stale worker is the
+// only one).
+func TestCoordinatorHashMismatch(t *testing.T) {
+	root := t.TempDir()
+	s := traceStream(t, 24)
+	path := writeTrace(t, root, s)
+	spec := jobSpec(s, path)
+	want := localReport(t, spec, root)
+
+	staleRoot := t.TempDir()
+	writeTrace(t, staleRoot, traceStream(t, 99)) // same name, different content
+	stale := newWorker(t, staleRoot, nil)
+
+	c := NewCoordinator(Config{StreamRoot: root, Retries: 1, Backoff: time.Millisecond})
+	register(t, c, stale)
+	got := coordinatorReport(t, c, spec)
+	if !bytes.Equal(got, want) {
+		t.Fatal("hash-mismatch run diverges from local report")
+	}
+	st := c.Stats()
+	if st.HashRejects == 0 {
+		t.Fatalf("no hash rejections recorded: %+v", st)
+	}
+	if st.LocalShardRuns == 0 {
+		t.Fatalf("no local shard fallbacks recorded: %+v", st)
+	}
+}
+
+// TestJoinLoop: a worker joins, stays live through heartbeats, and
+// rejoins by itself after the coordinator loses its registry.
+func TestJoinLoop(t *testing.T) {
+	c1 := NewCoordinator(Config{HeartbeatTTL: time.Second})
+	var current atomic.Value
+	current.Store(c1.Handler())
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		current.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		JoinLoop(ctx, nil, ts.URL, "w1", "http://worker-1", 10*time.Millisecond)
+	}()
+	waitFor(t, func() bool { return len(c1.Registry().Live()) == 1 })
+
+	// Coordinator restart: fresh registry behind the same URL. The
+	// worker's heartbeat 404s, it re-registers, and reappears.
+	c2 := NewCoordinator(Config{HeartbeatTTL: time.Second})
+	current.Store(c2.Handler())
+	waitFor(t, func() bool { return len(c2.Registry().Live()) == 1 })
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("JoinLoop did not stop with its context")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCoordinatorConcurrentJobs is the -race churn: concurrent jobs
+// over shared workers, every report byte-exact.
+func TestCoordinatorConcurrentJobs(t *testing.T) {
+	root := t.TempDir()
+	s := traceStream(t, 25)
+	path := writeTrace(t, root, s)
+
+	w1 := newWorker(t, root, nil)
+	w2 := newWorker(t, root, nil)
+	c := NewCoordinator(Config{StreamRoot: root})
+	register(t, c, w1, w2)
+
+	specs := []*repro.PlanSpec{
+		jobSpec(s, path),
+		{Stream: &repro.StreamRef{Path: path}, GridPoints: 6},
+		{Inline: repro.InlineEventsOf(s), Metrics: []string{"occupancy", "elongation"}, GridPoints: 6, Refine: 1},
+	}
+	wants := make([][]byte, len(specs))
+	for i, spec := range specs {
+		wants[i] = localReport(t, spec, root)
+	}
+	var wg sync.WaitGroup
+	for round := 0; round < 3; round++ {
+		for i, spec := range specs {
+			wg.Add(1)
+			go func(i int, spec *repro.PlanSpec) {
+				defer wg.Done()
+				rep, err := c.Run(context.Background(), spec)
+				if err != nil {
+					t.Errorf("job %d: %v", i, err)
+					return
+				}
+				got, err := serve.EncodeReport(rep)
+				if err != nil {
+					t.Errorf("job %d: %v", i, err)
+					return
+				}
+				if !bytes.Equal(got, wants[i]) {
+					t.Errorf("job %d: concurrent report diverges", i)
+				}
+			}(i, spec)
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,139 @@
+package distrib
+
+// The coordinator's HTTP surface:
+//
+//	POST /v1/workers                  register {"name": ..., "url": ...}
+//	POST /v1/workers/{name}/heartbeat refresh liveness (404 → re-register)
+//	GET  /v1/workers                  registry snapshot
+//	POST /v1/jobs                     plan envelope in, report envelope out
+//	GET  /v1/stats                    lifetime counters + live worker count
+//	GET  /v1/healthz                  liveness
+//
+// Jobs are synchronous: the coordinator holds the request open while
+// shards run, mirroring tsserve's attached submits — a disconnected
+// client cancels the whole fan-out through the request context.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/serve"
+)
+
+// maxJobBytes bounds a job submit body, like a worker's spec bound.
+const maxJobBytes = serve.MaxSpecBytes
+
+// registration is the body of POST /v1/workers.
+type registration struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// Handler builds the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/workers", c.handleRegister)
+	mux.HandleFunc("POST /v1/workers/{name}/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("GET /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.reg.Snapshot())
+	})
+	mux.HandleFunc("POST /v1/jobs", c.handleJob)
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Stats
+			LiveWorkers int `json:"live_workers"`
+		}{c.Stats(), len(c.reg.Live())})
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Status      string `json:"status"`
+			LiveWorkers int    `json:"live_workers"`
+		}{"ok", len(c.reg.Live())})
+	})
+	return mux
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var reg registration
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&reg); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("distrib: register: %w", err))
+		return
+	}
+	if err := c.reg.Register(reg.Name, reg.URL); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "registered"})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !c.reg.Heartbeat(name) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("distrib: no worker %q (re-register)", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxJobBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	if len(body) > maxJobBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("job exceeds %d bytes", maxJobBytes))
+		return
+	}
+	spec, err := serve.DecodePlan(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rep, err := c.Run(r.Context(), spec)
+	if err != nil {
+		writeError(w, jobStatus(r, err), err)
+		return
+	}
+	data, err := serve.EncodeReport(rep)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// jobStatus maps Run failures onto response codes: a vanished client is
+// 499 (nobody is listening), stream-ref problems and bad specs are the
+// client's fault, anything else is ours.
+func jobStatus(r *http.Request, err error) int {
+	if r.Context().Err() != nil {
+		return 499
+	}
+	msg := err.Error()
+	if strings.Contains(msg, "stream ref") || strings.Contains(msg, "stream root") ||
+		strings.Contains(msg, "repro:") || strings.Contains(msg, "plan spec") {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(data)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

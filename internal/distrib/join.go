@@ -1,0 +1,88 @@
+package distrib
+
+// The worker side of membership: a tsserve worker started with -join
+// runs JoinLoop next to its HTTP server, registering with the
+// coordinator and heartbeating until shutdown.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// JoinLoop registers a worker with a coordinator and keeps its
+// heartbeat fresh until ctx ends. A 404 heartbeat (the coordinator
+// restarted and lost the registry) triggers re-registration; transient
+// errors are retried on the next tick, so a worker that outlives a
+// coordinator restart rejoins by itself. interval <= 0 selects a third
+// of the default heartbeat TTL (5s); client nil selects
+// http.DefaultClient.
+func JoinLoop(ctx context.Context, client *http.Client, coordinatorURL, name, advertiseURL string, interval time.Duration) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	register := func() error {
+		body, err := json.Marshal(registration{Name: name, URL: advertiseURL})
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, coordinatorURL+"/v1/workers", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("distrib: register %q: status %d", name, resp.StatusCode)
+		}
+		return nil
+	}
+	heartbeat := func() (int, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			coordinatorURL+"/v1/workers/"+name+"/heartbeat", nil)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	// First registration: keep trying until it lands or ctx ends, so a
+	// worker started before its coordinator still joins.
+	for {
+		if err := register(); err == nil {
+			break
+		}
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if code, err := heartbeat(); err == nil && code == http.StatusNotFound {
+				register() // coordinator forgot us; transient failures retry next tick
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package distrib is the fault-handling half of distributed period
+// execution: a coordinator that partitions one analysis into shard
+// specs (repro.PartitionSpec), dispatches them to registered tsserve
+// workers over the versioned wire codec, and folds the partials back
+// into a report byte-identical to a local run (repro.DistributedRun)
+// — plus the worker registry, heartbeats, per-shard timeouts with
+// exponential-backoff retry, re-dispatch from dead workers to
+// survivors, and a graceful single-process fallback when no workers
+// are registered or a shard runs out of retries.
+//
+// The layering is deliberate: everything that decides *what* a shard
+// computes and *how* partials fold lives in the root package, where
+// the bit-exactness argument is pinned by in-process parity tests;
+// this package only decides *where* each shard runs. Scheduling —
+// which worker, how many retries, local fallback — can therefore
+// never change results, only latency.
+package distrib
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// maxFails is how many consecutive shard failures mark a worker dead.
+// A dead worker stops receiving shards until it heartbeats or
+// re-registers (workers re-register on a 404 heartbeat, so a restarted
+// worker revives itself).
+const maxFails = 3
+
+// Worker is one registered tsserve worker as the registry reports it.
+type Worker struct {
+	// Name identifies the worker across re-registrations.
+	Name string `json:"name"`
+	// URL is the worker's advertised base URL; shards POST to
+	// URL + "/v1/shards".
+	URL string `json:"url"`
+	// LastSeen is the last registration or heartbeat time.
+	LastSeen time.Time `json:"last_seen"`
+	// Fails counts consecutive shard failures since the last success,
+	// heartbeat or registration.
+	Fails int `json:"fails,omitempty"`
+	// Dead reports whether the registry currently excludes the worker
+	// from dispatch (too many failures or an expired heartbeat).
+	Dead bool `json:"dead,omitempty"`
+}
+
+// Registry tracks workers and their liveness. All methods are safe for
+// concurrent use.
+type Registry struct {
+	ttl time.Duration
+
+	mu      sync.Mutex
+	workers map[string]*Worker
+}
+
+// NewRegistry builds a registry whose workers expire ttl after their
+// last heartbeat; ttl <= 0 selects 15 seconds.
+func NewRegistry(ttl time.Duration) *Registry {
+	if ttl <= 0 {
+		ttl = 15 * time.Second
+	}
+	return &Registry{ttl: ttl, workers: make(map[string]*Worker)}
+}
+
+// Register adds or revives a worker. Re-registering an existing name
+// updates its URL and clears its failure count — a restarted worker
+// comes back clean.
+func (r *Registry) Register(name, url string) error {
+	if name == "" {
+		return errors.New("distrib: register: empty worker name")
+	}
+	if url == "" {
+		return fmt.Errorf("distrib: register %q: empty worker url", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.workers[name] = &Worker{Name: name, URL: url, LastSeen: time.Now()}
+	return nil
+}
+
+// Heartbeat refreshes a worker's liveness and forgives its failures.
+// It reports false for unknown names, which tells the worker to
+// re-register (the coordinator may have restarted).
+func (r *Registry) Heartbeat(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[name]
+	if !ok {
+		return false
+	}
+	w.LastSeen = time.Now()
+	w.Fails = 0
+	return true
+}
+
+// MarkFail records one shard failure against a worker; maxFails
+// consecutive failures take it out of dispatch until it heartbeats.
+func (r *Registry) MarkFail(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.workers[name]; ok {
+		w.Fails++
+	}
+}
+
+// markOK clears a worker's failure streak after a successful shard.
+func (r *Registry) markOK(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.workers[name]; ok {
+		w.Fails = 0
+	}
+}
+
+func (r *Registry) deadLocked(w *Worker, now time.Time) bool {
+	return w.Fails >= maxFails || now.Sub(w.LastSeen) > r.ttl
+}
+
+// Live returns the dispatchable workers — registered, heartbeat fresh,
+// under the failure threshold — sorted by name so round-robin rotation
+// is stable.
+func (r *Registry) Live() []Worker {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Worker
+	for _, w := range r.workers {
+		if !r.deadLocked(w, now) {
+			out = append(out, *w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Snapshot returns every registered worker, dead or alive, sorted by
+// name — the body of GET /v1/workers.
+func (r *Registry) Snapshot() []Worker {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Worker, 0, len(r.workers))
+	for _, w := range r.workers {
+		cp := *w
+		cp.Dead = r.deadLocked(w, now)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -20,6 +20,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -37,6 +38,76 @@ type envelope struct {
 	Plan     json.RawMessage `json:"plan,omitempty"`
 	Report   json.RawMessage `json:"report,omitempty"`
 	Progress json.RawMessage `json:"progress,omitempty"`
+	Shard    json.RawMessage `json:"shard,omitempty"`
+	Partial  json.RawMessage `json:"partial,omitempty"`
+}
+
+// Shard is the wire form of one distributed-execution shard: the lane
+// it folds into and the self-contained spec the worker executes. The
+// coordinator POSTs it to a worker's /v1/shards; the spec's stream ref
+// carries the coordinator-observed header hash, so a worker whose file
+// diverged rejects the shard (409) instead of corrupting the fold.
+type Shard struct {
+	Lane int             `json:"lane"`
+	Spec *repro.PlanSpec `json:"spec"`
+}
+
+// Partial is a worker's answer to a Shard: the lane echoed back and
+// the shard's partial report, ready for lane-order folding.
+type Partial struct {
+	Lane   int           `json:"lane"`
+	Report *repro.Report `json:"report"`
+}
+
+// EncodeShard wraps a shard in the versioned envelope.
+func EncodeShard(sh *Shard) ([]byte, error) {
+	raw, err := json.Marshal(sh)
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard: %w", err)
+	}
+	return json.Marshal(envelope{V: CodecVersion, Shard: raw})
+}
+
+// DecodeShard decodes a versioned shard message, as strictly as
+// DecodePlan decodes specs.
+func DecodeShard(data []byte) (*Shard, error) {
+	raw, err := decodeEnvelope("shard", data, func(e *envelope) json.RawMessage { return e.Shard })
+	if err != nil {
+		return nil, err
+	}
+	sh := &Shard{}
+	if err := strictUnmarshal(raw, sh); err != nil {
+		return nil, fmt.Errorf("serve: shard: %w", err)
+	}
+	if sh.Spec == nil {
+		return nil, errors.New("serve: shard: missing spec")
+	}
+	return sh, nil
+}
+
+// EncodePartial wraps a partial result in the versioned envelope.
+func EncodePartial(p *Partial) ([]byte, error) {
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("serve: partial: %w", err)
+	}
+	return json.Marshal(envelope{V: CodecVersion, Partial: raw})
+}
+
+// DecodePartial decodes a versioned partial-result message.
+func DecodePartial(data []byte) (*Partial, error) {
+	raw, err := decodeEnvelope("partial", data, func(e *envelope) json.RawMessage { return e.Partial })
+	if err != nil {
+		return nil, err
+	}
+	p := &Partial{}
+	if err := json.Unmarshal(raw, p); err != nil {
+		return nil, fmt.Errorf("serve: partial: %w", err)
+	}
+	if p.Report == nil {
+		return nil, errors.New("serve: partial: missing report")
+	}
+	return p, nil
 }
 
 // EncodePlan wraps a plan spec in the versioned envelope.
@@ -162,6 +233,7 @@ type resultKey struct {
 	Refine        int                 `json:"refine,omitempty"`
 	HistogramBins int                 `json:"histogram_bins,omitempty"`
 	Windows       []repro.Window      `json:"windows,omitempty"`
+	WindowsOnly   bool                `json:"windows_only,omitempty"`
 	Adaptive      *repro.AdaptiveSpec `json:"adaptive,omitempty"`
 }
 
@@ -188,6 +260,7 @@ func SpecKey(spec *repro.PlanSpec, streamID string) (string, error) {
 		Refine:        spec.Refine,
 		HistogramBins: spec.HistogramBins,
 		Windows:       spec.Windows,
+		WindowsOnly:   spec.WindowsOnly,
 		Adaptive:      spec.Adaptive,
 	}
 	raw, err := json.Marshal(key)

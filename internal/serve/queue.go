@@ -131,6 +131,48 @@ type QueueStats struct {
 	RunsCanceled int64 `json:"runs_canceled"`
 }
 
+// QueueGauges is the queue's instantaneous state — the health-check
+// counters of /v1/healthz and the "gauges" block of /v1/stats, as
+// opposed to QueueStats' lifetime counters.
+type QueueGauges struct {
+	// Admitted counts unfinished runs (queued plus running).
+	Admitted int `json:"admitted"`
+	// Queued and Running partition the admitted runs by state.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	// ActiveLeases sums the leases attached clients currently hold.
+	ActiveLeases int `json:"active_leases"`
+	// CachedResults counts retained completed results.
+	CachedResults int `json:"cached_results"`
+}
+
+// Gauges snapshots the queue's instantaneous depth. Per-run state is
+// read after the queue lock is dropped, so a run finishing mid-snapshot
+// can skew a gauge by one — fine for health checks, which is all this
+// is for.
+func (q *Queue) Gauges() QueueGauges {
+	q.mu.Lock()
+	runs := make([]*run, 0, len(q.inflight))
+	for _, r := range q.inflight {
+		runs = append(runs, r)
+	}
+	g := QueueGauges{Admitted: q.admitted, CachedResults: len(q.cache)}
+	q.mu.Unlock()
+
+	for _, r := range runs {
+		r.mu.Lock()
+		switch r.state {
+		case StateQueued:
+			g.Queued++
+		case StateRunning:
+			g.Running++
+		}
+		g.ActiveLeases += r.leases
+		r.mu.Unlock()
+	}
+	return g
+}
+
 // run is one engine execution: the shared backing of every job that
 // coalesced onto the same result key.
 type run struct {

@@ -66,6 +66,9 @@ type errorBody struct {
 type Server struct {
 	queue *Queue
 	mux   *http.ServeMux
+	// MaxBody bounds request bodies; 0 selects MaxSpecBytes. Tests use
+	// a small bound to pin the 413 path without multi-megabyte bodies.
+	MaxBody int64
 }
 
 // NewServer builds the handler; the queue's lifetime stays the
@@ -73,15 +76,36 @@ type Server struct {
 func NewServer(q *Queue) *Server {
 	s := &Server{queue: q, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/shards", s.handleShard)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return s
+}
+
+func (s *Server) maxBody() int64 {
+	if s.MaxBody > 0 {
+		return s.MaxBody
+	}
+	return MaxSpecBytes
+}
+
+// readBody reads a bounded request body, mapping oversize to 413.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	limit := s.maxBody()
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return nil, false
+	}
+	if int64(len(body)) > limit {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("body exceeds %d bytes", limit))
+		return nil, false
+	}
+	return body, true
 }
 
 // ServeHTTP implements http.Handler.
@@ -90,13 +114,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, MaxSpecBytes+1))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
-		return
-	}
-	if len(body) > MaxSpecBytes {
-		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("spec exceeds %d bytes", MaxSpecBytes))
+	body, ok := s.readBody(w, r)
+	if !ok {
 		return
 	}
 	spec, err := DecodePlan(body)
@@ -135,6 +154,48 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	data, err := EncodeReport(rep)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Job-ID", job.ID)
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// handleShard is the worker half of distributed execution: one shard
+// envelope in, its partial-report envelope out, synchronously. Shards
+// ride the ordinary queue — admission control, tenant budgets, result
+// cache and coalescing all apply — as attached submits, so a
+// coordinator disconnecting (timeout, retry elsewhere) cancels the
+// shard's run instead of leaving it burning. A stream ref whose pinned
+// hash no longer matches the worker's file fails with 409, keeping a
+// stale worker out of the fold.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	sh, err := DecodeShard(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.queue.Submit(r.Context(), sh.Spec, SubmitOptions{
+		Tenant:   TenantOf(r.Header.Get("X-Tenant")),
+		Attached: true,
+	})
+	if err != nil {
+		writeError(w, submitStatus(err), err)
+		return
+	}
+	rep, err := job.Wait(r.Context())
+	if err != nil {
+		writeError(w, waitStatus(err), fmt.Errorf("shard lane %d (job %s): %w", sh.Lane, job.ID, err))
+		return
+	}
+	data, err := EncodePartial(&Partial{Lane: sh.Lane, Report: rep})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -241,7 +302,20 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.queue.Stats())
+	writeJSON(w, http.StatusOK, struct {
+		QueueStats
+		Gauges QueueGauges `json:"gauges"`
+	}{s.queue.Stats(), s.queue.Gauges()})
+}
+
+// handleHealthz is the liveness probe: always 200 while the process
+// serves, with the queue's instantaneous depth for monitors that want
+// more than a pulse.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string      `json:"status"`
+		Gauges QueueGauges `json:"gauges"`
+	}{"ok", s.queue.Gauges()})
 }
 
 func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {

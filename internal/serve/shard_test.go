@@ -1,0 +1,264 @@
+package serve
+
+// Worker-side distributed execution: the shard/partial codec, the
+// /v1/shards endpoint, the health endpoint's gauges, and the decode
+// edge cases of the envelope codec (truncation, future versions,
+// oversize bodies).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestShardCodecRoundTrip(t *testing.T) {
+	sh := &Shard{Lane: 7, Spec: fullSpec()}
+	data, err := EncodeShard(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeShard(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sh) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, sh)
+	}
+	if _, err := DecodeShard([]byte(`{"v":1,"shard":{"lane":1}}`)); err == nil {
+		t.Fatal("spec-less shard accepted")
+	}
+	if _, err := DecodeShard([]byte(`{"v":1,"shard":{"lane":1,"spec":{},"extra":true}}`)); err == nil {
+		t.Fatal("unknown shard field accepted")
+	}
+}
+
+func TestPartialCodecRoundTrip(t *testing.T) {
+	spec := smallSpec(t, 77)
+	plan, err := spec.NewPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	rep, err := plan.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodePartial(&Partial{Lane: 3, Report: rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePartial(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lane != 3 {
+		t.Fatalf("lane = %d, want 3", got.Lane)
+	}
+	wantJSON, _ := json.Marshal(rep)
+	gotJSON, _ := json.Marshal(got.Report)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("report did not survive the partial envelope:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+	if _, err := DecodePartial([]byte(`{"v":1,"partial":{"lane":3}}`)); err == nil {
+		t.Fatal("report-less partial accepted")
+	}
+}
+
+// TestCodecDecodeEdgeCases: truncated envelopes, future versions and
+// mismatched payloads fail with named errors on every decoder.
+func TestCodecDecodeEdgeCases(t *testing.T) {
+	whole, err := EncodeShard(&Shard{Lane: 1, Spec: smallSpec(t, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoders := map[string]func([]byte) error{
+		"plan":    func(b []byte) error { _, err := DecodePlan(b); return err },
+		"report":  func(b []byte) error { _, err := DecodeReport(b); return err },
+		"shard":   func(b []byte) error { _, err := DecodeShard(b); return err },
+		"partial": func(b []byte) error { _, err := DecodePartial(b); return err },
+	}
+	cases := map[string][]byte{
+		"empty":              nil,
+		"truncated":          whole[:len(whole)/2],
+		"trailing garbage":   append(append([]byte{}, whole...), "{}"...),
+		"future version":     []byte(`{"v":2,"plan":{},"report":{},"shard":{"lane":0,"spec":{}},"partial":{"lane":0,"report":{}}}`),
+		"zero version":       []byte(`{"v":0}`),
+		"unknown field":      []byte(`{"v":1,"warp":{}}`),
+		"missing payload":    []byte(`{"v":1}`),
+		"non-object":         []byte(`42`),
+		"wrong payload kind": []byte(`{"v":1,"progress":{}}`),
+	}
+	for kind, dec := range decoders {
+		for name, data := range cases {
+			if err := dec(data); err == nil {
+				t.Errorf("%s decoder accepted %s input", kind, name)
+			}
+		}
+		// A version error must name the version, not a generic failure.
+		if err := dec([]byte(fmt.Sprintf(`{"v":9,"%s":{}}`, kind))); err == nil || !strings.Contains(err.Error(), "version 9") {
+			t.Errorf("%s decoder version error = %v, want one naming version 9", kind, err)
+		}
+	}
+}
+
+// TestServerShardEndpoint: a shard submitted over HTTP comes back as a
+// partial whose report is byte-identical to running the shard spec
+// locally, and rides the ordinary queue (RunCount, cache).
+func TestServerShardEndpoint(t *testing.T) {
+	ts, q := testServer(t, QueueConfig{})
+	spec := smallSpec(t, 91)
+	spec.Refine = 0
+
+	plan, err := spec.NewPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	rep, err := plan.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := EncodePartial(&Partial{Lane: 5, Report: rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body, err := EncodeShard(&Shard{Lane: 5, Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		resp, err := http.Post(ts.URL+"/v1/shards", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: status %d: %s", round, resp.StatusCode, got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("round %d: partial diverges from local run:\n got %s\nwant %s", round, got, want)
+		}
+	}
+	st := q.Stats()
+	if st.RunCount != 1 || st.CacheHits != 1 {
+		t.Fatalf("runs = %d, cache hits = %d; the second shard should be a cache hit", st.RunCount, st.CacheHits)
+	}
+
+	// Malformed shard bodies are the client's fault.
+	resp, err := http.Post(ts.URL+"/v1/shards", "application/json", strings.NewReader(`{"v":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := readAll(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("payload-less shard: status %d: %s", resp.StatusCode, b)
+	}
+}
+
+// TestServerBodyBound: bodies past the server's bound fail with 413 on
+// both submit and shard ingestion (satellite: oversize payload
+// rejection).
+func TestServerBodyBound(t *testing.T) {
+	q := NewQueue(QueueConfig{})
+	t.Cleanup(q.Close)
+	srv := NewServer(q)
+	srv.MaxBody = 256
+	ts := newHTTPServer(t, srv)
+
+	big := `{"v":1,"plan":{"inline":[` + strings.Repeat(`{"u":"a","v":"b","t":1},`, 64) + `{"u":"a","v":"b","t":1}]}}`
+	if len(big) <= 256 {
+		t.Fatal("test body not oversize")
+	}
+	for _, path := range []string{"/v1/jobs", "/v1/shards"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(big))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b, _ := readAll(t, resp); resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s: status %d, want 413: %s", path, resp.StatusCode, b)
+		}
+	}
+}
+
+// TestServerHealthzGauges: the liveness endpoint carries the queue's
+// instantaneous depth, and /v1/stats grew a matching gauges block
+// without disturbing its lifetime counters.
+func TestServerHealthzGauges(t *testing.T) {
+	ts, q := testServer(t, QueueConfig{})
+
+	var health struct {
+		Status string      `json:"status"`
+		Gauges QueueGauges `json:"gauges"`
+	}
+	getJSON(t, ts.URL+"/v1/healthz", &health)
+	if health.Status != "ok" {
+		t.Fatalf("status = %q", health.Status)
+	}
+	if g := health.Gauges; g.Admitted != 0 || g.Running != 0 || g.ActiveLeases != 0 || g.CachedResults != 0 {
+		t.Fatalf("idle gauges = %+v", g)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", submitBody(t, smallSpec(t, 13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeStatus(t, resp.Body)
+	resp.Body.Close()
+	job, ok := q.Job(st.ID)
+	if !ok {
+		t.Fatal("submitted job not found")
+	}
+	if _, err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	getJSON(t, ts.URL+"/v1/healthz", &health)
+	if health.Gauges.Admitted != 0 || health.Gauges.CachedResults != 1 {
+		t.Fatalf("post-run gauges = %+v", health.Gauges)
+	}
+
+	var stats struct {
+		QueueStats
+		Gauges QueueGauges `json:"gauges"`
+	}
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.RunCount != 1 || stats.Gauges.CachedResults != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func newHTTPServer(t *testing.T, h http.Handler) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func readAll(t *testing.T, resp *http.Response) ([]byte, error) {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+package sweep
+
+// PartitionGrid splits a candidate-period grid into at most parts
+// contiguous, order-preserving chunks of near-equal size — the job
+// partitioner of the distributed coordinator. Concatenating the chunks
+// in order reproduces grid exactly, which is what lets a coordinator
+// fold per-chunk observer points back into the grid-order slice a
+// single pass would have produced: every observer scores points[p.Index]
+// independently per ∆, so a chunk's points are literally a subslice of
+// the full pass's.
+//
+// Chunks alias grid (no copy); they are never empty, so fewer than
+// parts chunks come back when the grid is shorter than parts.
+func PartitionGrid(grid []int64, parts int) [][]int64 {
+	if len(grid) == 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > len(grid) {
+		parts = len(grid)
+	}
+	out := make([][]int64, 0, parts)
+	for i := 0; i < parts; i++ {
+		lo := i * len(grid) / parts
+		hi := (i + 1) * len(grid) / parts
+		if lo < hi {
+			out = append(out, grid[lo:hi:hi])
+		}
+	}
+	return out
+}

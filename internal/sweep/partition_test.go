@@ -1,0 +1,42 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPartitionGrid(t *testing.T) {
+	grid := []int64{1, 2, 4, 8, 16, 32, 64}
+	for parts := -1; parts <= 10; parts++ {
+		chunks := PartitionGrid(grid, parts)
+		var flat []int64
+		for _, c := range chunks {
+			if len(c) == 0 {
+				t.Fatalf("parts=%d: empty chunk", parts)
+			}
+			flat = append(flat, c...)
+		}
+		if !reflect.DeepEqual(flat, grid) {
+			t.Fatalf("parts=%d: chunks %v do not concatenate to the grid", parts, chunks)
+		}
+		want := parts
+		if want < 1 {
+			want = 1
+		}
+		if want > len(grid) {
+			want = len(grid)
+		}
+		if len(chunks) != want {
+			t.Fatalf("parts=%d: %d chunks, want %d", parts, len(chunks), want)
+		}
+		// Near-equal: sizes differ by at most one.
+		for _, c := range chunks {
+			if len(c) > len(grid)/want+1 {
+				t.Fatalf("parts=%d: chunk of %d is oversize", parts, len(c))
+			}
+		}
+	}
+	if PartitionGrid(nil, 3) != nil {
+		t.Fatal("empty grid should partition to nil")
+	}
+}

@@ -136,6 +136,7 @@ type planConfig struct {
 	speculate     bool
 	metrics       [numMetrics]bool
 	metricsSet    bool
+	noGlobal      bool
 	windows       []Window
 	segments      []SegmentObserver
 	observers     []SweepObserver
@@ -322,6 +323,20 @@ func WithWindows(windows ...Window) Option {
 			w.Grid = append([]int64(nil), w.Grid...)
 			c.windows = append(c.windows, w)
 		}
+		return nil
+	}
+}
+
+// WithWindowsOnly drops the global scope from the plan: only the
+// WithWindows windows are analysed, each with the plan's metric set
+// over its own grid. It exists for shard execution — a coordinator
+// splitting a plan's (window, ∆) job space dispatches window chunks
+// without paying for a redundant whole-stream pass on every worker —
+// but composes like any other option. The plan must have windows, and
+// custom observers (which attach to the global scope) are rejected.
+func WithWindowsOnly() Option {
+	return func(c *planConfig) error {
+		c.noGlobal = true
 		return nil
 	}
 }

@@ -1,0 +1,510 @@
+package repro
+
+// This file is the deterministic half of distributed execution: a
+// Plan's (window, ∆) job space partitioned into per-shard PlanSpecs
+// (PartitionSpec), partial reports checked for shape (ValidatePartial)
+// and folded back — in lane order — into the Report a single-process
+// run of the same spec produces, byte for byte (DistributedRun).
+//
+// The fold is exact, not approximate, because every per-∆ observer in
+// the engine scores each candidate period independently: observers
+// size their curve to the grid and write points[p.Index], so the curve
+// a chunk shard computes is literally a contiguous subslice of the
+// curve the whole grid would have produced. Concatenating chunk curves
+// in lane order therefore reproduces the grid-order slice exactly —
+// for any chunking, including one chunk per ∆. The only whole-series
+// quantities are the refinement bisection (the coordinator drives the
+// identical core.ScaleSearch state machine through NextGrid and
+// AbsorbPoints, dispatching each round's fresh ∆s as occupancy-only
+// shards) and the snapshot-series stability scores (recomputed over
+// the merged values with the same metrics.Stability a local run uses).
+//
+// Fault handling — retries, timeouts, re-dispatch to surviving workers
+// — lives in internal/distrib; everything here is pure partition and
+// fold, so the bit-exactness argument never depends on scheduling.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sweep"
+)
+
+// GlobalScope is the ShardPlan.Scope value of whole-stream shards.
+const GlobalScope = -1
+
+// ShardPlan is one dispatchable shard of a distributed run: a
+// contiguous chunk of one scope's candidate grid, expressed as a
+// self-contained PlanSpec a worker can execute with the ordinary
+// plan/run lifecycle.
+type ShardPlan struct {
+	// Lane is the shard's position in the deterministic fold order.
+	// Round-0 lanes enumerate scopes (global first, then windows in
+	// spec order) and chunks within each scope in grid order;
+	// refinement shards take fresh lanes as the searches stage them.
+	Lane int
+	// Scope is GlobalScope or the index of the spec window the shard
+	// belongs to.
+	Scope int
+	// Start, End are the window bounds of window-scope shards.
+	Start, End int64
+	// Deltas is the chunk of candidate periods the shard scores, in
+	// grid order — the contract ValidatePartial checks partials against.
+	Deltas []int64
+	// Spec is the shard's executable plan spec: the parent spec with
+	// the chunk as its explicit grid, refinement and speculation off
+	// (the coordinator owns the bisection), and — for window shards —
+	// exactly one window with WindowsOnly set. The stream reference
+	// carries the coordinator-observed header hash, so a worker whose
+	// file diverged refuses the shard instead of corrupting the fold.
+	Spec *PlanSpec
+}
+
+// ShardRunner executes one shard and returns its partial report — the
+// pluggable transport of DistributedRun. The in-process runner is
+// shard.Spec.NewPlan followed by Plan.Run; internal/distrib's runner
+// POSTs the shard to a tsserve worker and decodes the partial
+// envelope, retrying and re-dispatching on faults. A runner must
+// return a partial that passes ValidatePartial; transient failures are
+// its own to absorb.
+type ShardRunner func(ctx context.Context, shard ShardPlan) (*Report, error)
+
+// specMetrics resolves a spec's metric set (nil means occupancy, like
+// WithMetrics' default).
+func specMetrics(spec *PlanSpec) ([]Metric, error) {
+	if len(spec.Metrics) == 0 {
+		return []Metric{MetricOccupancy}, nil
+	}
+	return ParseMetrics(strings.Join(spec.Metrics, ","))
+}
+
+func hasMetric(ms []Metric, want Metric) bool {
+	for _, m := range ms {
+		if m == want {
+			return true
+		}
+	}
+	return false
+}
+
+// PartitionSpec splits the spec's (window, ∆) job space into round-0
+// shards: every scope's candidate grid — the global grid and each
+// window's, resolved exactly as a local run resolves them — cut into
+// at most shards contiguous chunks (sweep.PartitionGrid). The spec's
+// stream must be reachable from this process: the partitioner opens
+// the plan once to resolve derived grids and to pin the columnar
+// header hash into every shard's stream ref. Adaptive specs cannot be
+// sharded (the segmentation chooses its own windows at run time).
+func PartitionSpec(spec *PlanSpec, shards int) ([]ShardPlan, error) {
+	if spec == nil {
+		return nil, errors.New("repro: nil plan spec")
+	}
+	if spec.Adaptive != nil {
+		return nil, errors.New("repro: adaptive plans cannot be sharded: the segmentation chooses its own windows at run time")
+	}
+	plan, err := spec.NewPlan()
+	if err != nil {
+		return nil, err
+	}
+	defer plan.Close()
+
+	base := *spec
+	if ref, ok := plan.StreamRef(); ok {
+		// Keep the submitter's path — workers resolve it under their own
+		// stream root — but pin the hash and span this partitioner saw.
+		r := *spec.Stream
+		r.Hash = ref.Hash
+		r.TimeMin, r.TimeMax, r.Events = ref.TimeMin, ref.TimeMax, ref.Events
+		base.Stream = &r
+	}
+
+	var out []ShardPlan
+	lane := 0
+	if !spec.WindowsOnly {
+		for _, chunk := range sweep.PartitionGrid(plan.cfg.grid, shards) {
+			sh := base
+			sh.Grid = chunk
+			sh.GridPoints, sh.MinDelta = 0, 0
+			sh.Refine, sh.Speculate = 0, false
+			sh.Windows, sh.WindowsOnly = nil, false
+			out = append(out, ShardPlan{Lane: lane, Scope: GlobalScope, Deltas: chunk, Spec: &sh})
+			lane++
+		}
+	}
+	if len(spec.Windows) > 0 {
+		grids, err := plan.windowGrids()
+		if err != nil {
+			return nil, err
+		}
+		for wi := range spec.Windows {
+			w := spec.Windows[wi]
+			for _, chunk := range sweep.PartitionGrid(grids[wi], shards) {
+				sh := base
+				sh.Grid = nil
+				sh.GridPoints, sh.MinDelta = 0, 0
+				sh.Refine, sh.Speculate = 0, false
+				sh.Windows = []Window{{Start: w.Start, End: w.End, Grid: chunk}}
+				sh.WindowsOnly = true
+				out = append(out, ShardPlan{Lane: lane, Scope: wi, Start: w.Start, End: w.End, Deltas: chunk, Spec: &sh})
+				lane++
+			}
+		}
+	}
+	return out, nil
+}
+
+// partialCurves extracts the shard's scope curves from its partial.
+func partialCurves(shard ShardPlan, rep *Report) Curves {
+	if shard.Scope == GlobalScope {
+		return rep.Global()
+	}
+	return rep.Window(0).Curves
+}
+
+// ValidatePartial checks a partial report against its shard's
+// contract: the right scope shape (no windows for a global shard,
+// exactly the shard's window otherwise), every requested curve
+// present, and every curve's periods aligned one-to-one with the
+// shard's Deltas. It is the coordinator's corruption detector — a
+// partial that passes folds cleanly; one that fails is re-dispatched
+// by the fault layer, never folded.
+func ValidatePartial(shard ShardPlan, rep *Report) error {
+	if rep == nil {
+		return errors.New("repro: nil partial report")
+	}
+	ms, err := specMetrics(shard.Spec)
+	if err != nil {
+		return err
+	}
+	var cv Curves
+	if shard.Scope == GlobalScope {
+		if n := rep.NumWindows(); n != 0 {
+			return fmt.Errorf("repro: partial for the global scope carries %d windows", n)
+		}
+		cv = rep.Global()
+	} else {
+		if n := rep.NumWindows(); n != 1 {
+			return fmt.Errorf("repro: window partial carries %d windows, want exactly 1", n)
+		}
+		w := rep.Window(0)
+		if w.Start != shard.Start || w.End != shard.End {
+			return fmt.Errorf("repro: window partial covers [%d, %d), shard wants [%d, %d)", w.Start, w.End, shard.Start, shard.End)
+		}
+		if len(rep.Occupancy()) > 0 {
+			return errors.New("repro: window partial carries global curves")
+		}
+		cv = w.Curves
+	}
+
+	check := func(metric string, n int, delta func(int) int64) error {
+		if n != len(shard.Deltas) {
+			return fmt.Errorf("repro: partial %s curve has %d points, shard wants %d", metric, n, len(shard.Deltas))
+		}
+		for i := range shard.Deltas {
+			if d := delta(i); d != shard.Deltas[i] {
+				return fmt.Errorf("repro: partial %s curve point %d scores ∆=%d, shard wants ∆=%d", metric, i, d, shard.Deltas[i])
+			}
+		}
+		return nil
+	}
+	var snapshotWant []string
+	for _, m := range ms {
+		var err error
+		switch m {
+		case MetricOccupancy:
+			err = check("occupancy", len(cv.Occupancy), func(i int) int64 { return cv.Occupancy[i].Delta })
+		case MetricClassic:
+			err = check("classic", len(cv.Classic), func(i int) int64 { return cv.Classic[i].Delta })
+		case MetricDistance:
+			err = check("distance", len(cv.Distance), func(i int) int64 { return cv.Distance[i].Delta })
+		case MetricTransitionLoss:
+			err = check("loss", len(cv.TransitionLoss), func(i int) int64 { return cv.TransitionLoss[i].Delta })
+		case MetricElongation:
+			err = check("elongation", len(cv.Elongation), func(i int) int64 { return cv.Elongation[i].Delta })
+		default:
+			snapshotWant = append(snapshotWant, m.String())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if len(cv.Snapshots) != len(snapshotWant) {
+		return fmt.Errorf("repro: partial carries %d snapshot curves, shard wants %d", len(cv.Snapshots), len(snapshotWant))
+	}
+	for i, c := range cv.Snapshots {
+		// Snapshot curves come back in enum order; the parsed metric list
+		// preserves request order, which spec.Options normalises to enum
+		// order through the metric bool set — so compare as sets.
+		found := false
+		for _, name := range snapshotWant {
+			if c.Metric == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("repro: partial carries unrequested snapshot curve %q", c.Metric)
+		}
+		if err := check("snapshot "+c.Metric, len(c.Deltas), func(j int) int64 { return c.Deltas[j] }); err != nil {
+			return err
+		}
+		for _, ser := range c.Series {
+			if len(ser.Values) != len(shard.Deltas) {
+				return fmt.Errorf("repro: partial snapshot %s series %q has %d values, shard wants %d", c.Metric, ser.Name, len(ser.Values), len(shard.Deltas))
+			}
+		}
+		_ = i
+	}
+	return nil
+}
+
+// foldCurves concatenates per-chunk scope curves in lane order —
+// exactly the grid-order slice one pass over the whole scope grid
+// produces — and recomputes the snapshot stability scores, the one
+// whole-series quantity, over the merged values.
+func foldCurves(parts []Curves) Curves {
+	var out Curves
+	for _, cv := range parts {
+		out.Occupancy = append(out.Occupancy, cv.Occupancy...)
+		out.Classic = append(out.Classic, cv.Classic...)
+		out.Distance = append(out.Distance, cv.Distance...)
+		out.TransitionLoss = append(out.TransitionLoss, cv.TransitionLoss...)
+		out.Elongation = append(out.Elongation, cv.Elongation...)
+	}
+	if len(parts) == 0 || len(parts[0].Snapshots) == 0 {
+		return out
+	}
+	for mi := range parts[0].Snapshots {
+		merged := MetricCurve{Metric: parts[0].Snapshots[mi].Metric}
+		for _, ser := range parts[0].Snapshots[mi].Series {
+			merged.Series = append(merged.Series, MetricSeries{Name: ser.Name})
+		}
+		for _, cv := range parts {
+			c := cv.Snapshots[mi]
+			merged.Deltas = append(merged.Deltas, c.Deltas...)
+			for si := range c.Series {
+				merged.Series[si].Values = append(merged.Series[si].Values, c.Series[si].Values...)
+			}
+		}
+		for si := range merged.Series {
+			merged.Series[si].Stability = metrics.Stability(merged.Series[si].Values)
+		}
+		out.Snapshots = append(out.Snapshots, merged)
+	}
+	return out
+}
+
+// scopeState is one scope's fold state inside DistributedRun.
+type scopeState struct {
+	scope      int
+	start, end int64
+	grid       []int64 // whole scope grid, chunk order
+	shards     []ShardPlan
+	cv         Curves
+	res        Result
+	hasRes     bool
+	err        error
+}
+
+// DistributedRun executes the spec's job space through a ShardRunner
+// and folds the partials into the Report a local Plan.Run of the same
+// spec returns — byte-identical under the wire encoding, for any shard
+// count and any runner scheduling. Round 0 dispatches every scope's
+// chunks concurrently; scopes whose occupancy search refines then
+// drive the identical core.ScaleSearch protocol a local run drives,
+// dispatching each round's fresh ∆s as occupancy-only shards. The
+// returned report carries zero EngineStats (instrumentation never
+// travels with results).
+func DistributedRun(ctx context.Context, spec *PlanSpec, shards int, run ShardRunner) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if run == nil {
+		return nil, errors.New("repro: DistributedRun needs a shard runner")
+	}
+	ms, err := specMetrics(spec)
+	if err != nil {
+		return nil, err
+	}
+	sels, err := ParseSelectors(spec.Selectors)
+	if err != nil {
+		return nil, err
+	}
+	occOn := hasMetric(ms, MetricOccupancy)
+
+	round0, err := PartitionSpec(spec, shards)
+	if err != nil {
+		return nil, err
+	}
+
+	// Group the round-0 shards into report-order scopes.
+	var states []*scopeState
+	byScope := make(map[int]*scopeState)
+	for _, sh := range round0 {
+		st := byScope[sh.Scope]
+		if st == nil {
+			st = &scopeState{scope: sh.Scope, start: sh.Start, end: sh.End}
+			byScope[sh.Scope] = st
+			states = append(states, st)
+		}
+		st.shards = append(st.shards, sh)
+		st.grid = append(st.grid, sh.Deltas...)
+	}
+
+	var laneSeq atomic.Int64
+	laneSeq.Store(int64(len(round0)))
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for _, st := range states {
+		wg.Add(1)
+		go func(st *scopeState) {
+			defer wg.Done()
+			if err := runScope(runCtx, spec, st, occOn, sels, &laneSeq, run); err != nil {
+				st.err = err
+				cancel() // abort sibling scopes
+			}
+		}(st)
+	}
+	wg.Wait()
+
+	for _, st := range states {
+		if st.err != nil && !errors.Is(st.err, context.Canceled) {
+			return nil, st.err
+		}
+	}
+	for _, st := range states {
+		if st.err != nil {
+			return nil, st.err
+		}
+	}
+
+	rep := &Report{}
+	for _, st := range states {
+		if st.scope == GlobalScope {
+			rep.global = st.cv
+			rep.scale, rep.hasScale = st.res, st.hasRes
+		} else {
+			rep.windows = append(rep.windows, WindowReport{
+				Start: st.start, End: st.end,
+				Scale: st.res, Curves: st.cv,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// runScope folds one scope: concurrent round-0 chunks, then the
+// refinement protocol.
+func runScope(ctx context.Context, spec *PlanSpec, st *scopeState, occOn bool, sels []Selector, laneSeq *atomic.Int64, run ShardRunner) error {
+	parts := make([]Curves, len(st.shards))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i := range st.shards {
+		wg.Add(1)
+		go func(i int, sh ShardPlan) {
+			defer wg.Done()
+			rep, err := run(ctx, sh)
+			if err == nil {
+				err = ValidatePartial(sh, rep)
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("shard lane %d: %w", sh.Lane, err)
+				}
+				mu.Unlock()
+				return
+			}
+			parts[i] = partialCurves(sh, rep)
+		}(i, st.shards[i])
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	st.cv = foldCurves(parts)
+	if !occOn {
+		return nil
+	}
+
+	search, err := core.NewScaleSearch(core.Options{
+		Directed:      spec.Directed,
+		Selectors:     sels,
+		Refine:        spec.Refine,
+		HistogramBins: spec.HistogramBins,
+		Speculate:     spec.Speculate,
+		Grid:          st.grid,
+	})
+	if err != nil {
+		return err
+	}
+	if _, ok := search.NextGrid(); !ok {
+		return errors.New("repro: scale search staged no initial request")
+	}
+	if err := search.AbsorbPoints(st.cv.Occupancy); err != nil {
+		return err
+	}
+	for {
+		grid, ok := search.NextGrid()
+		if !ok {
+			break
+		}
+		sh := refinementShard(st, grid, int(laneSeq.Add(1))-1)
+		rep, err := run(ctx, sh)
+		if err == nil {
+			err = ValidatePartial(sh, rep)
+		}
+		if err != nil {
+			return fmt.Errorf("refinement shard lane %d: %w", sh.Lane, err)
+		}
+		if err := search.AbsorbPoints(partialCurves(sh, rep).Occupancy); err != nil {
+			return err
+		}
+	}
+	res, err := search.Result()
+	if err != nil {
+		return err
+	}
+	st.res, st.hasRes = res, true
+	st.cv.Occupancy = res.Points
+	return nil
+}
+
+// refinementShard builds an occupancy-only shard over one refinement
+// round's fresh ∆s, reusing the scope's enriched round-0 spec.
+func refinementShard(st *scopeState, grid []int64, lane int) ShardPlan {
+	sh := *st.shards[0].Spec
+	sh.Metrics = []string{MetricOccupancy.String()}
+	if st.scope == GlobalScope {
+		sh.Grid = grid
+		sh.Windows, sh.WindowsOnly = nil, false
+	} else {
+		sh.Grid = nil
+		sh.Windows = []Window{{Start: st.start, End: st.end, Grid: grid}}
+		sh.WindowsOnly = true
+	}
+	return ShardPlan{Lane: lane, Scope: st.scope, Start: st.start, End: st.end, Deltas: grid, Spec: &sh}
+}
+
+// RunShardLocal executes one shard in-process — the single-process
+// fallback of the coordinator (no workers registered, or a shard out
+// of retries) and the reference runner of the parity tests.
+func RunShardLocal(ctx context.Context, shard ShardPlan) (*Report, error) {
+	plan, err := shard.Spec.NewPlan()
+	if err != nil {
+		return nil, err
+	}
+	defer plan.Close()
+	return plan.Run(ctx)
+}

@@ -87,13 +87,17 @@ type PlanSpec struct {
 	Directed  bool     `json:"directed,omitempty"`
 	// Grid, GridPoints and MinDelta shape the candidate grid exactly
 	// like WithGrid, WithGridPoints and WithMinDelta.
-	Grid          []int64       `json:"grid,omitempty"`
-	GridPoints    int           `json:"grid_points,omitempty"`
-	MinDelta      int64         `json:"min_delta,omitempty"`
-	Refine        int           `json:"refine,omitempty"`
-	HistogramBins int           `json:"histogram_bins,omitempty"`
-	Windows       []Window      `json:"windows,omitempty"`
-	Adaptive      *AdaptiveSpec `json:"adaptive,omitempty"`
+	Grid          []int64  `json:"grid,omitempty"`
+	GridPoints    int      `json:"grid_points,omitempty"`
+	MinDelta      int64    `json:"min_delta,omitempty"`
+	Refine        int      `json:"refine,omitempty"`
+	HistogramBins int      `json:"histogram_bins,omitempty"`
+	Windows       []Window `json:"windows,omitempty"`
+	// WindowsOnly drops the global scope (WithWindowsOnly): only the
+	// spec's Windows are analysed. Shard specs of a distributed run use
+	// it so window chunks cost no redundant whole-stream pass.
+	WindowsOnly bool          `json:"windows_only,omitempty"`
+	Adaptive    *AdaptiveSpec `json:"adaptive,omitempty"`
 
 	// Execution hints (never part of a result's identity).
 	Workers         int   `json:"workers,omitempty"`
@@ -171,6 +175,9 @@ func (spec *PlanSpec) Options() ([]Option, error) {
 	if len(spec.Windows) > 0 {
 		opts = append(opts, WithWindows(spec.Windows...))
 	}
+	if spec.WindowsOnly {
+		opts = append(opts, WithWindowsOnly())
+	}
 	if spec.Adaptive != nil {
 		opts = append(opts, WithAdaptive(AdaptiveConfig{
 			Bins:             spec.Adaptive.Bins,
@@ -194,6 +201,19 @@ func (spec *PlanSpec) Options() ([]Option, error) {
 		opts = append(opts, WithElongationSpill(spec.ElongationSpill))
 	}
 	return opts, nil
+}
+
+// InlineEventsOf is InlineStream's inverse: the stream's events as the
+// wire form a PlanSpec carries in-line, for submitters that parsed a
+// small stream locally and want a server (or coordinator) to analyse
+// it without a shared file.
+func InlineEventsOf(s *Stream) []InlineEvent {
+	events := s.Events()
+	out := make([]InlineEvent, len(events))
+	for i, e := range events {
+		out[i] = InlineEvent{U: s.NodeName(e.U), V: s.NodeName(e.V), T: e.T}
+	}
+	return out
 }
 
 // InlineStream materialises the spec's Inline events into a Stream.
